@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks honour ``REPRO_SCALE`` (smoke / default / paper — see
+repro.experiments.config).  Rendered tables and panels are written to
+``results/bench/`` so a benchmark run leaves reviewable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    s = current_scale()
+    print(f"\n[benchmarks] scale: {s}")
+    return s
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    out = Path(__file__).resolve().parent.parent / "results" / "bench"
+    out.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def save_artifact(artifact_dir: Path, name: str, text: str) -> None:
+    (artifact_dir / name).write_text(text + "\n")
+    print(f"\n{text}\n[saved to results/bench/{name}]")

@@ -1,0 +1,100 @@
+"""E10 — Engine cross-validation ablation.
+
+The figure sweeps rely on the batched trajectory engine; this ablation
+validates it against the exact density-matrix channel on a full
+transpiled QFA circuit, and quantifies where the order-1 perturbative
+engine is adequate (the sparse-error regime of the paper's QFA sweeps).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import QInteger, qfa_circuit
+from repro.experiments import ArithmeticInstance
+from repro.metrics import total_variation_distance
+from repro.noise import NoiseModel
+from repro.sim import (
+    DensityMatrixEngine,
+    PerturbativeEngine,
+    TrajectoryEngine,
+)
+from repro.transpile import transpile
+from conftest import save_artifact
+
+
+@pytest.fixture(scope="module")
+def setup():
+    circ = transpile(qfa_circuit(4, 4))
+    inst = ArithmeticInstance(
+        "add", 4, 4, QInteger.basis(11, 4), QInteger.uniform([3, 9], 4)
+    )
+    return circ, inst.initial_statevector()
+
+
+def test_trajectory_matches_exact_channel(benchmark, setup, artifact_dir):
+    circ, init = setup
+    noise = NoiseModel.depolarizing(p1q=0.002, p2q=0.01)
+    exact = DensityMatrixEngine().distribution(circ, noise, init)
+
+    def sample():
+        eng = TrajectoryEngine(trajectories=2000, seed=11)
+        return eng.run(circ, noise, shots=2000, initial_state=init)
+
+    counts = benchmark.pedantic(sample, rounds=1, iterations=1)
+    tvd = total_variation_distance(exact, counts)
+    save_artifact(
+        artifact_dir,
+        "ablation_engines.txt",
+        f"trajectory-vs-density TVD on transpiled QFA(4,4), IBM rates: "
+        f"{tvd:.4f} (2000 trajectories)",
+    )
+    assert tvd < 0.08
+
+
+def test_perturbative_accuracy_vs_error_rate(benchmark, setup, artifact_dir):
+    """Order-1 truncation degrades gracefully as errors stop being rare."""
+    circ, init = setup
+
+    def tvd_at(rate):
+        noise = NoiseModel.depolarizing(p2q=rate)
+        exact = DensityMatrixEngine().distribution(circ, noise, init)
+        approx = PerturbativeEngine(max_order=1).distribution(
+            circ, noise, init
+        )
+        return total_variation_distance(exact, approx)
+
+    rates = [0.001, 0.005, 0.02]
+    tvds = benchmark.pedantic(
+        lambda: [tvd_at(r) for r in rates], rounds=1, iterations=1
+    )
+    lines = [
+        f"p2q={100 * r:5.2f}%  order-1 TVD vs exact: {t:.5f}"
+        for r, t in zip(rates, tvds)
+    ]
+    save_artifact(artifact_dir, "ablation_perturbative.txt", "\n".join(lines))
+    # Error grows with rate, and is small in the sparse regime.
+    assert tvds == sorted(tvds)
+    assert tvds[0] < 5e-3
+
+
+def test_trajectory_count_convergence(benchmark, setup, artifact_dir):
+    """More trajectories -> lower TVD to the exact distribution."""
+    circ, init = setup
+    noise = NoiseModel.depolarizing(p1q=0.003, p2q=0.015)
+    exact = DensityMatrixEngine().distribution(circ, noise, init)
+
+    def sweep_batches():
+        out = {}
+        for B in (4, 32, 1024):
+            eng = TrajectoryEngine(trajectories=B, seed=23)
+            counts = eng.run(circ, noise, shots=4096, initial_state=init)
+            out[B] = total_variation_distance(exact, counts)
+        return out
+
+    tvds = benchmark.pedantic(sweep_batches, rounds=1, iterations=1)
+    save_artifact(
+        artifact_dir,
+        "ablation_trajectory_count.txt",
+        "\n".join(f"B={b:5d}: TVD {t:.4f}" for b, t in tvds.items()),
+    )
+    assert tvds[1024] < tvds[4]

@@ -1,0 +1,115 @@
+"""Routing ablation — what the paper's idealised layout hides.
+
+Paper §4 simulates "an idealized layout with complete qubit
+connectivity" and defers "noise associated with qubit-layout and/or
+swap-gates".  This ablation quantifies the deferral: the CX overhead of
+routing the QFA onto realistic topologies, and the success-rate cost of
+that overhead at the IBM reference error rate.
+"""
+
+import pytest
+
+from repro.core import qfa_circuit
+from repro.transpile import (
+    decompose_to_basis,
+    full_coupling,
+    gate_counts,
+    grid_coupling,
+    linear_coupling,
+    ring_coupling,
+    route_circuit,
+)
+from conftest import save_artifact
+
+
+def test_routing_overhead_by_topology(benchmark, scale, artifact_dir):
+    n = min(scale.qfa_n, 6)
+    logical = decompose_to_basis(qfa_circuit(n, n))
+    base_cx = gate_counts(logical).two_qubit
+    width = 2 * n
+
+    def route_all():
+        rows = []
+        for cm in (
+            full_coupling(width),
+            grid_coupling(2, (width + 1) // 2),
+            ring_coupling(width),
+            linear_coupling(width),
+        ):
+            res = route_circuit(logical, cm)
+            routed_cx = gate_counts(res.circuit).two_qubit
+            rows.append((cm.name, res.swaps_inserted, routed_cx))
+        return rows
+
+    rows = benchmark.pedantic(route_all, rounds=1, iterations=1)
+    lines = [f"QFA(n={n}) logical CX count: {base_cx}"]
+    for name, swaps, cx in rows:
+        lines.append(
+            f"{name:>12}: {swaps:4d} swaps inserted -> {cx:4d} CX "
+            f"({cx / base_cx:.2f}x)"
+        )
+    save_artifact(artifact_dir, "ablation_routing.txt", "\n".join(lines))
+
+    by_name = {name: cx for name, _, cx in rows}
+    assert by_name["full"] == base_cx
+    # Sparser topologies cost strictly more.
+    assert by_name["linear"] > by_name["full"]
+    assert by_name["ring"] <= by_name["linear"]
+
+
+def test_routing_noise_cost(benchmark, scale, artifact_dir):
+    """Success-margin cost of linear-chain routing at IBM rates."""
+    import numpy as np
+
+    from repro.experiments import generate_instances
+    from repro.metrics import evaluate_instance, summarize
+    from repro.noise import NoiseModel
+    from repro.sim import simulate_counts
+
+    n = 4
+    logical = decompose_to_basis(qfa_circuit(n, n))
+    routed = route_circuit(logical, linear_coupling(2 * n))
+    noise = NoiseModel.depolarizing(p1q=0.002, p2q=0.01)
+    insts = generate_instances("add", n, n, (1, 1), 8, seed=77)
+    rng = np.random.default_rng(77)
+
+    def margins(circ, final_layout=None):
+        outs = []
+        for inst in insts:
+            init = inst.initial_statevector()
+            counts = simulate_counts(
+                circ, noise, shots=512, rng=rng, method="trajectory",
+                trajectories=16, initial_state=init,
+            )
+            correct = inst.correct_outcomes()
+            if final_layout is not None:
+                # Relabel outcomes back to logical qubits.
+                relabeled = {}
+                for o, c in counts.items():
+                    lo = 0
+                    for lq in range(circ.num_qubits):
+                        bit = (o >> final_layout.physical(lq)) & 1
+                        lo |= bit << lq
+                    relabeled[lo] = relabeled.get(lo, 0) + c
+                from repro.sim import Counts
+
+                counts = Counts(relabeled, circ.num_qubits)
+            outs.append(evaluate_instance(counts, correct))
+        return summarize(outs)
+
+    ideal_layout, chain = benchmark.pedantic(
+        lambda: (
+            margins(logical),
+            margins(routed.circuit, routed.final_layout),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = (
+        f"QFA(n={n}) at IBM rates, 1:1 operands:\n"
+        f"  full connectivity: {ideal_layout}\n"
+        f"  linear chain:      {chain}\n"
+        f"  swaps inserted:    {routed.swaps_inserted}"
+    )
+    save_artifact(artifact_dir, "ablation_routing_noise.txt", text)
+    assert chain.mean_min_diff <= ideal_layout.mean_min_diff

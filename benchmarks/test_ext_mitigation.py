@@ -1,0 +1,99 @@
+"""§5 extension — error mitigation on quantum Fourier addition.
+
+The paper defers "the impact of error mitigation" to future work.  Both
+standard techniques are implemented here and measured on the QFA:
+
+* readout mitigation recovers the success margin lost to measurement
+  assignment errors;
+* zero-noise extrapolation recovers an estimate of the noise-free
+  correct-outcome probability from runs at amplified gate noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import qfa_circuit
+from repro.experiments import generate_instances
+from repro.metrics import evaluate_instance, summarize
+from repro.mitigation import (
+    TensoredReadoutMitigator,
+    calibration_circuits,
+    zne_expectation,
+)
+from repro.noise import NoiseModel, ReadoutError
+from repro.sim import simulate_counts
+from repro.transpile import transpile
+from conftest import save_artifact
+
+
+def test_readout_mitigation_recovers_margin(benchmark, scale, artifact_dir):
+    n = 4
+    circ = transpile(qfa_circuit(n, n))
+    ro = 0.04
+    noise = NoiseModel().add_readout_error(ReadoutError(ro))
+    insts = generate_instances("add", n, n, (1, 2), 8, seed=321)
+    shots = 2048
+
+    def run():
+        rng = np.random.default_rng(5)
+        zeros_c, ones_c = calibration_circuits(circ.num_qubits)
+        cal0 = simulate_counts(zeros_c, noise, shots=shots, rng=rng,
+                               method="trajectory", trajectories=1)
+        cal1 = simulate_counts(ones_c, noise, shots=shots, rng=rng,
+                               method="trajectory", trajectories=1)
+        mit = TensoredReadoutMitigator(cal0, cal1)
+        raw_outs, fixed_outs = [], []
+        for inst in insts:
+            counts = simulate_counts(
+                circ, noise, shots=shots, rng=rng, method="trajectory",
+                trajectories=scale.trajectories,
+                initial_state=inst.initial_statevector(),
+            )
+            correct = inst.correct_outcomes()
+            raw_outs.append(evaluate_instance(counts, correct))
+            corrected = mit.mitigate(counts).sample(shots, rng)
+            fixed_outs.append(evaluate_instance(corrected, correct))
+        return summarize(raw_outs), summarize(fixed_outs)
+
+    raw, fixed = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        f"QFA(n={n}), readout error p={ro} on every qubit:\n"
+        f"  unmitigated: {raw}\n"
+        f"  mitigated:   {fixed}"
+    )
+    save_artifact(artifact_dir, "ext_mitigation_readout.txt", text)
+    assert fixed.mean_min_diff > raw.mean_min_diff
+
+
+def test_zne_recovers_success_probability(benchmark, scale, artifact_dir):
+    n = min(scale.qfa_n, 5)
+    circ = transpile(qfa_circuit(n, n))
+    noise = NoiseModel.depolarizing(p2q=0.01)
+    inst = generate_instances("add", n, n, (1, 1), 1, seed=55)[0]
+    correct = inst.correct_outcomes()
+
+    def p_correct(counts):
+        return sum(counts.get(o) for o in correct) / counts.shots
+
+    # Linear (order-1) fit: robust to the sampling noise of the
+    # per-scale estimates; with exponential decay it under-corrects,
+    # which keeps the test assertion conservative.
+    est, values = benchmark.pedantic(
+        lambda: zne_expectation(
+            circ, noise, p_correct, scales=(1.0, 1.5, 2.0),
+            shots=4096, seed=9, method="trajectory",
+            trajectories=max(scale.trajectories, 32), order=1,
+            initial_state=inst.initial_statevector(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = (
+        f"QFA(n={n}) at 1% 2q error, P(correct outcome):\n"
+        f"  measured at scales (1.0, 1.5, 2.0): "
+        f"{[f'{v:.3f}' for v in values]}\n"
+        f"  ZNE extrapolation to zero noise:    {est:.3f} (ideal 1.0)"
+    )
+    save_artifact(artifact_dir, "ext_mitigation_zne.txt", text)
+    # The extrapolation must improve on the raw noisy estimate.
+    assert abs(est - 1.0) < abs(values[0] - 1.0)

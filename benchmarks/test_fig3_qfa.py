@@ -1,0 +1,60 @@
+"""E2-E4 — Fig. 3: QFA success rates vs gate error, depth, superposition.
+
+One benchmark per figure row (1:1, 1:2, 2:2 addend superposition); each
+runs the row's two panels (1q sweep, 2q sweep) at the current
+``REPRO_SCALE`` and asserts the paper's qualitative shape claims:
+
+* noise-free, full-depth addition always succeeds;
+* 1:1 addition is essentially insensitive to the studied error range;
+* higher superposition rows degrade with the error rate;
+* the shallowest AQFT is the weakest depth in the noise-free limit.
+
+Quantitative paper-vs-measured numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import render_panel, run_figure
+from repro.experiments.paper import fig3_configs
+from conftest import save_artifact
+
+
+def _run_row(scale, row: int):
+    configs = [c for c in fig3_configs(scale)][2 * row : 2 * row + 2]
+    return configs, run_figure(configs, workers=1)
+
+
+def _save(results, artifact_dir):
+    for label, res in results.items():
+        save_artifact(artifact_dir, f"{label}.txt", render_panel(res))
+
+
+@pytest.mark.parametrize("row,orders", [(0, (1, 1)), (1, (1, 2)), (2, (2, 2))])
+def test_fig3_row(benchmark, scale, artifact_dir, row, orders):
+    configs, results = benchmark.pedantic(
+        _run_row, args=(scale, row), rounds=1, iterations=1
+    )
+    _save(results, artifact_dir)
+
+    for cfg in configs:
+        res = results[cfg.label]
+        full = None  # full QFT series
+        # Noise-free full-depth QFA is exact arithmetic: 100% success.
+        origin = res.point(0.0, full).summary
+        assert origin.success_rate == pytest.approx(100.0), cfg.label
+
+        max_rate = max(cfg.error_rates)
+        worst = res.point(max_rate, full).summary
+        if orders == (1, 1):
+            # Row 1: insensitive to the studied range at full depth.
+            assert worst.success_rate >= 75.0, (
+                f"{cfg.label}: 1:1 QFA should stay near-perfect, got "
+                f"{worst.success_rate}"
+            )
+        else:
+            # Higher rows: the evidence margin must degrade with noise.
+            assert worst.mean_min_diff <= origin.mean_min_diff, cfg.label
+
+        # Shallowest AQFT is weakest in the noise-free limit (margin).
+        shallow = res.point(0.0, cfg.depths[0]).summary
+        assert shallow.mean_min_diff <= origin.mean_min_diff + 1e-9, cfg.label

@@ -1,0 +1,47 @@
+"""E5-E7 — Fig. 4: QFM success rates vs gate error, depth, superposition.
+
+One benchmark per figure row (1:1, 1:2, 2:2 multiplicand superposition).
+Shape claims asserted per the paper's discussion:
+
+* noise-free, full-depth multiplication always succeeds;
+* the margin degrades with the swept error rate at full depth;
+* QFM is far more noise-fragile than QFA: its circuits are several
+  times larger (cross-checked against Table I in the gate-count bench).
+"""
+
+import pytest
+
+from repro.experiments import render_panel, run_figure
+from repro.experiments.paper import fig4_configs
+from conftest import save_artifact
+
+
+def _run_row(scale, row: int):
+    configs = [c for c in fig4_configs(scale)][2 * row : 2 * row + 2]
+    return configs, run_figure(configs, workers=1)
+
+
+@pytest.mark.parametrize("row,orders", [(0, (1, 1)), (1, (1, 2)), (2, (2, 2))])
+def test_fig4_row(benchmark, scale, artifact_dir, row, orders):
+    configs, results = benchmark.pedantic(
+        _run_row, args=(scale, row), rounds=1, iterations=1
+    )
+    for label, res in results.items():
+        save_artifact(artifact_dir, f"{label}.txt", render_panel(res))
+
+    for cfg in configs:
+        res = results[cfg.label]
+        origin = res.point(0.0, None).summary
+        assert origin.success_rate == pytest.approx(100.0), cfg.label
+
+        max_rate = max(cfg.error_rates)
+        worst = res.point(max_rate, None).summary
+        assert worst.mean_min_diff <= origin.mean_min_diff, cfg.label
+
+        if cfg.error_axis == "2q":
+            # Paper: 2q error dominates; at the top of the sweep the
+            # margin must have visibly collapsed relative to noise-free.
+            assert worst.mean_min_diff < 0.9 * origin.mean_min_diff, (
+                f"{cfg.label}: expected clear 2q-noise degradation "
+                f"({worst.mean_min_diff} vs {origin.mean_min_diff})"
+            )

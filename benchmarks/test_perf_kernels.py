@@ -1,0 +1,81 @@
+"""Engine micro-benchmarks (pytest-benchmark statistics).
+
+These time the kernels that dominate the figure sweeps: batched gate
+application, trajectory stepping with noise sampling, and the exact
+density-matrix channel — the numbers that justify the engine-dispatch
+thresholds in repro.sim.engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import qfa_circuit
+from repro.noise import NoiseModel
+from repro.sim import DensityMatrixEngine, TrajectoryEngine
+from repro.sim.ops import apply_instruction
+from repro.sim.statevector import zero_state
+from repro.transpile import transpile
+
+N_QUBITS = 14
+BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def batch_state():
+    state = zero_state(N_QUBITS, BATCH)
+    rng = np.random.default_rng(0)
+    state += (
+        rng.normal(size=state.shape) + 1j * rng.normal(size=state.shape)
+    ) * 0.01
+    state /= np.linalg.norm(state, axis=1, keepdims=True)
+    return state
+
+
+def _instr(method, *args):
+    qc = QuantumCircuit(N_QUBITS)
+    getattr(qc, method)(*args)
+    return qc[0]
+
+
+def test_kernel_rz(benchmark, batch_state):
+    instr = _instr("rz", 0.3, 7)
+    benchmark(lambda: apply_instruction(batch_state, instr, N_QUBITS))
+
+
+def test_kernel_cp(benchmark, batch_state):
+    instr = _instr("cp", 0.3, 2, 11)
+    benchmark(lambda: apply_instruction(batch_state, instr, N_QUBITS))
+
+
+def test_kernel_cx(benchmark, batch_state):
+    instr = _instr("cx", 2, 11)
+    benchmark(lambda: apply_instruction(batch_state, instr, N_QUBITS))
+
+
+def test_kernel_sx_dense(benchmark, batch_state):
+    instr = _instr("sx", 7)
+    benchmark(lambda: apply_instruction(batch_state, instr, N_QUBITS))
+
+
+def test_trajectory_qfa_instance(benchmark):
+    """One full noisy QFA(6,6) instance — the fig3 unit of work."""
+    circ = transpile(qfa_circuit(6, 6))
+    noise = NoiseModel.depolarizing(p1q=0.002, p2q=0.01)
+
+    def run():
+        eng = TrajectoryEngine(trajectories=16, seed=1)
+        return eng.run(circ, noise, shots=1024)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_density_qfa_instance(benchmark):
+    """Exact channel on QFA(4,4) — the validation unit of work."""
+    circ = transpile(qfa_circuit(4, 4))
+    noise = NoiseModel.depolarizing(p1q=0.002, p2q=0.01)
+
+    def run():
+        return DensityMatrixEngine().distribution(circ, noise)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,38 @@
+"""Scaling micro-benchmarks: trajectory cost vs register size and batch.
+
+Quantifies the two scaling laws the engine-dispatch and scale-tier
+choices rest on: per-instance trajectory cost grows ~linearly in the
+batch size and ~O(2**n * gates) in register width.
+"""
+
+import pytest
+
+from repro.core import qfa_circuit
+from repro.noise import NoiseModel
+from repro.sim import TrajectoryEngine
+from repro.transpile import transpile
+
+NOISE = NoiseModel.depolarizing(p1q=0.002, p2q=0.01)
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6])
+def test_scaling_register_width(benchmark, n):
+    circ = transpile(qfa_circuit(n, n))
+    eng = TrajectoryEngine(trajectories=8, seed=0)
+    benchmark.pedantic(
+        lambda: eng.run(circ, NOISE, shots=256),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("batch", [4, 16, 64])
+def test_scaling_trajectory_batch(benchmark, batch):
+    circ = transpile(qfa_circuit(5, 5))
+    benchmark.pedantic(
+        lambda: TrajectoryEngine(trajectories=batch, seed=0).run(
+            circ, NOISE, shots=max(256, batch)
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Error mitigation on quantum addition — the paper's §5 deferral.
+
+Runs the QFA under (a) readout error and (b) gate noise, then applies
+the two standard mitigation techniques the paper defers to future work:
+
+1. tensored readout mitigation: two calibration runs estimate every
+   qubit's assignment matrix, whose inverse un-mixes the measured
+   distribution;
+2. zero-noise extrapolation: the correct-outcome probability is measured
+   at amplified gate noise and extrapolated back to zero.
+
+Run:  python examples/error_mitigation.py
+"""
+
+import numpy as np
+
+from repro.core import qfa_circuit
+from repro.experiments import ArithmeticInstance
+from repro.core import QInteger
+from repro.metrics import evaluate_instance
+from repro.mitigation import (
+    TensoredReadoutMitigator,
+    calibration_circuits,
+    zne_expectation,
+)
+from repro.noise import NoiseModel, ReadoutError
+from repro.sim import simulate_counts
+from repro.transpile import transpile
+
+
+def main() -> None:
+    n = 4
+    circuit = transpile(qfa_circuit(n, n))
+    inst = ArithmeticInstance(
+        "add", n, n, QInteger.basis(11, n), QInteger.uniform([3, 9], n)
+    )
+    init = inst.initial_statevector()
+    correct = inst.correct_outcomes()
+    shots = 4096
+    rng = np.random.default_rng(21)
+
+    # --- 1. readout mitigation -----------------------------------------
+    ro_noise = NoiseModel().add_readout_error(ReadoutError(0.05))
+    raw = simulate_counts(circuit, ro_noise, shots=shots, rng=rng,
+                          method="trajectory", trajectories=1,
+                          initial_state=init)
+    zeros_c, ones_c = calibration_circuits(circuit.num_qubits)
+    cal0 = simulate_counts(zeros_c, ro_noise, shots=shots, rng=rng,
+                           method="trajectory", trajectories=1)
+    cal1 = simulate_counts(ones_c, ro_noise, shots=shots, rng=rng,
+                           method="trajectory", trajectories=1)
+    mit = TensoredReadoutMitigator(cal0, cal1)
+    fixed = mit.mitigate(raw).sample(shots, rng)
+
+    v_raw = evaluate_instance(raw, correct)
+    v_fix = evaluate_instance(fixed, correct)
+    print(f"readout error 5% per qubit ({shots} shots):")
+    print(f"  raw:       success={v_raw.success} margin={v_raw.min_diff}")
+    print(f"  mitigated: success={v_fix.success} margin={v_fix.min_diff}")
+
+    # --- 2. zero-noise extrapolation ------------------------------------
+    gate_noise = NoiseModel.depolarizing(p2q=0.01)
+
+    def p_correct(counts):
+        return sum(counts.get(o) for o in correct) / counts.shots
+
+    est, values = zne_expectation(
+        circuit, gate_noise, p_correct, scales=(1.0, 1.5, 2.0),
+        shots=shots, seed=33, method="trajectory", trajectories=32,
+        order=1, initial_state=init,
+    )
+    print(f"\nZNE at 1% 2q error, P(correct outcome):")
+    for s, v in zip((1.0, 1.5, 2.0), values):
+        print(f"  noise x{s:<4}: {v:.3f}")
+    print(f"  extrapolated -> {est:.3f}   (noise-free truth: 1.000)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""A miniature Fig. 3 panel in your terminal.
+
+Runs a reduced-size version of the paper's QFA sweep — success rate vs
+2q gate error rate for several AQFT depths at 1:2 superposition — and
+renders the panel exactly as the benchmark harness does.
+
+Run:  python examples/noise_landscape.py        (about a minute)
+      REPRO_SCALE=smoke python examples/noise_landscape.py   (seconds)
+"""
+
+from repro.experiments import (
+    SweepConfig,
+    current_scale,
+    render_panel,
+    run_sweep,
+)
+from repro.experiments.paper import qfa_depths_for
+from repro.noise import P2Q_SWEEP
+
+
+def main() -> None:
+    scale = current_scale()
+    n = min(scale.qfa_n, 6)
+    cfg = SweepConfig(
+        operation="add",
+        n=n,
+        m=n,
+        orders=(1, 2),
+        error_axis="2q",
+        error_rates=P2Q_SWEEP,
+        depths=qfa_depths_for(n),
+        instances=scale.instances_add,
+        shots=scale.shots,
+        trajectories=scale.trajectories,
+        seed=2024,
+    )
+    print(f"running: {cfg.describe()}\n")
+    result = run_sweep(cfg, workers=1, progress=print)
+    print()
+    print(render_panel(result))
+    print()
+    for rate in cfg.error_rates:
+        depth, pct = result.best_depth(rate)
+        print(f"best depth at {100 * rate:.1f}% 2q error: "
+              f"d={cfg.depth_label(depth)} ({pct:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

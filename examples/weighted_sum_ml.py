@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Weighted sums over superposed inputs — the paper's ML motivation.
+
+The introduction motivates QFT arithmetic with "weighted sum
+optimization problems in data processing and machine learning": a fixed
+classical weight vector applied to quantum feature registers evaluates
+the weighted sum for *every superposed input in parallel*.
+
+This example scores two candidate feature vectors simultaneously
+against the weights (3, 1, 2) — a single circuit execution produces the
+score of both branches — then repeats the evaluation under IBM-like
+noise to show how much signal survives.
+
+Run:  python examples/weighted_sum_ml.py
+"""
+
+import numpy as np
+
+from repro.core import QInteger, weighted_sum_circuit
+from repro.experiments.instances import product_statevector
+from repro.noise import NoiseModel
+from repro.sim import extract_register_values, simulate_counts
+from repro.transpile import gate_counts, transpile
+
+
+def main() -> None:
+    weights = [3, 1, 2]
+    n = 2  # feature registers hold 2-bit values
+
+    # Feature 0 is in superposition of 1 and 3: the circuit scores both
+    # candidate inputs (1, 2, 1) and (3, 2, 1) in one run.
+    features = [
+        QInteger.uniform([1, 3], n),
+        QInteger.basis(2, n),
+        QInteger.basis(1, n),
+    ]
+
+    logical = weighted_sum_circuit(weights, n)
+    circuit = transpile(logical)
+    acc = circuit.get_qreg("acc")
+    print(f"weighted_sum{tuple(weights)} on {circuit.num_qubits} qubits, "
+          f"{gate_counts(circuit)}")
+
+    vecs = [f.statevector() for f in features]
+    vecs.append(np.eye(1, 1 << acc.size, 0, dtype=complex).ravel())
+    init = product_statevector(vecs)
+
+    for label, noise in [
+        ("ideal", None),
+        ("IBM-like", NoiseModel.depolarizing(p1q=0.002, p2q=0.01)),
+    ]:
+        counts = simulate_counts(
+            circuit, noise, shots=2048, seed=3, initial_state=init
+        )
+        print(f"\n[{label}] top scores (acc register):")
+        outcomes = np.array(sorted(counts, key=counts.get, reverse=True)[:4])
+        scores = extract_register_values(outcomes, acc.indices)
+        f0 = extract_register_values(outcomes, circuit.get_qreg("x0").indices)
+        for o, s, x0 in zip(outcomes, scores, f0):
+            print(f"  x0={x0}: score={s:2d}   ({counts[int(o)]} counts)")
+
+    both = sorted(
+        3 * v + 1 * 2 + 2 * 1 for v in features[0].values
+    )
+    print(f"\nexpected scores: {both} (one per superposed branch)")
+
+
+if __name__ == "__main__":
+    main()

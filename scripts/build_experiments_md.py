@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Assemble EXPERIMENTS.md from the saved sweep data in results/.
+
+Usage: python scripts/build_experiments_md.py [--results results]
+                                              [--out EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments.report import build_report
+
+HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+Reproduction record for every table and figure of *Performance
+Evaluations of Noisy Approximate Quantum Fourier Arithmetic* (Basili et
+al., IPPS 2022).  Regenerate with
+``python scripts/run_paper_experiments.py`` followed by
+``python scripts/build_experiments_md.py``; the asserted qualitative
+checks also run as ``pytest benchmarks/ --benchmark-only``.
+
+Measurement setting for the stored data: paper register sizes (QFA n=8
+mod-2^8, QFM n=4), paper shot count (2048), paper error-rate grids and
+depth series; instance budget reduced to 10 (QFA) / 6 (QFM) per point
+and 16 noise trajectories per instance with exact clean-shot splitting
+(docs/simulation.md).  Success percentages therefore quantise to
+10%/16.7% steps and error bars are coarser than the paper's
+200-instance clusters; every qualitative comparison below survives that
+granularity.
+
+**QFM 2q collapse region.** In the QFM 2q panels the paper's own
+discussion reports results "consistently ... around 0%" once gate error
+and superposition order are high; our panels reach that collapse
+slightly earlier on the rate axis.  Two documented factors sharpen our
+threshold: the full-register measurement scope below, and the erred-
+component trajectory reuse (16 trajectories per 2048 shots) which
+inflates the noise background's argmax relative to fully independent
+shots.  The crossover the paper highlights — the shallowest AQFT
+overtaking deeper depths under heavy noise — appears in both our 1q
+panels (e.g. fig4a at 0.3%: d=1 100% vs full 50%) and at the edge of
+the 2q collapse (fig4b at 0.7%: d=1 16.7% vs 0%).
+
+**Measurement scope.** The paper tabulates "binary outputs"; this
+harness tabulates the *full* register string (operands + result), which
+is the stricter correctness check but spreads the erred-shot background
+over a larger outcome space than result-register-only tabulation would.
+The effect is a uniform upward shift of our absolute success rates at
+equal error rates (the background argmax is lower); orderings,
+crossovers, and depth comparisons are unaffected.
+
+## Table I notes
+
+The QFM column reproduces the paper exactly (all six numbers).  The QFA
+column carries a constant, fully-characterised offset: the paper's
+2q counts equal twice (our CP count - 1) at every depth, i.e. their
+tabulated add step has one fewer CP than the canonical Draper circuit,
+and their 1q counts equal 3x(CP count) + 16 — one unit per Hadamard —
+whereas the physical basis needs RZ-SX-RZ per H.  We keep the canonical
+correctness-verified circuit and report the delta (+35 1q, +2 2q)
+rather than matching by construction.  (Our optional level-2 optimizer,
+which commutes RZ through CX controls, reduces the QFA to 232 1q /
+184 2q — *below* the paper's numbers — showing the counts are
+pipeline-dependent at the 1q level.)
+
+"""
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--results", default="results")
+    ap.add_argument("--out", default="EXPERIMENTS.md")
+    args = ap.parse_args()
+
+    body = build_report(Path(args.results))
+    bench_dir = Path(args.results) / "bench"
+    extras = []
+    if bench_dir.is_dir():
+        artifacts = sorted(bench_dir.glob("*.txt"))
+        if artifacts:
+            extras.append("## Ablation and extension artifacts")
+            extras.append("")
+            extras.append(
+                "Produced by ``pytest benchmarks/ --benchmark-only`` "
+                "(scale recorded in each file's header context)."
+            )
+            for path in artifacts:
+                extras.append("")
+                extras.append(f"### {path.stem}")
+                extras.append("")
+                extras.append("```")
+                extras.append(path.read_text().rstrip())
+                extras.append("```")
+    text = HEADER + body + "\n"
+    if extras:
+        text += "\n" + "\n".join(extras) + "\n"
+    Path(args.out).write_text(text)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Generate the EXPERIMENTS.md source data at paper register sizes.
+
+Runs Table I plus all twelve figure panels (Figs. 3 and 4) at the
+paper's n=8 / n=4 with a reduced instance/trajectory budget (documented
+in EXPERIMENTS.md), saving JSON + rendered text under ``results/``.
+
+Usage: python scripts/run_paper_experiments.py [--instances-add N]
+       [--instances-mul N] [--trajectories B] [--shots S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    SweepConfig,
+    fig3_configs,
+    fig4_configs,
+    render_panel,
+    render_table1,
+    run_figure,
+    save_sweep,
+    sweep_to_csv,
+    table1_counts,
+)
+from repro.experiments.config import Scale
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--instances-add", type=int, default=12)
+    ap.add_argument("--instances-mul", type=int, default=6)
+    ap.add_argument("--trajectories", type=int, default=16)
+    ap.add_argument("--shots", type=int, default=2048)
+    ap.add_argument("--outdir", default="results")
+    ap.add_argument("--skip-fig3", action="store_true")
+    ap.add_argument("--skip-fig4", action="store_true")
+    args = ap.parse_args()
+
+    out = Path(args.outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    scale = Scale(
+        name="experiments",
+        qfa_n=8,
+        qfm_n=4,
+        instances_add=args.instances_add,
+        instances_mul=args.instances_mul,
+        shots=args.shots,
+        trajectories=args.trajectories,
+    )
+
+    def log(msg: str) -> None:
+        print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
+
+    log(f"scale: {scale}")
+
+    table = render_table1(table1_counts())
+    (out / "table1.txt").write_text(table + "\n")
+    log("table1 written")
+    print(table, flush=True)
+
+    def checkpoint(label, res):
+        save_sweep(res, out / f"{label}.json")
+        (out / f"{label}.txt").write_text(render_panel(res) + "\n")
+        (out / f"{label}.csv").write_text(sweep_to_csv(res))
+        log(f"{label} saved ({res.elapsed_seconds:.0f}s)")
+
+    for name, cfg_fn, skip in (
+        ("fig3", fig3_configs, args.skip_fig3),
+        ("fig4", fig4_configs, args.skip_fig4),
+    ):
+        if skip:
+            continue
+        configs = cfg_fn(scale)
+        run_figure(configs, workers=1, progress=log, on_panel=checkpoint)
+    log("done")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works on offline
+environments whose pip/setuptools lack the ``wheel`` package required by
+the PEP 660 editable path.
+"""
+
+from setuptools import setup
+
+setup()

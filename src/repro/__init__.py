@@ -1,0 +1,58 @@
+"""Noisy approximate quantum Fourier arithmetic.
+
+A from-scratch reproduction of *Performance Evaluations of Noisy
+Approximate Quantum Fourier Arithmetic* (Basili et al., IPPS 2022):
+a gate-level quantum circuit IR, a transpiler to the IBM basis, noisy
+simulation engines, QFT/AQFT-based integer arithmetic, and the paper's
+full evaluation harness.
+
+Quick start::
+
+    from repro import qfa_circuit, NoiseModel, simulate_counts
+
+    circ = qfa_circuit(n=4, a=3, b=5)          # |3>, |5>  ->  |3>, |8>
+    noise = NoiseModel.depolarizing(p2q=0.01)  # IBM-like CX error
+    counts = simulate_counts(circ, noise, shots=2048, seed=7)
+"""
+
+from .circuits import (
+    ClassicalRegister,
+    QuantumCircuit,
+    QuantumRegister,
+)
+from .core import (
+    QInteger,
+    qfa_circuit,
+    qfm_circuit,
+    qfs_circuit,
+    qft_circuit,
+)
+from .noise import NoiseModel, depolarizing_error
+from .sim import (
+    Counts,
+    Distribution,
+    simulate_counts,
+    simulate_distribution,
+)
+from .transpile import transpile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "QuantumRegister",
+    "ClassicalRegister",
+    "QInteger",
+    "qft_circuit",
+    "qfa_circuit",
+    "qfs_circuit",
+    "qfm_circuit",
+    "transpile",
+    "NoiseModel",
+    "depolarizing_error",
+    "simulate_counts",
+    "simulate_distribution",
+    "Counts",
+    "Distribution",
+    "__version__",
+]

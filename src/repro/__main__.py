@@ -1,0 +1,121 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``          — package, scale, and engine-dispatch summary.
+``table1``        — regenerate the paper's Table I and print it.
+``fig3`` / ``fig4`` — run the figure panels at the current REPRO_SCALE
+                    and print each ASCII panel (optionally save JSON).
+``depth-profile`` — AQFT-vs-QFT fidelity per depth (paper §2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_info(args) -> int:
+    import numpy
+
+    import repro
+    from repro.experiments import SCALES, current_scale
+
+    print(f"repro {repro.__version__} (numpy {numpy.__version__})")
+    print(f"active scale: {current_scale()}")
+    for s in SCALES.values():
+        print(f"  available: {s}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments import render_table1, table1_counts
+
+    print(render_table1(table1_counts()))
+    return 0
+
+
+def _cmd_figure(args, which: str) -> int:
+    from repro.experiments import (
+        current_scale,
+        render_panel,
+        run_figure,
+        save_sweep,
+    )
+    from repro.experiments.paper import fig3_configs, fig4_configs
+
+    scale = current_scale()
+    configs = (fig3_configs if which == "fig3" else fig4_configs)(scale)
+    if args.panel:
+        configs = [c for c in configs if c.label in args.panel]
+        if not configs:
+            print(f"no panel matches {args.panel}", file=sys.stderr)
+            return 2
+    results = run_figure(configs, progress=print if args.verbose else None)
+    for label, res in results.items():
+        print()
+        print(render_panel(res))
+        if args.out:
+            out = Path(args.out)
+            out.mkdir(parents=True, exist_ok=True)
+            save_sweep(res, out / f"{label}.json")
+            print(f"[saved {out / (label + '.json')}]")
+    return 0
+
+
+def _cmd_depth_profile(args) -> int:
+    from repro.analysis import aqft_fidelity_profile, paper_depth_label
+
+    prof = aqft_fidelity_profile(args.n, trials=args.trials)
+    print(f"AQFT fidelity profile, n={args.n}:")
+    for d, f in prof.items():
+        bar = "#" * int(round(40 * f))
+        print(f"  d={paper_depth_label(d, args.n):>4}  {f:.4f} {bar}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to a subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Noisy approximate quantum Fourier arithmetic "
+        "(IPPS 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and scale summary")
+    sub.add_parser("table1", help="regenerate Table I")
+    for which in ("fig3", "fig4"):
+        p = sub.add_parser(which, help=f"run {which} panels at REPRO_SCALE")
+        p.add_argument("--panel", nargs="*", help="labels, e.g. fig3a fig3b")
+        p.add_argument("--out", help="directory for JSON results")
+        p.add_argument("-v", "--verbose", action="store_true")
+    p = sub.add_parser("depth-profile", help="AQFT fidelity per depth")
+    p.add_argument("-n", type=int, default=8)
+    p.add_argument("--trials", type=int, default=8)
+
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command in ("fig3", "fig4"):
+        return _cmd_figure(args, args.command)
+    if args.command == "depth-profile":
+        return _cmd_depth_profile(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+def _entry() -> int:
+    """Console-script entry point with SIGPIPE-friendly exit."""
+    try:
+        return main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — normal CLI etiquette.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_entry())

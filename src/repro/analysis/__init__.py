@@ -1,0 +1,29 @@
+"""Analytic models: error budgets and AQFT depth heuristics."""
+
+from .budget import ErrorBudget, error_budget, predicted_no_error_probability
+from .depth import (
+    aqft_fidelity_profile,
+    barenco_depth,
+    empirical_optimal_depth,
+    paper_depth_label,
+)
+from .entanglement import (
+    partial_trace,
+    register_entanglement,
+    renyi2_entropy,
+    von_neumann_entropy,
+)
+
+__all__ = [
+    "partial_trace",
+    "von_neumann_entropy",
+    "renyi2_entropy",
+    "register_entanglement",
+    "ErrorBudget",
+    "error_budget",
+    "predicted_no_error_probability",
+    "barenco_depth",
+    "paper_depth_label",
+    "aqft_fidelity_profile",
+    "empirical_optimal_depth",
+]

@@ -1,0 +1,117 @@
+"""Analytic error-budget models.
+
+The simplest useful predictor of a noisy circuit's success: with
+independent depolarizing gate errors, the probability that *no* error
+event fires anywhere in the circuit is
+
+    P0 = (1 - e1)**G1 * (1 - e2)**G2
+
+where ``e1``/``e2`` are the effective per-gate error-event probabilities
+and ``G1``/``G2`` the 1q/2q gate counts.  Error-free shots always give a
+correct sample; erred shots give an approximately uniform background at
+high weight.  The model below turns that into a predicted per-instance
+success probability under the paper's argmax criterion, which the
+``analysis`` ablation benchmark compares against full simulation.
+
+The Qiskit depolarizing parameter ``p`` fires a *non-identity* Pauli
+with probability ``p*(4**k - 1)/4**k`` (see repro.noise.channels), so
+``e = p * 3/4`` for 1q and ``p * 15/16`` for 2q gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.circuit import QuantumCircuit
+from ..transpile.counts import gate_counts
+
+__all__ = ["ErrorBudget", "error_budget", "predicted_no_error_probability"]
+
+
+def _event_probability(p: float, k: int, convention: str = "qiskit") -> float:
+    """Probability a depolarizing parameter ``p`` fires a real Pauli."""
+    if convention == "qiskit":
+        dim4 = 4**k
+        return p * (dim4 - 1) / dim4
+    if convention == "pauli":
+        return p
+    raise ValueError(f"unknown convention {convention!r}")
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Per-circuit noise accounting at given 1q/2q error rates."""
+
+    gates_1q: int
+    gates_2q: int
+    p1q: float
+    p2q: float
+    convention: str = "qiskit"
+
+    @property
+    def expected_errors(self) -> float:
+        """Mean number of Pauli error events per shot."""
+        e1 = _event_probability(self.p1q, 1, self.convention)
+        e2 = _event_probability(self.p2q, 2, self.convention)
+        return self.gates_1q * e1 + self.gates_2q * e2
+
+    @property
+    def no_error_probability(self) -> float:
+        """P(zero error events in a shot)."""
+        e1 = _event_probability(self.p1q, 1, self.convention)
+        e2 = _event_probability(self.p2q, 2, self.convention)
+        return (1 - e1) ** self.gates_1q * (1 - e2) ** self.gates_2q
+
+    def predicted_success_probability(
+        self, num_correct: int, num_outcomes: int
+    ) -> float:
+        """Crude argmax-success estimate for one instance.
+
+        Model: a fraction ``P0`` of shots lands on the ideal
+        distribution (uniform over the ``num_correct`` correct
+        outcomes); the rest scatters uniformly over all ``num_outcomes``
+        strings.  Success requires each correct outcome to out-count the
+        background; in expectation that holds when
+
+            P0 / num_correct  >  (1 - P0) / num_outcomes
+
+        Shot noise smears the threshold; this returns the expectation-
+        level step function, useful as a regime indicator rather than a
+        calibrated probability.
+        """
+        if num_correct < 1 or num_outcomes < num_correct:
+            raise ValueError("need 1 <= num_correct <= num_outcomes")
+        p0 = self.no_error_probability
+        signal = p0 / num_correct
+        background = (1 - p0) / num_outcomes
+        return 1.0 if signal > background else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"ErrorBudget(G1={self.gates_1q}, G2={self.gates_2q}, "
+            f"lambda={self.expected_errors:.2f}, P0={self.no_error_probability:.3f})"
+        )
+
+
+def error_budget(
+    circuit: QuantumCircuit,
+    p1q: float = 0.0,
+    p2q: float = 0.0,
+    convention: str = "qiskit",
+) -> ErrorBudget:
+    """Budget for a transpiled circuit at the given error rates."""
+    counts = gate_counts(circuit)
+    return ErrorBudget(
+        gates_1q=counts.one_qubit,
+        gates_2q=counts.two_qubit,
+        p1q=p1q,
+        p2q=p2q,
+        convention=convention,
+    )
+
+
+def predicted_no_error_probability(
+    circuit: QuantumCircuit, p1q: float, p2q: float
+) -> float:
+    """Shorthand for :attr:`ErrorBudget.no_error_probability`."""
+    return error_budget(circuit, p1q, p2q).no_error_probability

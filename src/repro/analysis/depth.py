@@ -1,0 +1,72 @@
+"""AQFT depth analysis: the Barenco heuristic and empirical optima.
+
+Paper §2 (citing Barenco et al. 1996): in the presence of decoherence,
+the optimal AQFT depth approaches ``log2 n``.  The paper's own results
+show "significant variation" around that heuristic depending on noise
+level and superposition order.  These helpers compute both sides: the
+heuristic, the exact AQFT-vs-QFT fidelity loss, and the depth that
+maximises a sweep's measured success — feeding the E8 ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.qft import qft_circuit
+from ..sim.statevector import StatevectorEngine
+
+__all__ = [
+    "barenco_depth",
+    "paper_depth_label",
+    "aqft_fidelity_profile",
+    "empirical_optimal_depth",
+]
+
+
+def barenco_depth(n: int) -> int:
+    """The log2(n) heuristic, rounded to the nearest valid depth."""
+    return max(2, min(n, round(math.log2(n)) + 1))
+
+
+def paper_depth_label(depth: Optional[int], n: int) -> str:
+    """Library depth -> the paper's per-qubit-rotation-count label."""
+    if depth is None or depth >= n:
+        return "full"
+    return str(depth - 1)
+
+
+def aqft_fidelity_profile(
+    n: int, trials: int = 8, seed: int = 0
+) -> Dict[int, float]:
+    """Mean |<AQFT_d psi | QFT psi>|^2 over random states, per depth.
+
+    Quantifies the pure approximation error (no gate noise), the
+    quantity the AQFT trades against decoherence.
+    """
+    rng = np.random.default_rng(seed)
+    eng = StatevectorEngine()
+    full = qft_circuit(n)
+    out: Dict[int, float] = {}
+    states = []
+    for _ in range(trials):
+        v = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        states.append(v / np.linalg.norm(v))
+    exact = [eng.run(full, v) for v in states]
+    for d in range(1, n + 1):
+        circ = qft_circuit(n, depth=d)
+        fids = [
+            eng.run(circ, v).fidelity(x) for v, x in zip(states, exact)
+        ]
+        out[d] = float(np.mean(fids))
+    return out
+
+
+def empirical_optimal_depth(sweep_result) -> Dict[float, Tuple[Optional[int], float]]:
+    """Per error rate: (best depth, success %) from a finished sweep."""
+    out: Dict[float, Tuple[Optional[int], float]] = {}
+    for rate in sweep_result.config.error_rates:
+        out[rate] = sweep_result.best_depth(rate)
+    return out

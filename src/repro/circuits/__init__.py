@@ -1,0 +1,36 @@
+"""Quantum circuit intermediate representation.
+
+Public surface: :class:`QuantumCircuit`, :class:`QuantumRegister`,
+:class:`ClassicalRegister`, the gate constructors of
+:mod:`repro.circuits.gates`, and the text drawer.
+"""
+
+from .circuit import CircuitError, Instruction, QuantumCircuit
+from .gates import (
+    GATE_BUILDERS,
+    Gate,
+    GateError,
+    controlled_matrix,
+    make_gate,
+)
+from .qasm import QasmError, from_qasm, to_qasm
+from .registers import ClassicalRegister, QuantumRegister, RegisterError
+from .visualization import draw_text
+
+__all__ = [
+    "QuantumCircuit",
+    "Instruction",
+    "CircuitError",
+    "QuantumRegister",
+    "ClassicalRegister",
+    "RegisterError",
+    "Gate",
+    "GateError",
+    "GATE_BUILDERS",
+    "make_gate",
+    "controlled_matrix",
+    "draw_text",
+    "to_qasm",
+    "from_qasm",
+    "QasmError",
+]

@@ -1,0 +1,515 @@
+"""The quantum circuit intermediate representation.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`Instruction`
+objects over a fixed set of qubits (optionally organised into named
+registers) and classical bits.  It supports the gate vocabulary of
+:mod:`repro.circuits.gates`, composition, inversion, gate-wise control,
+repetition, op counting and DAG depth — everything the transpiler and the
+QFT-arithmetic builders need.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import gates as G
+from .gates import Gate
+from .registers import ClassicalRegister, QuantumRegister, allocate
+
+__all__ = ["Instruction", "QuantumCircuit", "CircuitError"]
+
+
+class CircuitError(ValueError):
+    """Raised for malformed circuit construction or use."""
+
+
+class Instruction:
+    """A gate (or measure/barrier/reset) bound to qubit/clbit indices."""
+
+    __slots__ = ("gate", "qubits", "clbits")
+
+    def __init__(
+        self,
+        gate: Gate,
+        qubits: Sequence[int],
+        clbits: Sequence[int] = (),
+    ) -> None:
+        self.gate = gate
+        self.qubits: Tuple[int, ...] = tuple(int(q) for q in qubits)
+        self.clbits: Tuple[int, ...] = tuple(int(c) for c in clbits)
+        if len(self.qubits) != gate.num_qubits:
+            raise CircuitError(
+                f"gate {gate.name!r} takes {gate.num_qubits} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate qubits {self.qubits} for {gate.name!r}")
+
+    def __repr__(self) -> str:
+        cl = f" -> c{list(self.clbits)}" if self.clbits else ""
+        return f"{self.gate!r} q{list(self.qubits)}{cl}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.gate == other.gate
+            and self.qubits == other.qubits
+            and self.clbits == other.clbits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.gate, self.qubits, self.clbits))
+
+
+RegisterSpec = Union[int, QuantumRegister, ClassicalRegister]
+
+
+class QuantumCircuit:
+    """An ordered gate list over qubits and classical bits.
+
+    Construct either anonymously (``QuantumCircuit(5)``) or from named
+    registers::
+
+        x = QuantumRegister(4, "x")
+        y = QuantumRegister(5, "y")
+        qc = QuantumCircuit(x, y)
+        qc.h(y[0])
+        qc.cp(math.pi / 2, x[0], y[1])
+
+    Qubit indices are global and little-endian within each register.
+    """
+
+    def __init__(self, *specs: RegisterSpec, name: str = "circuit") -> None:
+        self.name = name
+        self.qregs: Tuple[QuantumRegister, ...] = ()
+        self.cregs: Tuple[ClassicalRegister, ...] = ()
+        self._instructions: List[Instruction] = []
+
+        qregs: List[QuantumRegister] = []
+        cregs: List[ClassicalRegister] = []
+        anon_qubits = 0
+        anon_clbits = 0
+        seen_ints = 0
+        for spec in specs:
+            if isinstance(spec, QuantumRegister):
+                qregs.append(spec)
+            elif isinstance(spec, ClassicalRegister):
+                cregs.append(spec)
+            elif isinstance(spec, (int, np.integer)):
+                if seen_ints == 0:
+                    anon_qubits = int(spec)
+                elif seen_ints == 1:
+                    anon_clbits = int(spec)
+                else:
+                    raise CircuitError("at most two integer sizes (qubits, clbits)")
+                seen_ints += 1
+            else:
+                raise CircuitError(f"invalid circuit spec {spec!r}")
+        if seen_ints and (qregs or cregs):
+            raise CircuitError("mix of anonymous sizes and registers not supported")
+        if anon_qubits:
+            qregs.append(QuantumRegister(anon_qubits, "q"))
+        if anon_clbits:
+            cregs.append(ClassicalRegister(anon_clbits, "c"))
+        names = [r.name for r in qregs]
+        if len(set(names)) != len(names):
+            raise CircuitError(f"duplicate quantum register names: {names}")
+        self.qregs = tuple(qregs)
+        self.cregs = tuple(cregs)
+        self.num_qubits = allocate(self.qregs)
+        self.num_clbits = allocate(self.cregs)
+        if self.num_qubits < 1:
+            raise CircuitError("circuit must have at least one qubit")
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        """The instruction list as an immutable tuple."""
+        return tuple(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self._instructions[idx]
+
+    def __repr__(self) -> str:
+        return (
+            f"<QuantumCircuit {self.name!r}: {self.num_qubits} qubits, "
+            f"{len(self._instructions)} ops>"
+        )
+
+    def get_qreg(self, name: str) -> QuantumRegister:
+        """Look up a quantum register by name."""
+        for reg in self.qregs:
+            if reg.name == name:
+                return reg
+        raise CircuitError(f"no quantum register named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _check_qubits(self, qubits: Sequence[int]) -> None:
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {q} out of range (circuit has {self.num_qubits})"
+                )
+
+    def append(
+        self,
+        gate: Gate,
+        qubits: Sequence[int],
+        clbits: Sequence[int] = (),
+    ) -> "QuantumCircuit":
+        """Append ``gate`` on global qubit indices ``qubits``; returns self."""
+        instr = Instruction(gate, qubits, clbits)
+        self._check_qubits(instr.qubits)
+        for c in instr.clbits:
+            if not 0 <= c < self.num_clbits:
+                raise CircuitError(
+                    f"clbit {c} out of range (circuit has {self.num_clbits})"
+                )
+        self._instructions.append(instr)
+        return self
+
+    # -- one-qubit gates ------------------------------------------------
+    def id(self, q: int) -> "QuantumCircuit":
+        """Append an identity gate."""
+        return self.append(G.IdGate(), [q])
+
+    def x(self, q: int) -> "QuantumCircuit":
+        """Append a Pauli-X gate."""
+        return self.append(G.XGate(), [q])
+
+    def y(self, q: int) -> "QuantumCircuit":
+        """Append a Pauli-Y gate."""
+        return self.append(G.YGate(), [q])
+
+    def z(self, q: int) -> "QuantumCircuit":
+        """Append a Pauli-Z gate."""
+        return self.append(G.ZGate(), [q])
+
+    def h(self, q: int) -> "QuantumCircuit":
+        """Append a Hadamard gate."""
+        return self.append(G.HGate(), [q])
+
+    def s(self, q: int) -> "QuantumCircuit":
+        """Append an S (sqrt-Z) gate."""
+        return self.append(G.SGate(), [q])
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        """Append an S-dagger gate."""
+        return self.append(G.SdgGate(), [q])
+
+    def t(self, q: int) -> "QuantumCircuit":
+        """Append a T (fourth-root-of-Z) gate."""
+        return self.append(G.TGate(), [q])
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        """Append a T-dagger gate."""
+        return self.append(G.TdgGate(), [q])
+
+    def sx(self, q: int) -> "QuantumCircuit":
+        """Append a sqrt-X gate (IBM basis)."""
+        return self.append(G.SXGate(), [q])
+
+    def sxdg(self, q: int) -> "QuantumCircuit":
+        """Append an inverse sqrt-X gate."""
+        return self.append(G.SXdgGate(), [q])
+
+    def p(self, lam: float, q: int) -> "QuantumCircuit":
+        """Append a phase gate P(lam)."""
+        return self.append(G.PhaseGate(lam), [q])
+
+    def rz(self, lam: float, q: int) -> "QuantumCircuit":
+        """Append an RZ(lam) rotation (IBM basis)."""
+        return self.append(G.RZGate(lam), [q])
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        """Append an RX(theta) rotation."""
+        return self.append(G.RXGate(theta), [q])
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        """Append an RY(theta) rotation."""
+        return self.append(G.RYGate(theta), [q])
+
+    def u(self, theta: float, phi: float, lam: float, q: int) -> "QuantumCircuit":
+        """Append the generic rotation U(theta, phi, lam)."""
+        return self.append(G.UGate(theta, phi, lam), [q])
+
+    # -- multi-qubit gates ----------------------------------------------
+    def cx(self, c: int, t: int) -> "QuantumCircuit":
+        """Append a CNOT with control ``c`` and target ``t``."""
+        return self.append(G.CXGate(), [c, t])
+
+    def cy(self, c: int, t: int) -> "QuantumCircuit":
+        """Append a controlled-Y."""
+        return self.append(G.CYGate(), [c, t])
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        """Append a controlled-Z (symmetric)."""
+        return self.append(G.CZGate(), [a, b])
+
+    def ch(self, c: int, t: int) -> "QuantumCircuit":
+        """Append a controlled-Hadamard."""
+        return self.append(G.CHGate(), [c, t])
+
+    def cp(self, lam: float, a: int, b: int) -> "QuantumCircuit":
+        """Append a controlled phase CP(lam) — the paper's R_l."""
+        return self.append(G.CPGate(lam), [a, b])
+
+    def crz(self, lam: float, c: int, t: int) -> "QuantumCircuit":
+        """Append a controlled-RZ."""
+        return self.append(G.CRZGate(lam), [c, t])
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        """Append a SWAP."""
+        return self.append(G.SwapGate(), [a, b])
+
+    def cswap(self, c: int, a: int, b: int) -> "QuantumCircuit":
+        """Append a Fredkin (controlled-SWAP)."""
+        return self.append(G.CSwapGate(), [c, a, b])
+
+    def ccx(self, c1: int, c2: int, t: int) -> "QuantumCircuit":
+        """Append a Toffoli."""
+        return self.append(G.CCXGate(), [c1, c2, t])
+
+    def ccp(self, lam: float, a: int, b: int, c: int) -> "QuantumCircuit":
+        """Append a doubly-controlled phase — the paper's cR_l."""
+        return self.append(G.CCPGate(lam), [a, b, c])
+
+    def cch(self, c1: int, c2: int, t: int) -> "QuantumCircuit":
+        """Append a doubly-controlled Hadamard."""
+        return self.append(G.CCHGate(), [c1, c2, t])
+
+    # -- non-unitary ops --------------------------------------------------
+    def measure(self, qubit: int, clbit: int) -> "QuantumCircuit":
+        """Measure ``qubit`` into classical bit ``clbit``."""
+        return self.append(G.MeasureOp(), [qubit], [clbit])
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure every qubit into classical bit of the same index.
+
+        Grows the classical register if needed.
+        """
+        if self.num_clbits < self.num_qubits:
+            extra = self.num_qubits - self.num_clbits
+            creg = ClassicalRegister(extra, f"meas{len(self.cregs)}")
+            self.cregs = self.cregs + (creg,)
+            self.num_clbits = allocate(self.cregs)
+        for q in range(self.num_qubits):
+            self.measure(q, q)
+        return self
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Append a barrier over ``qubits`` (default: all)."""
+        qs = list(qubits) if qubits else list(range(self.num_qubits))
+        return self.append(G.BarrierOp(len(qs)), qs)
+
+    def reset(self, q: int) -> "QuantumCircuit":
+        """Reset qubit ``q`` to |0>."""
+        return self.append(G.ResetOp(), [q])
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """A shallow copy (instructions are immutable; the list is new)."""
+        out = self._like(name or self.name)
+        out._instructions = list(self._instructions)
+        return out
+
+    def _like(self, name: str) -> "QuantumCircuit":
+        """An empty circuit with the same register structure."""
+        out = QuantumCircuit.__new__(QuantumCircuit)
+        out.name = name
+        out.qregs = self.qregs
+        out.cregs = self.cregs
+        out.num_qubits = self.num_qubits
+        out.num_clbits = self.num_clbits
+        out._instructions = []
+        return out
+
+    def compose(
+        self,
+        other: "QuantumCircuit",
+        qubits: Optional[Sequence[int]] = None,
+        clbits: Optional[Sequence[int]] = None,
+    ) -> "QuantumCircuit":
+        """Append ``other``'s instructions, mapped onto ``qubits``.
+
+        ``qubits[i]`` is the qubit of *self* that plays the role of
+        ``other``'s qubit ``i``.  Defaults to the identity mapping.
+        Modifies and returns ``self``.
+        """
+        if qubits is None:
+            if other.num_qubits > self.num_qubits:
+                raise CircuitError(
+                    f"cannot compose {other.num_qubits}-qubit circuit onto "
+                    f"{self.num_qubits}-qubit circuit without a qubit map"
+                )
+            qubits = list(range(other.num_qubits))
+        qubits = [int(q) for q in qubits]
+        if len(qubits) != other.num_qubits:
+            raise CircuitError(
+                f"qubit map has {len(qubits)} entries, expected {other.num_qubits}"
+            )
+        self._check_qubits(qubits)
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"qubit map {qubits} contains duplicates")
+        if clbits is None:
+            clbits = list(range(other.num_clbits))
+        for instr in other._instructions:
+            self.append(
+                instr.gate,
+                [qubits[q] for q in instr.qubits],
+                [clbits[c] for c in instr.clbits],
+            )
+        return self
+
+    def inverse(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """The adjoint circuit: reversed order, each gate inverted."""
+        out = self._like(name or f"{self.name}_dg")
+        for instr in reversed(self._instructions):
+            if not instr.gate.is_unitary:
+                if instr.gate.name == "barrier":
+                    out.append(instr.gate, instr.qubits)
+                    continue
+                raise CircuitError(
+                    f"cannot invert circuit containing {instr.gate.name!r}"
+                )
+            out.append(instr.gate.inverse(), instr.qubits)
+        return out
+
+    def controlled(self, num_controls: int = 1, name: Optional[str] = None) -> "QuantumCircuit":
+        """Gate-wise controlled version of this circuit.
+
+        The returned circuit has ``num_controls`` fresh control qubits
+        *prepended* (global indices ``0..num_controls-1``); every unitary
+        gate is replaced by its controlled counterpart.  Valid when the
+        circuit implements its unitary with no global-phase ambiguity
+        (true for all circuits built from the gate set here, since each
+        gate matrix is exact).
+        """
+        if num_controls < 1:
+            raise CircuitError("num_controls must be >= 1")
+        ctrl = QuantumRegister(num_controls, "ctrl")
+        out = QuantumCircuit(ctrl, *self.qregs, *self.cregs)
+        out.name = name or f"c{self.name}"
+        shift = num_controls
+        for instr in self._instructions:
+            if instr.gate.name == "barrier":
+                out.append(G.BarrierOp(len(instr.qubits)), [q + shift for q in instr.qubits])
+                continue
+            if not instr.gate.is_unitary:
+                raise CircuitError(
+                    f"cannot control circuit containing {instr.gate.name!r}"
+                )
+            cg = instr.gate.control(num_controls)
+            out.append(cg, list(ctrl.indices) + [q + shift for q in instr.qubits])
+        return out
+
+    def repeat(self, reps: int) -> "QuantumCircuit":
+        """This circuit applied ``reps`` times in sequence."""
+        if reps < 1:
+            raise CircuitError("reps must be >= 1")
+        out = self._like(f"{self.name}**{reps}")
+        for _ in range(reps):
+            out._instructions.extend(self._instructions)
+        return out
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def count_ops(self) -> Dict[str, int]:
+        """Occurrences of each op name, most common first."""
+        counts = Counter(instr.gate.name for instr in self._instructions)
+        return dict(counts.most_common())
+
+    def size(self) -> int:
+        """Number of operations excluding barriers."""
+        return sum(1 for i in self._instructions if i.gate.name != "barrier")
+
+    def width(self) -> int:
+        """Total number of qubits plus classical bits."""
+        return self.num_qubits + self.num_clbits
+
+    def depth(self) -> int:
+        """Circuit depth: longest path in the as-late-as-possible DAG.
+
+        Barriers synchronise their qubits without contributing depth.
+        """
+        level = [0] * (self.num_qubits + self.num_clbits)
+        for instr in self._instructions:
+            wires = list(instr.qubits) + [self.num_qubits + c for c in instr.clbits]
+            front = max(level[w] for w in wires)
+            if instr.gate.name == "barrier":
+                new = front
+            else:
+                new = front + 1
+            for w in wires:
+                level[w] = new
+        return max(level) if level else 0
+
+    def num_nonlocal_gates(self) -> int:
+        """Number of gates acting on two or more qubits."""
+        return sum(
+            1
+            for i in self._instructions
+            if i.gate.num_qubits >= 2 and i.gate.name != "barrier"
+        )
+
+    def has_measurements(self) -> bool:
+        """Whether any measure op is present."""
+        return any(i.gate.name == "measure" for i in self._instructions)
+
+    def remove_final_measurements(self) -> "QuantumCircuit":
+        """Copy with all measure/barrier ops dropped."""
+        out = self._like(self.name)
+        out._instructions = [
+            i
+            for i in self._instructions
+            if i.gate.name not in ("measure", "barrier")
+        ]
+        return out
+
+    # ------------------------------------------------------------------
+    # Matrix form (small circuits; testing/verification)
+    # ------------------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """The full unitary (little-endian), for circuits of <= 12 qubits."""
+        if self.num_qubits > 12:
+            raise CircuitError("to_matrix limited to 12 qubits")
+        from ..sim.ops import apply_gate_matrix  # local import: avoid cycle
+
+        dim = 2**self.num_qubits
+        mat = np.eye(dim, dtype=complex)
+        # Evolve the columns of the identity as a batch of states.
+        state = mat.T.copy()  # (dim, dim): batch of basis states
+        for instr in self._instructions:
+            if instr.gate.name == "barrier":
+                continue
+            if not instr.gate.is_unitary:
+                raise CircuitError(
+                    f"cannot build matrix with {instr.gate.name!r} present"
+                )
+            state = apply_gate_matrix(
+                state, instr.gate.matrix, instr.qubits, self.num_qubits
+            )
+        return state.T.copy()
+
+    def draw(self) -> str:
+        """ASCII rendering (see :mod:`repro.circuits.visualization`)."""
+        from .visualization import draw_text
+
+        return draw_text(self)

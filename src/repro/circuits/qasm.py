@@ -1,0 +1,214 @@
+"""OpenQASM 2.0 export / import.
+
+Interoperability with the rest of the quantum toolchain the paper's
+stack lives in: circuits dump to OpenQASM 2.0 text (``qelib1.inc``
+vocabulary) and parse back.  The subset covers every gate this library
+emits — enough to round-trip any transpiled or logical arithmetic
+circuit, and to load QFT-arithmetic circuits produced by Qiskit.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from . import gates as G
+from .circuit import QuantumCircuit
+from .registers import ClassicalRegister, QuantumRegister
+
+__all__ = ["to_qasm", "from_qasm", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised on malformed QASM input or unexportable circuits."""
+
+
+# library gate name -> qasm name (identical unless listed).
+_EXPORT_NAMES = {
+    "ccp": None,  # handled via a gate definition
+    "cch": None,
+}
+
+_QASM_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+# qelib1 has no ccp/cch; emit explicit gate definitions built from
+# primitives it does have.
+_CCP_DEF = (
+    "gate ccp(lambda) a,b,c\n{\n"
+    "  cp(lambda/2) b,c;\n  cx a,b;\n  cp(-lambda/2) b,c;\n"
+    "  cx a,b;\n  cp(lambda/2) a,c;\n}\n"
+)
+_CCH_DEF = (
+    "gate cch(dummy) a,b,c\n{\n"
+    "  s c; h c; t c;\n  ccx a,b,c;\n  tdg c; h c; sdg c;\n}\n"
+)
+
+
+def _fmt_angle(x: float) -> str:
+    """Angles as exact pi fractions when possible, else decimals."""
+    frac = x / math.pi
+    for denom in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024):
+        num = frac * denom
+        if abs(num - round(num)) < 1e-12 and abs(num) < 1e6:
+            num = int(round(num))
+            if num == 0:
+                return "0"
+            sign = "-" if num < 0 else ""
+            num = abs(num)
+            if denom == 1:
+                return f"{sign}{num}*pi" if num != 1 else f"{sign}pi"
+            if num == 1:
+                return f"{sign}pi/{denom}"
+            return f"{sign}{num}*pi/{denom}"
+    return repr(x)
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise ``circuit`` to OpenQASM 2.0."""
+    lines: List[str] = [_QASM_HEADER.rstrip("\n")]
+    names = {i.gate.name for i in circuit}
+    if "ccp" in names:
+        lines.append(_CCP_DEF.rstrip("\n"))
+    if "cch" in names:
+        lines.append(_CCH_DEF.rstrip("\n"))
+    for reg in circuit.qregs:
+        lines.append(f"qreg {reg.name}[{reg.size}];")
+    for reg in circuit.cregs:
+        lines.append(f"creg {reg.name}[{reg.size}];")
+
+    def q(idx: int) -> str:
+        for reg in circuit.qregs:
+            if reg.offset <= idx < reg.offset + reg.size:
+                return f"{reg.name}[{idx - reg.offset}]"
+        raise QasmError(f"qubit {idx} not in any register")
+
+    def c(idx: int) -> str:
+        for reg in circuit.cregs:
+            if reg.offset <= idx < reg.offset + reg.size:
+                return f"{reg.name}[{idx - reg.offset}]"
+        raise QasmError(f"clbit {idx} not in any register")
+
+    for instr in circuit:
+        name = instr.gate.name
+        qubits = ", ".join(q(i) for i in instr.qubits)
+        if name == "measure":
+            lines.append(f"measure {q(instr.qubits[0])} -> {c(instr.clbits[0])};")
+            continue
+        if name == "barrier":
+            lines.append(f"barrier {qubits};")
+            continue
+        if name == "reset":
+            lines.append(f"reset {qubits};")
+            continue
+        if name == "cch":
+            # Our cch carries no parameter but the def needs one slot.
+            lines.append(f"cch(0) {qubits};")
+            continue
+        if name not in G.GATE_BUILDERS:
+            raise QasmError(f"gate {name!r} has no QASM export")
+        if instr.gate.params:
+            params = ", ".join(_fmt_angle(p) for p in instr.gate.params)
+            lines.append(f"{name}({params}) {qubits};")
+        else:
+            lines.append(f"{name} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+_TOKEN_RE = re.compile(
+    r"^\s*(?P<name>[a-zA-Z_][\w]*)\s*(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[^;]*);\s*$"
+)
+_REG_RE = re.compile(r"^\s*(qreg|creg)\s+([a-zA-Z_]\w*)\s*\[(\d+)\]\s*;\s*$")
+_MEASURE_RE = re.compile(
+    r"^\s*measure\s+([a-zA-Z_]\w*)\[(\d+)\]\s*->\s*([a-zA-Z_]\w*)\[(\d+)\]\s*;\s*$"
+)
+
+_SAFE_EVAL = {"pi": math.pi, "sin": math.sin, "cos": math.cos,
+              "sqrt": math.sqrt, "exp": math.exp, "ln": math.log}
+
+
+def _eval_angle(expr: str) -> float:
+    expr = expr.strip()
+    if not re.fullmatch(r"[\d\s\.\+\-\*/\(\)a-z_]*", expr):
+        raise QasmError(f"unsupported angle expression {expr!r}")
+    try:
+        return float(eval(expr, {"__builtins__": {}}, _SAFE_EVAL))
+    except Exception as exc:  # pragma: no cover - message path
+        raise QasmError(f"cannot evaluate angle {expr!r}: {exc}") from exc
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 into a :class:`QuantumCircuit`.
+
+    Supports the qelib1 subset this library exports (including the
+    ``ccp``/``cch`` definitions, which are recognised by name rather
+    than re-expanded).  Gate *definitions* other than those two are
+    skipped; ``if`` statements and opaque gates are rejected.
+    """
+    # Strip comments and the gate definitions we recognise by name.
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"gate\s+\w+[^{]*\{[^}]*\}", "", text)
+    qregs: Dict[str, QuantumRegister] = {}
+    cregs: Dict[str, ClassicalRegister] = {}
+    body: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("OPENQASM", "include")):
+            continue
+        m = _REG_RE.match(line)
+        if m:
+            kind, name, size = m.group(1), m.group(2), int(m.group(3))
+            if kind == "qreg":
+                qregs[name] = QuantumRegister(size, name)
+            else:
+                cregs[name] = ClassicalRegister(size, name)
+            continue
+        if line.startswith("if"):
+            raise QasmError("classical control ('if') not supported")
+        body.append(line)
+    if not qregs:
+        raise QasmError("no qreg declared")
+    circ = QuantumCircuit(*qregs.values(), *cregs.values())
+
+    def qidx(tok: str) -> int:
+        m = re.fullmatch(r"([a-zA-Z_]\w*)\[(\d+)\]", tok.strip())
+        if not m or m.group(1) not in qregs:
+            raise QasmError(f"bad qubit reference {tok!r}")
+        return qregs[m.group(1)][int(m.group(2))]
+
+    for line in body:
+        m = _MEASURE_RE.match(line)
+        if m:
+            qreg, qi, creg, ci = m.groups()
+            circ.measure(qregs[qreg][int(qi)], cregs[creg][int(ci)])
+            continue
+        m = _TOKEN_RE.match(line)
+        if not m:
+            raise QasmError(f"cannot parse line {line!r}")
+        name = m.group("name")
+        args = [a for a in m.group("args").split(",") if a.strip()]
+        if name == "barrier":
+            circ.barrier(*[qidx(a) for a in args])
+            continue
+        if name == "reset":
+            circ.reset(qidx(args[0]))
+            continue
+        params: Tuple[float, ...] = ()
+        if m.group("params") is not None:
+            params = tuple(
+                _eval_angle(p) for p in m.group("params").split(",") if p.strip()
+            )
+        if name == "cch":
+            params = ()
+        if name == "u1":
+            name, params = "p", params
+        elif name == "u2":
+            phi, lam = params
+            name, params = "u", (math.pi / 2, phi, lam)
+        elif name == "u3":
+            name = "u"
+        if name not in G.GATE_BUILDERS:
+            raise QasmError(f"unknown gate {name!r}")
+        circ.append(G.make_gate(name, *params), [qidx(a) for a in args])
+    return circ

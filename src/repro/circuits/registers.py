@@ -1,0 +1,92 @@
+"""Quantum and classical registers.
+
+A register is a named, contiguous window onto a circuit's qubit (or
+classical bit) indices.  Registers exist for readability of arithmetic
+circuits — the operand register ``x``, the target register ``y``, the
+product register ``z`` — and for slicing measurement outcomes back into
+per-register integers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+__all__ = ["QuantumRegister", "ClassicalRegister", "RegisterError"]
+
+
+class RegisterError(ValueError):
+    """Raised for malformed register construction or use."""
+
+
+class _BaseRegister:
+    """Common behaviour of quantum and classical registers."""
+
+    __slots__ = ("name", "size", "offset")
+
+    def __init__(self, size: int, name: str) -> None:
+        if size < 1:
+            raise RegisterError(f"register {name!r} must have size >= 1, got {size}")
+        if not name or not name.replace("_", "").isalnum():
+            raise RegisterError(f"invalid register name {name!r}")
+        self.name = name
+        self.size = int(size)
+        # Global index of bit 0; assigned when added to a circuit.
+        self.offset: int = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, key):
+        """Global index (or list of indices) for local bit(s) ``key``."""
+        if isinstance(key, slice):
+            return [self.offset + i for i in range(*key.indices(self.size))]
+        idx = int(key)
+        if idx < 0:
+            idx += self.size
+        if not 0 <= idx < self.size:
+            raise RegisterError(
+                f"bit {key} out of range for register {self.name!r} "
+                f"of size {self.size}"
+            )
+        return self.offset + idx
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.offset, self.offset + self.size))
+
+    @property
+    def indices(self) -> List[int]:
+        """All global indices covered by this register, LSB first."""
+        return list(self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.size}, {self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _BaseRegister):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self.name == other.name
+            and self.size == other.size
+            and self.offset == other.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name, self.size, self.offset))
+
+
+class QuantumRegister(_BaseRegister):
+    """A named window of qubits; local qubit 0 is the integer LSB."""
+
+
+class ClassicalRegister(_BaseRegister):
+    """A named window of classical bits for measurement outcomes."""
+
+
+def allocate(registers: Tuple[_BaseRegister, ...]) -> int:
+    """Assign contiguous offsets to ``registers``; return the total size."""
+    total = 0
+    for reg in registers:
+        reg.offset = total
+        total += reg.size
+    return total

@@ -1,0 +1,77 @@
+"""ASCII circuit rendering.
+
+A compact text drawer good enough to eyeball QFT/QFA/QFM structure in a
+terminal or test failure output.  One line per qubit; gates are drawn in
+program order, controls as ``*`` joined to their box by ``|`` on the
+intervening wires.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["draw_text"]
+
+_MAX_COLUMNS = 400
+
+
+def _gate_label(instr) -> str:
+    g = instr.gate
+    if g.params:
+        # Angles in units of pi read naturally for QFT rotations.
+        import math
+
+        vals = []
+        for p in g.params:
+            frac = p / math.pi
+            if abs(frac - round(frac, 4)) < 1e-9 and abs(frac) < 100:
+                vals.append(f"{round(frac, 4):g}pi" if frac != 0 else "0")
+            else:
+                vals.append(f"{p:.3g}")
+        return f"{g.name}({','.join(vals)})"
+    return g.name
+
+
+def draw_text(circuit) -> str:
+    """Render ``circuit`` as ASCII art, one row per qubit."""
+    n = circuit.num_qubits
+    labels: List[str] = []
+    for reg in circuit.qregs:
+        for i in range(reg.size):
+            labels.append(f"{reg.name}[{i}]")
+    width = max((len(s) for s in labels), default=0)
+    rows = [[f"{lab:>{width}}: "] for lab in labels]
+
+    for instr in circuit.instructions:
+        g = instr.gate
+        if g.name == "barrier":
+            for q in range(n):
+                rows[q].append("|" if q in instr.qubits else "-")
+            continue
+        if g.name == "measure":
+            cell = "[M]"
+        else:
+            ncq = g.num_ctrl_qubits
+            label = _gate_label(instr)
+            cell = f"[{label}]"
+        lo, hi = min(instr.qubits), max(instr.qubits)
+        ncq = g.num_ctrl_qubits
+        controls = set(instr.qubits[:ncq])
+        targets = [q for q in instr.qubits if q not in controls]
+        w = max(len(cell), 3)
+        for q in range(n):
+            if q in controls:
+                rows[q].append("*".center(w, "-"))
+            elif q in targets:
+                rows[q].append(cell.center(w, "-"))
+            elif lo < q < hi:
+                rows[q].append("|".center(w, "-"))
+            else:
+                rows[q].append("-" * w)
+
+    lines = ["".join(cells) for cells in rows]
+    lines = [
+        ln if len(ln) <= _MAX_COLUMNS else ln[: _MAX_COLUMNS - 3] + "..."
+        for ln in lines
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""The paper's primary contribution: QFT/AQFT-based integer arithmetic."""
+
+from .adders import (
+    add_step_gate_counts,
+    add_step_on,
+    constant_adder_circuit,
+    cqfa_circuit,
+    qfa_circuit,
+    qfs_circuit,
+)
+from .extensions import (
+    inner_product_circuit,
+    inner_product_width,
+    square_circuit,
+    weighted_sum_circuit,
+    weighted_sum_width,
+)
+from .modular import modular_constant_adder, phase_add_constant
+from .multipliers import constant_multiplier_circuit, qfm_circuit
+from .qft import (
+    controlled_qft_circuit,
+    effective_depth,
+    iqft_circuit,
+    qft_circuit,
+    qft_gate_counts,
+    qft_on,
+    rotation_angle,
+)
+from .qint import (
+    QInteger,
+    QIntegerError,
+    decode_twos_complement,
+    encode_twos_complement,
+    signed_range,
+    unsigned_range,
+)
+from .stateprep import initialize_qinteger, mux_rotation_on, prepare_state
+
+__all__ = [
+    "QInteger",
+    "QIntegerError",
+    "encode_twos_complement",
+    "decode_twos_complement",
+    "signed_range",
+    "unsigned_range",
+    "qft_circuit",
+    "iqft_circuit",
+    "qft_on",
+    "controlled_qft_circuit",
+    "qft_gate_counts",
+    "rotation_angle",
+    "effective_depth",
+    "qfa_circuit",
+    "qfs_circuit",
+    "cqfa_circuit",
+    "add_step_on",
+    "add_step_gate_counts",
+    "constant_adder_circuit",
+    "qfm_circuit",
+    "constant_multiplier_circuit",
+    "weighted_sum_circuit",
+    "weighted_sum_width",
+    "square_circuit",
+    "inner_product_circuit",
+    "inner_product_width",
+    "modular_constant_adder",
+    "phase_add_constant",
+    "prepare_state",
+    "initialize_qinteger",
+    "mux_rotation_on",
+]

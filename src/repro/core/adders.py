@@ -1,0 +1,179 @@
+"""Quantum Fourier Addition (QFA) and relatives (paper §3).
+
+The Draper adder: transform the target register into the Fourier basis,
+add the other operand's magnitude by controlled phase rotations, and
+transform back::
+
+    |x> |y>  ->  |x> |x + y>
+
+``qfa_circuit`` builds the full pipeline; ``add_step_on`` exposes the
+middle stage (Fig. 2) for fused constructions.  Both the QFT depth (the
+paper's AQFT sweep axis) and the *add-step* depth (the approximation the
+paper defers to future work — our E9 ablation) are parameters.
+
+Register convention: ``x`` is the preserved addend (``n`` qubits, global
+indices first), ``y`` the updated target (``m`` qubits).  Non-modular
+addition (paper default) uses ``m = n + 1`` so no overflow occurs;
+``m = n`` computes addition mod ``2**n`` — the variant whose transpiled
+gate counts match the paper's Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.registers import QuantumRegister
+from .qft import effective_depth, qft_on, rotation_angle
+
+__all__ = [
+    "add_step_on",
+    "qfa_circuit",
+    "cqfa_circuit",
+    "qfs_circuit",
+    "constant_adder_circuit",
+    "add_step_gate_counts",
+]
+
+
+def add_step_on(
+    circuit: QuantumCircuit,
+    x_qubits: Sequence[int],
+    y_qubits: Sequence[int],
+    add_depth: Optional[int] = None,
+    subtract: bool = False,
+) -> QuantumCircuit:
+    """Append the Fourier-space addition step (paper Fig. 2).
+
+    Target qubit ``j`` (LSB = 0) accumulates phase ``2*pi*x / 2**(j+1)``:
+    a rotation ``R_{j-k+1}`` from each ``x_k`` with ``k <= j``.
+    ``add_depth=d`` keeps only rotations ``R_l`` with ``l <= d``
+    (the approximate add step); ``None`` keeps all.  ``subtract=True``
+    negates every angle, turning the adder into a subtractor.
+    """
+    n = len(x_qubits)
+    m = len(y_qubits)
+    d = add_depth if add_depth is not None else m
+    if d < 1:
+        raise ValueError(f"add_depth must be >= 1, got {d}")
+    sign = -1.0 if subtract else 1.0
+    # Match Fig. 2's temporal order: most-significant target first,
+    # within each target from the shallowest rotation down.
+    for j in range(m - 1, -1, -1):
+        for k in range(min(j, n - 1), -1, -1):
+            l = j - k + 1
+            if l > d:
+                continue
+            circuit.cp(sign * rotation_angle(l), x_qubits[k], y_qubits[j])
+    return circuit
+
+
+def add_step_gate_counts(
+    n: int, m: int, add_depth: Optional[int] = None
+) -> dict:
+    """Closed-form logical CP count of the add step."""
+    d = add_depth if add_depth is not None else m
+    cp = 0
+    for j in range(m):
+        for k in range(min(j, n - 1), -1, -1):
+            if j - k + 1 <= d:
+                cp += 1
+    return {"cp": cp}
+
+
+def qfa_circuit(
+    n: int,
+    m: Optional[int] = None,
+    depth: Optional[int] = None,
+    add_depth: Optional[int] = None,
+    subtract: bool = False,
+) -> QuantumCircuit:
+    """The full QFA: ``|x>|y> -> |x>|x + y mod 2**m>``.
+
+    Parameters
+    ----------
+    n:
+        Width of the preserved addend register ``x``.
+    m:
+        Width of the updated register ``y``; default ``n + 1``
+        (non-modular).  ``m = n`` gives addition mod ``2**n``.
+    depth:
+        AQFT approximation depth for the QFT / inverse QFT stages.
+    add_depth:
+        Optional truncation of the addition step (E9 ablation).
+    subtract:
+        Build ``|x>|y> -> |x>|y - x mod 2**m>`` instead.
+    """
+    if m is None:
+        m = n + 1
+    if m < 1 or n < 1:
+        raise ValueError("register widths must be >= 1")
+    x = QuantumRegister(n, "x")
+    y = QuantumRegister(m, "y")
+    qc = QuantumCircuit(x, y)
+    d = effective_depth(m, depth)
+    qc.name = f"{'qfs' if subtract else 'qfa'}(n={n}, m={m}, d={d})"
+    qft_on(qc, list(y), depth)
+    add_step_on(qc, list(x), list(y), add_depth, subtract)
+    qft_on(qc, list(y), depth, inverse=True)
+    return qc
+
+
+def qfs_circuit(
+    n: int,
+    m: Optional[int] = None,
+    depth: Optional[int] = None,
+    add_depth: Optional[int] = None,
+) -> QuantumCircuit:
+    """Quantum Fourier subtraction: ``|x>|y> -> |x>|y - x mod 2**m>``.
+
+    In two's complement the modular wrap *is* the correct signed result
+    whenever it is representable (paper §5's signed extension).
+    """
+    return qfa_circuit(n, m, depth, add_depth, subtract=True)
+
+
+def cqfa_circuit(
+    n: int,
+    m: Optional[int] = None,
+    depth: Optional[int] = None,
+    add_depth: Optional[int] = None,
+) -> QuantumCircuit:
+    """The controlled QFA of paper §3 (Eq. 7 block diagram).
+
+    Qubit 0 is the control ``c``; the ``x`` register follows, then ``y``.
+    Every H becomes cH and every CP becomes ccP, exactly as the paper
+    defines cQFT / cadd / cQFT^-1.
+    """
+    return qfa_circuit(n, m, depth, add_depth).controlled(1)
+
+
+def constant_adder_circuit(
+    n: int,
+    constant: int,
+    depth: Optional[int] = None,
+    modular: bool = True,
+) -> QuantumCircuit:
+    """Add a *classical* constant: ``|y> -> |y + constant mod 2**m>``.
+
+    The paper §3 closing remark: when one addend is a single classical
+    integer, the controlled rotations collapse to plain one-qubit phase
+    gates whose angles depend on the constant — a shorter, shallower
+    circuit.  ``modular=False`` widens the register by one qubit.
+    """
+    m = n if modular else n + 1
+    y = QuantumRegister(m, "y")
+    qc = QuantumCircuit(y)
+    qc.name = f"const_add({constant}, m={m})"
+    qft_on(qc, list(y), depth)
+    const = constant % (1 << m)
+    for j in range(m):
+        # Phase 2*pi * const / 2**(j+1) on target j; multiples of 2*pi
+        # drop out exactly like rotations beyond the register.
+        angle = 2.0 * math.pi * const / (1 << (j + 1))
+        angle %= 2.0 * math.pi
+        if angle:
+            qc.p(angle, y[j])
+    qft_on(qc, list(y), depth, inverse=True)
+    return qc

@@ -1,0 +1,166 @@
+"""Extended QFT arithmetic: the paper's motivating workloads.
+
+The introduction motivates quantum arithmetic with "weighted sum
+optimization problems in data processing and machine learning, and
+quantum algorithms requiring inner products"; §3's closing remark notes
+the classical-operand specialisations.  This module builds those
+composite circuits from the same Fourier-space machinery:
+
+* :func:`weighted_sum_circuit` — ``acc += sum_i w_i * x_i`` for
+  *classical* integer weights ``w_i`` and quantum operands ``x_i``
+  (one QFT, singly-controlled phases, one inverse QFT).
+* :func:`square_circuit` — ``z += x**2`` (the diagonal of QFM: qubit
+  pairs (i, k) with i != k contribute doubly-controlled phases; i = k
+  collapses to singly-controlled since ``x_i**2 = x_i``).
+* :func:`inner_product_circuit` — ``acc += sum_p x_p . y_p`` over ``k``
+  operand pairs, the tensor-extension direction of paper §5, fused under
+  a single transform of the accumulator.
+
+All are modular in the accumulator width (wrap mod ``2**width``), so
+callers size the accumulator to avoid overflow; helpers below compute
+the safe widths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.registers import QuantumRegister
+from .qft import qft_on, rotation_angle
+
+__all__ = [
+    "weighted_sum_circuit",
+    "weighted_sum_width",
+    "square_circuit",
+    "inner_product_circuit",
+    "inner_product_width",
+]
+
+
+def weighted_sum_width(weights: Sequence[int], n: int) -> int:
+    """Accumulator width that can hold ``sum |w_i| * (2**n - 1)``."""
+    total = sum(abs(int(w)) for w in weights) * ((1 << n) - 1)
+    return max(1, total.bit_length())
+
+
+def weighted_sum_circuit(
+    weights: Sequence[int],
+    n: int,
+    acc_width: Optional[int] = None,
+    depth: Optional[int] = None,
+) -> QuantumCircuit:
+    """``|x_0>...|x_{k-1}>|acc> -> ... |acc + sum_i w_i x_i>``.
+
+    Each weight is classical, so every phase rotation needs only a
+    single control (paper §3's remark) — the circuit stays CP-only
+    regardless of how many terms the sum has.  Negative weights
+    subtract, wrapping mod ``2**acc_width`` (two's complement semantics).
+    """
+    weights = [int(w) for w in weights]
+    if not weights:
+        raise ValueError("need at least one weight")
+    if n < 1:
+        raise ValueError("operand width must be >= 1")
+    if acc_width is None:
+        acc_width = weighted_sum_width(weights, n)
+    regs = [QuantumRegister(n, f"x{i}") for i in range(len(weights))]
+    acc = QuantumRegister(acc_width, "acc")
+    qc = QuantumCircuit(*regs, acc)
+    qc.name = f"weighted_sum({weights}, n={n})"
+    mod = 1 << acc_width
+
+    qft_on(qc, list(acc), depth)
+    for j in range(acc_width - 1, -1, -1):
+        base = rotation_angle(j + 1)  # 2*pi / 2**(j+1)
+        for w, reg in zip(weights, regs):
+            for b in range(n):
+                # x_i bit b contributes w * 2**b to the sum.
+                coeff = (w << b) % mod
+                angle = base * (coeff % (1 << (j + 1)))
+                if angle % (2.0 * math.pi):
+                    qc.cp(angle, reg[b], acc[j])
+    qft_on(qc, list(acc), depth, inverse=True)
+    return qc
+
+
+def square_circuit(n: int, depth: Optional[int] = None) -> QuantumCircuit:
+    """``|x>|z> -> |x>|z + x**2 mod 2**(2n)>``.
+
+    ``x**2 = sum_i x_i 4**i + sum_{i<k} x_i x_k 2**(i+k+1)``: the
+    diagonal terms are singly controlled (``x_i**2 = x_i``), the cross
+    terms doubly controlled.
+    """
+    if n < 1:
+        raise ValueError("operand width must be >= 1")
+    x = QuantumRegister(n, "x")
+    z = QuantumRegister(2 * n, "z")
+    qc = QuantumCircuit(x, z)
+    qc.name = f"square(n={n})"
+    width = 2 * n
+    mod = 1 << width
+
+    qft_on(qc, list(z), depth)
+    for j in range(width - 1, -1, -1):
+        base = rotation_angle(j + 1)
+        for i in range(n):
+            coeff = (1 << (2 * i)) % mod
+            angle = base * (coeff % (1 << (j + 1)))
+            if angle % (2.0 * math.pi):
+                qc.cp(angle, x[i], z[j])
+            for k in range(i + 1, n):
+                coeff = (1 << (i + k + 1)) % mod
+                angle = base * (coeff % (1 << (j + 1)))
+                if angle % (2.0 * math.pi):
+                    qc.ccp(angle, x[i], x[k], z[j])
+    qft_on(qc, list(z), depth, inverse=True)
+    return qc
+
+
+def inner_product_width(n: int, m: int, k: int) -> int:
+    """Accumulator width for ``sum of k`` products of n- and m-bit ints."""
+    total = k * ((1 << n) - 1) * ((1 << m) - 1)
+    return max(1, total.bit_length())
+
+
+def inner_product_circuit(
+    n: int,
+    k: int,
+    m: Optional[int] = None,
+    acc_width: Optional[int] = None,
+    depth: Optional[int] = None,
+) -> QuantumCircuit:
+    """``|x_0>|y_0>...|x_{k-1}>|y_{k-1}>|acc> -> ...|acc + sum x_p y_p>``.
+
+    The vector inner product the paper's §5 "tensor extensions" point
+    at: every pair contributes its fused-QFM phases under one shared
+    accumulator transform, so the transform cost is paid once, not
+    ``k`` times.
+    """
+    if m is None:
+        m = n
+    if n < 1 or m < 1 or k < 1:
+        raise ValueError("n, m, k must all be >= 1")
+    if acc_width is None:
+        acc_width = inner_product_width(n, m, k)
+    regs: List[QuantumRegister] = []
+    for p in range(k):
+        regs.append(QuantumRegister(n, f"x{p}"))
+        regs.append(QuantumRegister(m, f"y{p}"))
+    acc = QuantumRegister(acc_width, "acc")
+    qc = QuantumCircuit(*regs, acc)
+    qc.name = f"inner_product(n={n}, m={m}, k={k})"
+
+    qft_on(qc, list(acc), depth)
+    for j in range(acc_width - 1, -1, -1):
+        for p in range(k):
+            xr, yr = regs[2 * p], regs[2 * p + 1]
+            for i in range(n):
+                for b in range(m):
+                    l = j - i - b + 1
+                    if l < 1:
+                        continue
+                    qc.ccp(rotation_angle(l), xr[i], yr[b], acc[j])
+    qft_on(qc, list(acc), depth, inverse=True)
+    return qc

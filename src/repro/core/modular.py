@@ -1,0 +1,106 @@
+"""Modular arithmetic (paper §1/§5: the mod-N extension direction).
+
+Addition mod ``2**n`` falls out of the plain QFA with ``m = n`` (the
+register wraps naturally); this module adds the nontrivial case —
+addition modulo an arbitrary ``N`` — via the Beauregard construction:
+a Fourier-space constant adder plus one ancilla that detects and
+corrects overflow:
+
+    |b> |0>  ->  |(b + a) mod N> |0>        (0 <= a, b < N)
+
+The ancilla is returned to |0> (uncomputed), so the circuit composes.
+This is the building block Shor's algorithm stacks into modular
+multiplication and exponentiation — the paper's original motivation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.registers import QuantumRegister
+from .qft import qft_on
+
+__all__ = [
+    "phase_add_constant",
+    "modular_constant_adder",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def phase_add_constant(
+    circuit: QuantumCircuit,
+    qubits: Sequence[int],
+    constant: int,
+    control: Optional[int] = None,
+) -> QuantumCircuit:
+    """Fourier-space constant addition: phases ``2*pi*c / 2**(j+1)``.
+
+    Assumes ``qubits`` currently hold a Fourier-transformed register
+    (paper Fig. 2 with classical controls collapsed to plain phases, §3
+    closing remark).  Negative constants subtract.  With ``control``
+    set, every phase becomes a controlled phase.
+    """
+    m = len(qubits)
+    const = int(constant) % (1 << m)
+    for j in range(m):
+        angle = (_TWO_PI * (const % (1 << (j + 1)))) / (1 << (j + 1))
+        angle %= _TWO_PI
+        if not angle:
+            continue
+        if control is None:
+            circuit.p(angle, qubits[j])
+        else:
+            circuit.cp(angle, control, qubits[j])
+    return circuit
+
+
+def modular_constant_adder(
+    n: int,
+    a: int,
+    N: int,
+    depth: Optional[int] = None,
+) -> QuantumCircuit:
+    """Beauregard adder: ``|b>|0> -> |(b + a) mod N>|0>`` for ``b < N``.
+
+    Registers: ``b`` of ``n + 1`` qubits (the top qubit is the overflow
+    sentinel and must start 0, which holds whenever ``b < N <= 2**n -
+    1``), and a one-qubit ancilla ``anc``.
+
+    The construction: add ``a``, subtract ``N``; if that underflowed
+    (top qubit set), the ancilla-controlled re-addition of ``N``
+    restores the representative; the final subtract/re-add pair
+    uncomputes the ancilla.  ``depth`` truncates every internal (A)QFT.
+    """
+    if not 1 <= N <= (1 << n) - 1:
+        raise ValueError(f"N must be in [1, 2**n - 1], got {N}")
+    if not 0 <= a < N:
+        raise ValueError(f"a must satisfy 0 <= a < N, got {a}")
+    b = QuantumRegister(n + 1, "b")
+    anc = QuantumRegister(1, "anc")
+    qc = QuantumCircuit(b, anc)
+    qc.name = f"mod_add({a} mod {N}, n={n})"
+    bq = list(b)
+    msb = b[n]
+
+    qft_on(qc, bq, depth)
+    phase_add_constant(qc, bq, a)
+    phase_add_constant(qc, bq, -N)
+    # Overflow test: (b + a - N) < 0 sets the top qubit after iQFT.
+    qft_on(qc, bq, depth, inverse=True)
+    qc.cx(msb, anc[0])
+    qft_on(qc, bq, depth)
+    phase_add_constant(qc, bq, N, control=anc[0])
+    # Uncompute: subtract a; the top qubit is now 1 exactly when the
+    # correction did NOT fire, so invert it into the ancilla.
+    phase_add_constant(qc, bq, -a)
+    qft_on(qc, bq, depth, inverse=True)
+    qc.x(msb)
+    qc.cx(msb, anc[0])
+    qc.x(msb)
+    qft_on(qc, bq, depth)
+    phase_add_constant(qc, bq, a)
+    qft_on(qc, bq, depth, inverse=True)
+    return qc

@@ -1,0 +1,137 @@
+"""Quantum Fourier Multiplication (paper §3, Fig. 4).
+
+The weighted-sum strategy of Ruiz-Perez: both multiplicands are
+preserved, and a product register ``z`` of ``n + m`` qubits (initially 0)
+accumulates ``x * y``::
+
+    |x> |y> |z>  ->  |x> |y> |z + x*y mod 2**(n+m)>
+
+Two equivalent constructions are provided:
+
+``strategy="cqfa"`` (the paper's Fig. 4)
+    Step ``i`` applies a controlled QFA — control ``x_i``, source ``y``,
+    target the ``m+1``-qubit slice ``z[i : i+m+1]`` — adding
+    ``x_i * 2**i * y``.  Each step carries its own cQFT / cQFT^-1 pair;
+    the slice arithmetic is exact because the partial sum above bit ``i``
+    always fits in ``m+1`` bits (see DESIGN.md).  This is the circuit
+    whose transpiled gate counts reproduce the paper's Table I.
+
+``strategy="fused"``
+    One QFT over all of ``z``, every ``ccp(2*pi/2**(j-i-k+1), x_i, y_k,
+    z_j)`` rotation, one inverse QFT — fewer gates, same unitary.  Used
+    as a cross-check and as an ablation subject.
+
+The AQFT ``depth`` applies to every (c)QFT stage, in the same convention
+as :mod:`repro.core.qft`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.registers import QuantumRegister
+from .adders import qfa_circuit
+from .qft import effective_depth, qft_on, rotation_angle
+
+__all__ = ["qfm_circuit", "constant_multiplier_circuit"]
+
+
+def qfm_circuit(
+    n: int,
+    m: Optional[int] = None,
+    depth: Optional[int] = None,
+    add_depth: Optional[int] = None,
+    strategy: str = "cqfa",
+    signed: bool = False,
+) -> QuantumCircuit:
+    """Build the QFM: ``|x>|y>|z> -> |x>|y>|z + x*y>``.
+
+    Registers in qubit order: ``x`` (``n``), ``y`` (``m``, default
+    ``n``), ``z`` (``n + m``).  ``depth`` is the AQFT approximation
+    depth; ``add_depth`` optionally truncates the (c)add steps.
+
+    ``signed=True`` builds the *signed* QFM the paper's §5 lists as
+    future work: operands are two's complement, so bit ``n-1`` of ``x``
+    carries weight ``-2**(n-1)`` (and likewise for ``y``), which simply
+    negates the corresponding Fourier rotation angles.  The product
+    lands in ``z`` as an ``(n+m)``-bit two's complement value.  Only the
+    ``fused`` strategy supports signed mode (the slice-wise cQFA form
+    relies on non-negative partial sums).
+    """
+    if m is None:
+        m = n
+    if n < 1 or m < 1:
+        raise ValueError("register widths must be >= 1")
+    if signed and strategy != "fused":
+        raise ValueError("signed QFM requires strategy='fused'")
+    x = QuantumRegister(n, "x")
+    y = QuantumRegister(m, "y")
+    z = QuantumRegister(n + m, "z")
+    qc = QuantumCircuit(x, y, z)
+    sign_tag = "s" if signed else ""
+    qc.name = f"{sign_tag}qfm(n={n}, m={m}, d={effective_depth(m + 1, depth)})"
+
+    if strategy == "cqfa":
+        # One inner adder shared by all steps: |c>|y>|slice> with an
+        # (m+1)-qubit modular target.
+        inner = qfa_circuit(m, m + 1, depth, add_depth).controlled(1)
+        for i in range(n):
+            z_slice = [z[i + j] for j in range(m + 1)]
+            qc.compose(inner, [x[i]] + list(y.indices) + z_slice)
+        return qc
+
+    if strategy == "fused":
+        qft_on(qc, list(z), depth)
+        nm = n + m
+        for j in range(nm - 1, -1, -1):
+            for i in range(n):
+                for k in range(m):
+                    l = j - i - k + 1
+                    if l < 1:
+                        continue
+                    if add_depth is not None and l > add_depth:
+                        continue
+                    sign = 1.0
+                    if signed:
+                        # Two's complement: the top bit of each operand
+                        # carries negative weight.
+                        if i == n - 1:
+                            sign = -sign
+                        if k == m - 1:
+                            sign = -sign
+                    qc.ccp(sign * rotation_angle(l), x[i], y[k], z[j])
+        qft_on(qc, list(z), depth, inverse=True)
+        return qc
+
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def constant_multiplier_circuit(
+    n: int,
+    constant: int,
+    depth: Optional[int] = None,
+) -> QuantumCircuit:
+    """Multiply by a classical constant: ``|x>|z> -> |x>|z + c*x>``.
+
+    The paper §3 closing remark applied to multiplication: with one
+    classical factor the doubly-controlled rotations collapse to singly
+    controlled ones.  Registers: ``x`` (``n``), ``z`` (``2n``) so any
+    ``c < 2**n`` product fits.
+    """
+    x = QuantumRegister(n, "x")
+    z = QuantumRegister(2 * n, "z")
+    qc = QuantumCircuit(x, z)
+    qc.name = f"const_mul({constant}, n={n})"
+    nm = 2 * n
+    const = constant % (1 << nm)
+    qft_on(qc, list(z), depth)
+    for j in range(nm - 1, -1, -1):
+        for i in range(n):
+            # x_i contributes c * 2**i; phase on z_j is
+            # 2*pi * c * 2**i / 2**(j+1), reduced mod 2*pi.
+            angle = rotation_angle(j + 1) * ((const << i) % (1 << (j + 1)))
+            if angle:
+                qc.cp(angle, x[i], z[j])
+    qft_on(qc, list(z), depth, inverse=True)
+    return qc

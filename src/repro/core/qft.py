@@ -1,0 +1,143 @@
+"""The Quantum Fourier Transform and its approximation (paper §2).
+
+The circuit follows the paper's Fig. 1 exactly: qubits are processed from
+the most significant down; each gets a Hadamard followed by controlled
+phase rotations ``R_l = CP(2*pi / 2**l)`` controlled by progressively
+less significant qubits.  No terminal swap network is applied — the
+paper's Fourier-basis labelling (``phi_q(y)`` on qubit ``q``) absorbs the
+bit reversal, and it cancels between the QFT and inverse QFT inside
+arithmetic circuits.  ``swaps=True`` appends the swap network for
+comparison against the textbook DFT matrix.
+
+Approximation depth
+-------------------
+``depth=d`` keeps rotations ``R_2 .. R_d`` on each qubit (``d-1``
+controlled rotations per qubit, plus the Hadamard), exactly Eq. (4)'s
+``[0.y]_{q,d}`` truncation; Fig. 1 removes ``R_{d+1} .. R_n`` (drawn in
+red).  ``depth=None`` or ``depth >= n`` is the full QFT.  ``depth=1``
+keeps only Hadamards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.registers import QuantumRegister
+
+__all__ = [
+    "qft_circuit",
+    "iqft_circuit",
+    "controlled_qft_circuit",
+    "qft_gate_counts",
+    "rotation_angle",
+    "effective_depth",
+]
+
+
+def rotation_angle(l: int) -> float:
+    """The paper's R_l rotation angle, ``2*pi / 2**l``."""
+    if l < 1:
+        raise ValueError(f"rotation index must be >= 1, got {l}")
+    return 2.0 * math.pi / (1 << l)
+
+
+def effective_depth(num_qubits: int, depth: Optional[int]) -> int:
+    """Clamp an AQFT depth to [1, num_qubits]; None means full."""
+    if depth is None:
+        return num_qubits
+    depth = int(depth)
+    if depth < 1:
+        raise ValueError(f"AQFT depth must be >= 1, got {depth}")
+    return min(depth, num_qubits)
+
+
+def qft_on(
+    circuit: QuantumCircuit,
+    qubits: Sequence[int],
+    depth: Optional[int] = None,
+    inverse: bool = False,
+    swaps: bool = False,
+) -> QuantumCircuit:
+    """Append an (A)QFT over ``qubits`` (LSB first) to ``circuit``.
+
+    This is the composable form used by the arithmetic builders; see
+    module docs for conventions.
+    """
+    n = len(qubits)
+    d = effective_depth(n, depth)
+
+    body = QuantumCircuit(max(qubits) + 1 if qubits else 1)
+    for qpos in range(n - 1, -1, -1):  # MSB -> LSB
+        body.h(qubits[qpos])
+        # R_l controlled by the qubit l-1 places below.
+        for l in range(2, min(d, qpos + 1) + 1):
+            body.cp(rotation_angle(l), qubits[qpos - l + 1], qubits[qpos])
+    if swaps:
+        for i in range(n // 2):
+            body.swap(qubits[i], qubits[n - 1 - i])
+    if inverse:
+        body = body.inverse()
+    for instr in body:
+        circuit.append(instr.gate, instr.qubits)
+    return circuit
+
+
+def qft_circuit(
+    num_qubits: int,
+    depth: Optional[int] = None,
+    inverse: bool = False,
+    swaps: bool = False,
+) -> QuantumCircuit:
+    """A standalone (A)QFT circuit on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width ``n``.
+    depth:
+        AQFT approximation depth ``d`` (see module docs); ``None`` = full.
+    inverse:
+        Build the inverse transform.
+    swaps:
+        Append the bit-reversal swap network (textbook convention).
+    """
+    reg = QuantumRegister(num_qubits, "y")
+    qc = QuantumCircuit(reg)
+    d = effective_depth(num_qubits, depth)
+    label = "qft" if d >= num_qubits else f"aqft[d={d}]"
+    qc.name = f"{label}{'_dg' if inverse else ''}({num_qubits})"
+    return qft_on(qc, list(reg), depth, inverse, swaps)
+
+
+def iqft_circuit(
+    num_qubits: int, depth: Optional[int] = None, swaps: bool = False
+) -> QuantumCircuit:
+    """The inverse (A)QFT."""
+    return qft_circuit(num_qubits, depth, inverse=True, swaps=swaps)
+
+
+def controlled_qft_circuit(
+    num_qubits: int,
+    depth: Optional[int] = None,
+    inverse: bool = False,
+) -> QuantumCircuit:
+    """The cQFT of paper §3: every gate gains one control qubit.
+
+    The control is qubit 0 of the returned circuit; the transformed
+    register follows.  Uses cH and ccP (the paper's Eq. 7 gates).
+    """
+    return qft_circuit(num_qubits, depth, inverse=inverse).controlled(1)
+
+
+def qft_gate_counts(num_qubits: int, depth: Optional[int] = None) -> dict:
+    """Closed-form logical gate counts of the (A)QFT.
+
+    Returns ``{"h": n, "cp": sum_q min(d, q+1) - 1}`` — the paper's
+    ``(2n - d)(d - 1)/2`` rotation count at depth ``d`` (for ``d <= n``).
+    """
+    n = num_qubits
+    d = effective_depth(n, depth)
+    cp = sum(min(d, q + 1) - 1 for q in range(n))
+    return {"h": n, "cp": cp}

@@ -1,0 +1,204 @@
+"""Quantum integers (qintegers).
+
+A qinteger (paper §2) is a superposition of integer states on an n-qubit
+register:  ``|y> = sum_i p_i |i>`` with ``sum p_i^2 = 1``.  A qinteger
+with ``j`` distinct nonzero-amplitude integers is an *order-j* qinteger —
+the superposition-order axis of the paper's figures (1:1, 1:2, 2:2
+operations).
+
+Integers are encoded in two's complement (paper §2); unsigned encoding is
+also provided since the QFA/QFM circuits studied are the unsigned
+variants (paper §5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "QInteger",
+    "QIntegerError",
+    "encode_twos_complement",
+    "decode_twos_complement",
+    "signed_range",
+    "unsigned_range",
+]
+
+
+class QIntegerError(ValueError):
+    """Raised for invalid qinteger construction or encoding."""
+
+
+def unsigned_range(num_qubits: int) -> Tuple[int, int]:
+    """Inclusive (lo, hi) representable unsigned on ``num_qubits``."""
+    return 0, (1 << num_qubits) - 1
+
+
+def signed_range(num_qubits: int) -> Tuple[int, int]:
+    """Inclusive (lo, hi) representable in two's complement."""
+    half = 1 << (num_qubits - 1)
+    return -half, half - 1
+
+
+def encode_twos_complement(value: int, num_qubits: int) -> int:
+    """Bit pattern of ``value`` in ``num_qubits``-bit two's complement."""
+    lo, hi = signed_range(num_qubits)
+    if not lo <= value <= hi:
+        raise QIntegerError(
+            f"{value} not representable in {num_qubits}-bit two's complement "
+            f"[{lo}, {hi}]"
+        )
+    return value & ((1 << num_qubits) - 1)
+
+
+def decode_twos_complement(pattern: int, num_qubits: int) -> int:
+    """Signed integer encoded by ``pattern`` in two's complement."""
+    if not 0 <= pattern < (1 << num_qubits):
+        raise QIntegerError(f"pattern {pattern} out of range for {num_qubits} qubits")
+    if pattern & (1 << (num_qubits - 1)):
+        return pattern - (1 << num_qubits)
+    return pattern
+
+
+class QInteger:
+    """A normalised superposition of integers on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    amplitudes:
+        Mapping integer value -> complex amplitude.  Normalised on
+        construction; zero amplitudes are dropped.
+    num_qubits:
+        Register width.
+    signed:
+        Two's-complement interpretation when True; unsigned otherwise.
+    """
+
+    def __init__(
+        self,
+        amplitudes: Mapping[int, complex],
+        num_qubits: int,
+        signed: bool = False,
+    ) -> None:
+        if num_qubits < 1:
+            raise QIntegerError("num_qubits must be >= 1")
+        self.num_qubits = int(num_qubits)
+        self.signed = bool(signed)
+        lo, hi = signed_range(num_qubits) if signed else unsigned_range(num_qubits)
+        clean: Dict[int, complex] = {}
+        for v, a in amplitudes.items():
+            v = int(v)
+            a = complex(a)
+            if abs(a) == 0:
+                continue
+            if not lo <= v <= hi:
+                raise QIntegerError(
+                    f"value {v} out of {'signed' if signed else 'unsigned'} "
+                    f"range [{lo}, {hi}] for {num_qubits} qubits"
+                )
+            clean[v] = clean.get(v, 0.0) + a
+        clean = {v: a for v, a in clean.items() if abs(a) > 0}
+        if not clean:
+            raise QIntegerError("qinteger needs at least one nonzero amplitude")
+        norm = math.sqrt(sum(abs(a) ** 2 for a in clean.values()))
+        self.amplitudes: Dict[int, complex] = {
+            v: a / norm for v, a in sorted(clean.items())
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def basis(cls, value: int, num_qubits: int, signed: bool = False) -> "QInteger":
+        """Order-1 qinteger |value>."""
+        return cls({value: 1.0}, num_qubits, signed)
+
+    @classmethod
+    def uniform(
+        cls, values: Iterable[int], num_qubits: int, signed: bool = False
+    ) -> "QInteger":
+        """Equal-amplitude superposition (the paper's setting: 'the
+        probability amplitude is evenly distributed between each state')."""
+        vals = list(values)
+        if len(set(vals)) != len(vals):
+            raise QIntegerError(f"duplicate values in {vals}")
+        return cls({v: 1.0 for v in vals}, num_qubits, signed)
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """The order of superposition: number of distinct integer states."""
+        return len(self.amplitudes)
+
+    @property
+    def values(self) -> Tuple[int, ...]:
+        """The superposed integer values, ascending."""
+        return tuple(self.amplitudes)
+
+    def encode(self, value: int) -> int:
+        """Bit pattern (basis-state index) for one superposed value."""
+        if self.signed:
+            return encode_twos_complement(value, self.num_qubits)
+        lo, hi = unsigned_range(self.num_qubits)
+        if not lo <= value <= hi:
+            raise QIntegerError(f"value {value} out of range [{lo}, {hi}]")
+        return value
+
+    def decode(self, pattern: int) -> int:
+        """Integer value for a measured basis-state index."""
+        if self.signed:
+            return decode_twos_complement(pattern, self.num_qubits)
+        if not 0 <= pattern < (1 << self.num_qubits):
+            raise QIntegerError(f"pattern {pattern} out of range")
+        return pattern
+
+    def statevector(self) -> np.ndarray:
+        """Dense amplitude vector of length ``2**num_qubits``."""
+        vec = np.zeros(1 << self.num_qubits, dtype=complex)
+        for v, a in self.amplitudes.items():
+            vec[self.encode(v)] = a
+        return vec
+
+    def probabilities(self) -> Dict[int, float]:
+        """Integer value -> probability."""
+        return {v: abs(a) ** 2 for v, a in self.amplitudes.items()}
+
+    # ------------------------------------------------------------------
+    def map_values(self, fn, num_qubits: Optional[int] = None) -> "QInteger":
+        """A new qinteger with each value mapped through ``fn``.
+
+        Amplitudes of colliding images add coherently — the classical
+        shadow of running an arithmetic circuit on this operand.
+        """
+        out: Dict[int, complex] = {}
+        for v, a in self.amplitudes.items():
+            w = int(fn(v))
+            out[w] = out.get(w, 0.0) + a
+        return QInteger(out, num_qubits or self.num_qubits, self.signed)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QInteger):
+            return NotImplemented
+        if (
+            self.num_qubits != other.num_qubits
+            or self.signed != other.signed
+            or self.values != other.values
+        ):
+            return False
+        return all(
+            abs(self.amplitudes[v] - other.amplitudes[v]) < 1e-9
+            for v in self.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_qubits, self.signed, self.values))
+
+    def __repr__(self) -> str:
+        terms = " + ".join(
+            f"({a.real:.3g}{a.imag:+.3g}j)|{v}>" if abs(a.imag) > 1e-12
+            else f"{a.real:.3g}|{v}>"
+            for v, a in self.amplitudes.items()
+        )
+        kind = "signed" if self.signed else "unsigned"
+        return f"QInteger<{self.num_qubits}q {kind}>({terms})"

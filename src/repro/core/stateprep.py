@@ -1,0 +1,122 @@
+"""Arbitrary state preparation (the paper's initialization stage).
+
+The paper initializes operand qintegers with the reverse decomposition of
+Shende et al. (2006) as implemented in Qiskit, applied *noise-free*.
+This module implements the same family of algorithms: the register is
+disentangled one qubit at a time by multiplexed RZ/RY rotations computed
+from the target amplitudes, and the preparation circuit is the inverse of
+that disentangler.
+
+Because the engines allow direct amplitude injection (observationally
+identical to noise-free gate initialization — see DESIGN.md), the
+experiment harness does not *run* these circuits; they exist as a public
+API for gate-level workflows, and as the reference for initialization
+gate counts.
+
+The prepared state equals the target up to a global phase (the usual
+``initialize`` semantics); :func:`prepare_state` is verified by fidelity
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.registers import QuantumRegister
+from .qint import QInteger
+
+__all__ = ["prepare_state", "initialize_qinteger", "mux_rotation_on"]
+
+_ATOL = 1e-12
+
+
+def mux_rotation_on(
+    circuit: QuantumCircuit,
+    kind: str,
+    angles: np.ndarray,
+    controls: Sequence[int],
+    target: int,
+) -> QuantumCircuit:
+    """Append a multiplexed rotation: ``Rot(angles[j])`` when the control
+    qubits (LSB-first) read ``j``.
+
+    Uses the standard CX-conjugation recursion: a k-control multiplexor
+    becomes two (k-1)-control multiplexors of half-sum / half-difference
+    angles around a CX, since ``X R(phi) X = R(-phi)`` for RY and RZ.
+    """
+    if kind not in ("ry", "rz"):
+        raise ValueError(f"kind must be 'ry' or 'rz', got {kind!r}")
+    angles = np.asarray(angles, dtype=float)
+    if angles.shape != (1 << len(controls),):
+        raise ValueError(
+            f"expected {1 << len(controls)} angles, got {angles.shape}"
+        )
+    if np.all(np.abs(angles) < _ATOL):
+        return circuit
+    if not controls:
+        getattr(circuit, kind)(float(angles[0]), target)
+        return circuit
+    msb = controls[-1]
+    half = angles.shape[0] // 2
+    lo, hi = angles[:half], angles[half:]
+    mux_rotation_on(circuit, kind, (lo + hi) / 2.0, controls[:-1], target)
+    circuit.cx(msb, target)
+    mux_rotation_on(circuit, kind, (lo - hi) / 2.0, controls[:-1], target)
+    circuit.cx(msb, target)
+    return circuit
+
+
+def prepare_state(target: np.ndarray, name: str = "init") -> QuantumCircuit:
+    """A circuit mapping |0...0> to ``target`` (up to global phase).
+
+    ``target`` must have length ``2**n`` and unit norm (normalised here
+    with a tolerance check).
+    """
+    target = np.asarray(target, dtype=complex).reshape(-1)
+    n = int(round(np.log2(target.shape[0])))
+    if (1 << n) != target.shape[0]:
+        raise ValueError(f"state length {target.shape[0]} is not a power of 2")
+    norm = np.linalg.norm(target)
+    if abs(norm - 1.0) > 1e-6:
+        raise ValueError(f"state norm is {norm}, expected 1")
+    target = target / norm
+
+    reg = QuantumRegister(n, "q")
+    disentangler = QuantumCircuit(reg)
+    disentangler.name = f"{name}_dg"
+
+    vec = target.copy()
+    for q in range(n):
+        # Current vector spans qubits q..n-1; disentangle its LSB
+        # (qubit q) with multiplexed RZ then RY.
+        pairs = vec.reshape(-1, 2)
+        a0, a1 = pairs[:, 0], pairs[:, 1]
+        mag0, mag1 = np.abs(a0), np.abs(a1)
+        has0, has1 = mag0 > _ATOL, mag1 > _ATOL
+        thetas = 2.0 * np.arctan2(mag1, mag0)
+        # Phases of absent components default to the surviving one so the
+        # RZ is skipped there and the reduced phase comes out right.
+        raw0, raw1 = np.angle(a0), np.angle(a1)
+        ang0 = np.where(has0, raw0, np.where(has1, raw1, 0.0))
+        ang1 = np.where(has1, raw1, ang0)
+        omegas = ang1 - ang0
+
+        controls = [reg[i] for i in range(q + 1, n)]
+        mux_rotation_on(disentangler, "rz", -omegas, controls, reg[q])
+        mux_rotation_on(disentangler, "ry", -thetas, controls, reg[q])
+
+        # After RZ(-omega) both components share phase (ang0+ang1)/2 and
+        # RY(-theta) merges the magnitudes into the even slot.
+        r = np.sqrt(mag0**2 + mag1**2)
+        vec = r * np.exp(1j * (ang0 + ang1) / 2.0)
+
+    circuit = disentangler.inverse(name)
+    return circuit
+
+
+def initialize_qinteger(qint: QInteger, name: str = "init") -> QuantumCircuit:
+    """Preparation circuit for a :class:`QInteger`'s statevector."""
+    return prepare_state(qint.statevector(), name=f"{name}[{qint!r}]")

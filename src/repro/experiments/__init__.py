@@ -1,0 +1,71 @@
+"""The evaluation harness: instances, sweeps, tables, and figures."""
+
+from .config import SCALES, Scale, SweepConfig, current_scale
+from .figures import render_figure, render_panel, render_series_table
+from .instances import (
+    ArithmeticInstance,
+    generate_instances,
+    product_statevector,
+    random_qinteger,
+)
+from .paper import (
+    ORDER_ROWS,
+    fig3_configs,
+    fig4_configs,
+    qfa_depths_for,
+    qfm_depths_for,
+    run_figure,
+)
+from .results import (
+    load_sweep,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_csv,
+    sweep_to_dict,
+)
+from .runner import (
+    PointResult,
+    build_arithmetic_circuit,
+    noise_model_for,
+    run_instance,
+    run_point,
+)
+from .sweep import SweepResult, default_workers, run_sweep
+from .tables import PAPER_TABLE1, Table1Row, render_table1, table1_counts
+
+__all__ = [
+    "SweepConfig",
+    "Scale",
+    "SCALES",
+    "current_scale",
+    "ArithmeticInstance",
+    "random_qinteger",
+    "generate_instances",
+    "product_statevector",
+    "build_arithmetic_circuit",
+    "noise_model_for",
+    "run_instance",
+    "run_point",
+    "PointResult",
+    "run_sweep",
+    "SweepResult",
+    "default_workers",
+    "save_sweep",
+    "load_sweep",
+    "sweep_to_dict",
+    "sweep_from_dict",
+    "sweep_to_csv",
+    "table1_counts",
+    "render_table1",
+    "Table1Row",
+    "PAPER_TABLE1",
+    "render_panel",
+    "render_series_table",
+    "render_figure",
+    "ORDER_ROWS",
+    "fig3_configs",
+    "fig4_configs",
+    "qfa_depths_for",
+    "qfm_depths_for",
+    "run_figure",
+]

@@ -1,0 +1,103 @@
+"""Figure rendering: ASCII panels of success rate vs gate error rate.
+
+Reproduces the presentation of the paper's Figs. 3 and 4: one panel per
+(superposition row, error axis), one series per AQFT depth, points
+annotated with the -/+ error bars of the min-count-difference statistic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .sweep import SweepResult
+
+__all__ = ["render_panel", "render_series_table", "render_figure"]
+
+_PLOT_WIDTH = 64
+_PLOT_HEIGHT = 16
+_MARKERS = "ox+*#@%&"
+
+
+def render_series_table(result: SweepResult) -> str:
+    """Numeric table: rows = error rates, columns = depths."""
+    cfg = result.config
+    head = f"{'rate':>8} |" + "".join(
+        f" {('d=' + cfg.depth_label(d)):>16}" for d in cfg.depths
+    )
+    lines = [head, "-" * len(head)]
+    for rate in cfg.error_rates:
+        cells = []
+        for d in cfg.depths:
+            pr = result.points.get((rate, d))
+            if pr is None:
+                cells.append(f" {'—':>16}")
+                continue
+            s = pr.summary
+            cells.append(
+                f" {s.success_rate:5.1f}%"
+                f" -{s.lower_bar:4.1f}/+{s.upper_bar:4.1f}"
+            )
+        lines.append(f"{100 * rate:7.2f}% |" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_panel(result: SweepResult, title: str = "") -> str:
+    """An ASCII scatter of every depth series on one panel."""
+    cfg = result.config
+    rates = list(cfg.error_rates)
+    if not rates:
+        return "(empty panel)"
+    lo, hi = min(rates), max(rates)
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * (_PLOT_WIDTH + 1) for _ in range(_PLOT_HEIGHT + 1)]
+    for di, depth in enumerate(cfg.depths):
+        marker = _MARKERS[di % len(_MARKERS)]
+        for rate in rates:
+            pr = result.points.get((rate, depth))
+            if pr is None:
+                continue
+            x = int(round((rate - lo) / span * _PLOT_WIDTH))
+            # Nudge overlapping depth clusters apart like the paper does.
+            x = min(_PLOT_WIDTH, max(0, x + di - len(cfg.depths) // 2))
+            y = int(round(pr.summary.success_rate / 100.0 * _PLOT_HEIGHT))
+            row = _PLOT_HEIGHT - y
+            grid[row][x] = marker
+
+    lines = []
+    op = "QFA" if cfg.operation == "add" else "QFM"
+    header = title or (
+        f"{op} n={cfg.n} {cfg.orders[0]}:{cfg.orders[1]} vs "
+        f"{cfg.error_axis} gate error"
+    )
+    lines.append(header)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}=d:{cfg.depth_label(d)}"
+        for i, d in enumerate(cfg.depths)
+    )
+    lines.append(f"legend: {legend}")
+    for i, row in enumerate(grid):
+        pct = 100 - round(100 * i / _PLOT_HEIGHT)
+        axis = f"{pct:3d}% |" if i % 4 == 0 else "     |"
+        lines.append(axis + "".join(row))
+    ticks = "     +" + "-" * (_PLOT_WIDTH + 1)
+    lines.append(ticks)
+    lines.append(
+        f"      {100 * lo:<10.2f}%"
+        + " " * max(0, _PLOT_WIDTH - 24)
+        + f"{100 * hi:>10.2f}%  ({cfg.error_axis} err)"
+    )
+    lines.append("")
+    lines.append(render_series_table(result))
+    return "\n".join(lines)
+
+
+def render_figure(
+    panels: Sequence[Tuple[str, SweepResult]], figure_title: str
+) -> str:
+    """Stack panels into one figure printout."""
+    parts = [f"==== {figure_title} ===="]
+    for name, result in panels:
+        parts.append("")
+        parts.append(render_panel(result, title=name))
+    return "\n".join(parts)

@@ -1,0 +1,144 @@
+"""The paper's exact experiment definitions (Figs. 3-4, Table I).
+
+Each figure is a 3x2 grid: rows are superposition orders (1:1, 1:2,
+2:2), columns are the swept error type (1q left, 2q right).  Fig. 3 is
+QFA at n=8 (the Table-I-matched modular adder, m=n); Fig. 4 is QFM at
+n=4.  Depth series: paper d in {1, 2, 3, 4, full} for QFA and
+{1, 2, full} for QFM (library depths d+1 / None).
+
+``REPRO_SCALE`` shrinks register sizes and budgets for quick runs; the
+``paper`` tier reproduces the published setting exactly (200+ instances,
+2048 shots, every shot an independent noise realisation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..noise.ibm import P1Q_SWEEP, P2Q_SWEEP
+from .config import Scale, SweepConfig, current_scale
+from .instances import generate_instances
+from .sweep import SweepResult, run_sweep
+
+__all__ = [
+    "ORDER_ROWS",
+    "qfa_depths_for",
+    "qfm_depths_for",
+    "fig3_configs",
+    "fig4_configs",
+    "run_figure",
+]
+
+#: The figures' three rows: (x order, y order).  For addition the
+#: higher-order operand lives on the updated register (paper §4), which
+#: is ``y`` here.
+ORDER_ROWS: Tuple[Tuple[int, int], ...] = ((1, 1), (1, 2), (2, 2))
+
+
+def qfa_depths_for(n: int) -> Tuple[Optional[int], ...]:
+    """Library depths matching the paper's QFA series {1,2,3,4,full}.
+
+    For registers smaller than the paper's n=8 the series is clipped to
+    meaningful values (depth > n is identical to full).
+    """
+    series = [2, 3, 4, 5]
+    out: List[Optional[int]] = [d for d in series if d < n]
+    out.append(None)
+    return tuple(out)
+
+
+def qfm_depths_for(n: int) -> Tuple[Optional[int], ...]:
+    """Library depths matching the paper's QFM series {1,2,full}."""
+    series = [2, 3]
+    out: List[Optional[int]] = [d for d in series if d < n + 1]
+    out.append(None)
+    return tuple(out)
+
+
+def _axis_rates(axis: str) -> Tuple[float, ...]:
+    return tuple(P1Q_SWEEP if axis == "1q" else P2Q_SWEEP)
+
+
+def fig3_configs(scale: Optional[Scale] = None) -> List[SweepConfig]:
+    """The six panels of Fig. 3 (QFA), in (a)..(f) order."""
+    scale = scale or current_scale()
+    n = scale.qfa_n
+    out = []
+    for row, orders in enumerate(ORDER_ROWS):
+        for axis in ("1q", "2q"):
+            out.append(
+                SweepConfig(
+                    operation="add",
+                    n=n,
+                    m=n,
+                    orders=orders,
+                    error_axis=axis,
+                    error_rates=_axis_rates(axis),
+                    depths=qfa_depths_for(n),
+                    instances=scale.instances_add,
+                    shots=scale.shots,
+                    trajectories=scale.trajectories,
+                    seed=9000 + row,  # per-row seed: shared across axes
+                    label=f"fig3{'abcdef'[row * 2 + (axis == '2q')]}",
+                )
+            )
+    return out
+
+
+def fig4_configs(scale: Optional[Scale] = None) -> List[SweepConfig]:
+    """The six panels of Fig. 4 (QFM), in (a)..(f) order."""
+    scale = scale or current_scale()
+    n = scale.qfm_n
+    out = []
+    for row, orders in enumerate(ORDER_ROWS):
+        for axis in ("1q", "2q"):
+            out.append(
+                SweepConfig(
+                    operation="mul",
+                    n=n,
+                    m=n,
+                    orders=orders,
+                    error_axis=axis,
+                    error_rates=_axis_rates(axis),
+                    depths=qfm_depths_for(n),
+                    instances=scale.instances_mul,
+                    shots=scale.shots,
+                    trajectories=scale.trajectories,
+                    seed=9500 + row,
+                    label=f"fig4{'abcdef'[row * 2 + (axis == '2q')]}",
+                )
+            )
+    return out
+
+
+def run_figure(
+    configs: List[SweepConfig],
+    workers: Optional[int] = None,
+    progress=None,
+    on_panel=None,
+) -> Dict[str, SweepResult]:
+    """Run a figure's panels, sharing instances across each row's axes.
+
+    Returns panel label -> result.  ``on_panel(label, result)`` fires
+    as each panel completes, so long runs can checkpoint to disk.
+    """
+    results: Dict[str, SweepResult] = {}
+    row_instances: Dict[Tuple, list] = {}
+    for cfg in configs:
+        key = (cfg.operation, cfg.n, cfg.m, cfg.orders, cfg.seed)
+        if key not in row_instances:
+            row_instances[key] = generate_instances(
+                cfg.operation, cfg.n, cfg.m, cfg.orders, cfg.instances,
+                cfg.seed,
+            )
+        if progress:
+            progress(f"panel {cfg.label}: {cfg.describe()}")
+        results[cfg.label] = run_sweep(
+            cfg,
+            workers=workers,
+            progress=progress,
+            instances=row_instances[key],
+        )
+        if on_panel is not None:
+            on_panel(cfg.label, results[cfg.label])
+    return results

@@ -1,0 +1,266 @@
+"""EXPERIMENTS.md generation: paper-vs-measured from saved sweeps.
+
+``build_report(results_dir)`` loads the JSON artifacts written by
+``scripts/run_paper_experiments.py`` (or the benchmark harness) and
+renders the per-experiment record: the Table I comparison, each figure
+panel's numbers, and the automated verdicts on the paper's qualitative
+claims.  Keeping this programmatic means EXPERIMENTS.md can always be
+regenerated from data, never hand-edited out of sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .results import load_sweep
+from .sweep import SweepResult
+from .tables import render_table1, table1_counts
+
+__all__ = ["ClaimCheck", "check_claims", "build_report"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One of the paper's qualitative claims, evaluated against data."""
+
+    claim: str
+    holds: Optional[bool]  # None = not evaluable from available data
+    evidence: str
+
+    def render(self) -> str:
+        """Markdown bullet with a HOLDS/DEVIATES/N-A verdict mark."""
+        mark = {True: "HOLDS", False: "DEVIATES", None: "N/A"}[self.holds]
+        return f"- **[{mark}]** {self.claim}\n  - {self.evidence}"
+
+
+def _panel(results: Dict[str, SweepResult], label: str) -> Optional[SweepResult]:
+    return results.get(label)
+
+
+def _rate_pct(r: float) -> str:
+    return f"{100 * r:.1f}%"
+
+
+def check_claims(results: Dict[str, SweepResult]) -> List[ClaimCheck]:
+    """Evaluate the paper's headline claims against loaded panels."""
+    checks: List[ClaimCheck] = []
+
+    # Claim 1: 1:1 QFA largely insensitive around the hardware-realistic
+    # rates (the paper's claim covers the vicinity of the IBM reference
+    # point; our grid extends further, where degradation does appear).
+    p = _panel(results, "fig3b")
+    if p:
+        from ..noise.ibm import IBM_P2Q_REFERENCE
+
+        near = [
+            r for r in p.config.error_rates if r <= 1.5 * IBM_P2Q_REFERENCE
+        ]
+        near_vals = [
+            p.point(r, None).summary.success_rate for r in near
+        ]
+        full_series = [pt.summary.success_rate for pt in p.series(None)]
+        holds = min(near_vals) >= 75.0 if near_vals else None
+        checks.append(
+            ClaimCheck(
+                "1:1 QFA is largely insensitive to gate error rates around "
+                "the hardware-realistic range (Fig. 3a/b)",
+                holds,
+                f"full-QFT success up to 1.5x the IBM 2q reference: "
+                f"{[f'{v:.0f}%' for v in near_vals]}; full sweep incl. "
+                f"beyond-reference tail: {[f'{v:.0f}%' for v in full_series]}",
+            )
+        )
+
+    # Claim 2: AQFT near log2(n) matches or beats the full QFT under noise.
+    for label in ("fig3d", "fig3f"):
+        p = _panel(results, label)
+        if not p:
+            continue
+        cfg = p.config
+        import math
+
+        target = max(2, round(math.log2(cfg.n)) + 1)
+        wins = ties = total = 0
+        for rate in cfg.error_rates:
+            if rate == 0.0:
+                continue
+            total += 1
+            full = p.point(rate, None).summary.success_rate
+            cand = [
+                p.points[(rate, d)].summary.success_rate
+                for d in cfg.depths
+                if d is not None and abs(d - target) <= 1
+                and (rate, d) in p.points
+            ]
+            if cand and max(cand) > full:
+                wins += 1
+            elif cand and max(cand) >= full:
+                ties += 1
+        holds = (wins + ties) >= max(1, total // 2)
+        checks.append(
+            ClaimCheck(
+                f"AQFT near d=log2(n) matches/beats the full QFT under "
+                f"noise ({label})",
+                holds,
+                f"depth near log2({cfg.n}) matched-or-beat full QFT in "
+                f"{wins + ties}/{total} noisy columns (strictly better in "
+                f"{wins})",
+            )
+        )
+
+    # Claim 3: depth-1 AQFT is clearly worse at low noise.
+    p = _panel(results, "fig3c") or _panel(results, "fig3d")
+    if p:
+        d_min = p.config.depths[0]
+        lo = p.point(0.0, d_min).summary
+        full = p.point(0.0, None).summary
+        holds = lo.mean_min_diff <= full.mean_min_diff
+        checks.append(
+            ClaimCheck(
+                "Too-shallow AQFT (paper d=1) degrades quality even "
+                "noise-free (Fig. 3 discussion)",
+                holds,
+                f"noise-free margin at d={p.config.depth_label(d_min)}: "
+                f"{lo.mean_min_diff:.0f} vs full: {full.mean_min_diff:.0f} "
+                f"(counts out of {p.config.shots} shots)",
+            )
+        )
+
+    # Claim 4: QFM success far below QFA at matching rates.
+    pa, pm = _panel(results, "fig3b"), _panel(results, "fig4b")
+    if pa and pm:
+        shared = [
+            r
+            for r in pa.config.error_rates
+            if r in pm.config.error_rates and r > 0
+        ]
+        if shared:
+            r = shared[0]
+            qfa = pa.point(r, None).summary.success_rate
+            qfm = pm.point(r, None).summary.success_rate
+            checks.append(
+                ClaimCheck(
+                    "QFM success is far below QFA at the same 2q error "
+                    "rate (its circuits are ~6x larger)",
+                    qfm < qfa,
+                    f"at {_rate_pct(r)} 2q error: QFA {qfa:.0f}% vs "
+                    f"QFM {qfm:.0f}%",
+                )
+            )
+
+    # Claim 5: at high error rates the shallowest QFM depth overtakes
+    # deeper ones.
+    p = _panel(results, "fig4b")
+    if p:
+        cfg = p.config
+        # Evaluate at the highest rate where the comparison is still
+        # informative (some depth above 0% — beyond that everything
+        # saturates at 0 and no ordering exists).
+        informative = [
+            r
+            for r in cfg.error_rates
+            if r > 0
+            and any(
+                p.point(r, d).summary.success_rate > 0 for d in cfg.depths
+            )
+        ]
+        if informative:
+            hi = max(informative)
+            shallow = p.point(hi, cfg.depths[0]).summary
+            deeper = [p.point(hi, d).summary for d in cfg.depths[1:]]
+            holds = (
+                all(
+                    shallow.success_rate >= s.success_rate for s in deeper
+                )
+                and shallow.mean_min_diff
+                >= max(s.mean_min_diff for s in deeper) - 1e-9
+            )
+            evidence = f"at {_rate_pct(hi)} 2q error: " + ", ".join(
+                f"d={cfg.depth_label(d)}: "
+                f"{p.point(hi, d).summary.success_rate:.0f}%"
+                for d in cfg.depths
+            )
+        else:
+            holds, evidence = None, "all noisy QFM columns saturate at 0%"
+        checks.append(
+            ClaimCheck(
+                "At high gate error, QFM's shallowest AQFT overtakes "
+                "deeper depths (Fig. 4 discussion)",
+                holds,
+                evidence,
+            )
+        )
+
+    # Claim 6: raising superposition order hurts (2:2 < 1:2 < 1:1).
+    rows = [
+        _panel(results, lab) for lab in ("fig3b", "fig3d", "fig3f")
+    ]
+    if all(rows):
+        rates = [r for r in rows[0].config.error_rates if r > 0]
+        mid = rates[len(rates) // 2]
+        vals = [p.point(mid, None).summary.success_rate for p in rows]
+        checks.append(
+            ClaimCheck(
+                "Success drops as superposition order rises "
+                "(1:1 >= 1:2 >= 2:2)",
+                vals[0] >= vals[1] >= vals[2],
+                f"full QFT at {_rate_pct(mid)} 2q error: "
+                f"1:1 {vals[0]:.0f}%, 1:2 {vals[1]:.0f}%, 2:2 {vals[2]:.0f}%",
+            )
+        )
+    return checks
+
+
+def build_report(
+    results_dir: Path,
+    scale_note: str = "",
+) -> str:
+    """Render the full EXPERIMENTS.md body from saved sweep JSON."""
+    results_dir = Path(results_dir)
+    results: Dict[str, SweepResult] = {}
+    for path in sorted(results_dir.glob("fig*.json")):
+        results[path.stem] = load_sweep(path)
+
+    lines: List[str] = []
+    lines.append("## Table I — gate counts")
+    lines.append("")
+    lines.append("```")
+    lines.append(render_table1(table1_counts()))
+    lines.append("```")
+    lines.append("")
+
+    from .figures import render_series_table
+
+    for fig, title in (("fig3", "Fig. 3 — QFA"), ("fig4", "Fig. 4 — QFM")):
+        panels = {k: v for k, v in results.items() if k.startswith(fig)}
+        if not panels:
+            continue
+        lines.append(f"## {title}")
+        lines.append("")
+        for label in sorted(panels):
+            res = panels[label]
+            cfg = res.config
+            lines.append(
+                f"### {label}: {cfg.orders[0]}:{cfg.orders[1]} "
+                f"{'addition' if cfg.operation == 'add' else 'multiplication'}"
+                f", {cfg.error_axis} sweep "
+                f"(n={cfg.n}, {cfg.instances} instances x {cfg.shots} shots)"
+            )
+            lines.append("")
+            lines.append("```")
+            lines.append(render_series_table(res))
+            lines.append("```")
+            lines.append("")
+
+    checks = check_claims(results)
+    if checks:
+        lines.append("## Paper claims vs measured")
+        lines.append("")
+        for c in checks:
+            lines.append(c.render())
+        lines.append("")
+    if scale_note:
+        lines.append(scale_note)
+    return "\n".join(lines)

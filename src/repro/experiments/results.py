@@ -1,0 +1,190 @@
+"""Result persistence: JSON and CSV serialisation of sweep results.
+
+The JSON schema is flat and stable so stored runs (EXPERIMENTS.md's
+source data under ``results/``) can be re-rendered without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..metrics.success import InstanceOutcome, SuccessSummary
+from .config import SweepConfig
+from .runner import PointResult
+from .sweep import SweepResult
+
+__all__ = [
+    "sweep_to_dict",
+    "sweep_from_dict",
+    "save_sweep",
+    "load_sweep",
+    "sweep_to_csv",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def sweep_to_dict(result: SweepResult) -> dict:
+    """A JSON-ready representation of a sweep result."""
+    cfg = result.config
+    return {
+        "schema": _SCHEMA_VERSION,
+        "config": {
+            "operation": cfg.operation,
+            "n": cfg.n,
+            "m": cfg.m,
+            "orders": list(cfg.orders),
+            "error_axis": cfg.error_axis,
+            "error_rates": list(cfg.error_rates),
+            "depths": [d if d is not None else "full" for d in cfg.depths],
+            "instances": cfg.instances,
+            "shots": cfg.shots,
+            "trajectories": cfg.trajectories,
+            "seed": cfg.seed,
+            "method": cfg.method,
+            "convention": cfg.convention,
+            "label": cfg.label,
+        },
+        "elapsed_seconds": result.elapsed_seconds,
+        "instances": [
+            {
+                "x": list(inst.x.values),
+                "y": list(inst.y.values),
+            }
+            for inst in result.instances
+        ],
+        "points": [
+            {
+                "error_rate": pr.error_rate,
+                "depth": pr.depth if pr.depth is not None else "full",
+                "depth_label": pr.depth_label,
+                "success_rate": pr.summary.success_rate,
+                "num_instances": pr.summary.num_instances,
+                "num_success": pr.summary.num_success,
+                "sigma": pr.summary.sigma,
+                "lower_flip": pr.summary.lower_flip,
+                "upper_flip": pr.summary.upper_flip,
+                "mean_min_diff": pr.summary.mean_min_diff,
+                "outcomes": [
+                    [int(o.success), o.min_diff, o.shots]
+                    for o in pr.outcomes
+                ],
+            }
+            for pr in result.points.values()
+        ],
+    }
+
+
+def _depth_from_json(v) -> Optional[int]:
+    return None if v == "full" else int(v)
+
+
+def sweep_from_dict(data: dict) -> SweepResult:
+    """Rebuild a :class:`SweepResult` (instances as value lists only)."""
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema {data.get('schema')!r}")
+    c = data["config"]
+    config = SweepConfig(
+        operation=c["operation"],
+        n=c["n"],
+        m=c["m"],
+        orders=tuple(c["orders"]),
+        error_axis=c["error_axis"],
+        error_rates=tuple(c["error_rates"]),
+        depths=tuple(_depth_from_json(d) for d in c["depths"]),
+        instances=c["instances"],
+        shots=c["shots"],
+        trajectories=c["trajectories"],
+        seed=c["seed"],
+        method=c["method"],
+        convention=c["convention"],
+        label=c.get("label", ""),
+    )
+    from ..core.qint import QInteger
+    from .instances import ArithmeticInstance
+
+    instances = [
+        ArithmeticInstance(
+            config.operation,
+            config.n,
+            config.m,
+            QInteger.uniform(i["x"], config.n),
+            QInteger.uniform(i["y"], config.m),
+        )
+        for i in data["instances"]
+    ]
+    points: Dict[Tuple[float, Optional[int]], PointResult] = {}
+    for p in data["points"]:
+        depth = _depth_from_json(p["depth"])
+        outcomes = tuple(
+            InstanceOutcome(bool(s), int(d), int(sh))
+            for s, d, sh in p["outcomes"]
+        )
+        summary = SuccessSummary(
+            num_instances=p["num_instances"],
+            num_success=p["num_success"],
+            sigma=p["sigma"],
+            lower_flip=p["lower_flip"],
+            upper_flip=p["upper_flip"],
+            mean_min_diff=p["mean_min_diff"],
+        )
+        points[(p["error_rate"], depth)] = PointResult(
+            error_rate=p["error_rate"],
+            depth=depth,
+            depth_label=p["depth_label"],
+            summary=summary,
+            outcomes=outcomes,
+        )
+    return SweepResult(
+        config=config,
+        points=points,
+        instances=instances,
+        elapsed_seconds=data.get("elapsed_seconds", 0.0),
+    )
+
+
+def save_sweep(result: SweepResult, path: Union[str, Path]) -> Path:
+    """Write a sweep result as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(sweep_to_dict(result), indent=1))
+    return path
+
+
+def load_sweep(path: Union[str, Path]) -> SweepResult:
+    """Read a sweep result saved by :func:`save_sweep`."""
+    return sweep_from_dict(json.loads(Path(path).read_text()))
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """Flat CSV: one row per (error_rate, depth) point."""
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(
+        [
+            "operation", "n", "m", "orders", "error_axis", "error_rate",
+            "depth", "success_rate", "lower_bar", "upper_bar",
+            "num_instances", "sigma",
+        ]
+    )
+    cfg = result.config
+    for rate in cfg.error_rates:
+        for depth in cfg.depths:
+            pr = result.points.get((rate, depth))
+            if pr is None:
+                continue
+            s = pr.summary
+            w.writerow(
+                [
+                    cfg.operation, cfg.n, cfg.m,
+                    f"{cfg.orders[0]}:{cfg.orders[1]}", cfg.error_axis,
+                    rate, pr.depth_label, f"{s.success_rate:.2f}",
+                    f"{s.lower_bar:.2f}", f"{s.upper_bar:.2f}",
+                    s.num_instances, f"{s.sigma:.2f}",
+                ]
+            )
+    return buf.getvalue()

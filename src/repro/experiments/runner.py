@@ -1,0 +1,144 @@
+"""Single-point execution: circuits, noise, simulation, verdicts.
+
+``run_point`` evaluates one cluster of the paper's figures: a fixed
+(operation, depth, error rate, superposition orders) cell, averaged over
+its instances.  Circuits are transpiled to the IBM basis once per
+(operation, widths, depth) and cached — only the injected initial state
+changes between instances, mirroring the paper's noise-free
+initialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..core.adders import qfa_circuit
+from ..core.multipliers import qfm_circuit
+from ..metrics.success import (
+    InstanceOutcome,
+    SuccessSummary,
+    evaluate_instance,
+    summarize,
+)
+from ..noise.model import NoiseModel
+from ..sim.engines import simulate_counts
+from ..transpile.passes import transpile
+from .config import SweepConfig
+from .instances import ArithmeticInstance
+
+__all__ = [
+    "build_arithmetic_circuit",
+    "noise_model_for",
+    "run_instance",
+    "run_point",
+    "PointResult",
+]
+
+
+@lru_cache(maxsize=64)
+def build_arithmetic_circuit(
+    operation: str, n: int, m: int, depth: Optional[int]
+) -> QuantumCircuit:
+    """The transpiled (IBM-basis) arithmetic circuit for a config cell.
+
+    Cached: the circuit depends only on the operation, register widths
+    and AQFT depth — never on operand values.
+    """
+    if operation == "add":
+        logical = qfa_circuit(n, m, depth=depth)
+    elif operation == "mul":
+        logical = qfm_circuit(n, m, depth=depth)
+    else:
+        raise ValueError(f"unknown operation {operation!r}")
+    return transpile(logical)
+
+
+def noise_model_for(
+    error_axis: str, rate: float, convention: str = "qiskit"
+) -> NoiseModel:
+    """The paper's isolated 1q- or 2q-depolarizing model at ``rate``."""
+    if rate == 0.0:
+        return NoiseModel.ideal()
+    if error_axis == "1q":
+        return NoiseModel.depolarizing(p1q=rate, convention=convention)
+    if error_axis == "2q":
+        return NoiseModel.depolarizing(p2q=rate, convention=convention)
+    raise ValueError(f"unknown error axis {error_axis!r}")
+
+
+def run_instance(
+    circuit: QuantumCircuit,
+    instance: ArithmeticInstance,
+    noise: NoiseModel,
+    shots: int,
+    trajectories: int,
+    rng: np.random.Generator,
+    method: str = "trajectory",
+) -> InstanceOutcome:
+    """Simulate one instance and apply the paper's success criterion."""
+    if noise.is_ideal:
+        method = "statevector"
+    counts = simulate_counts(
+        circuit,
+        noise,
+        shots=shots,
+        method=method,
+        trajectories=trajectories,
+        rng=rng,
+        initial_state=instance.initial_statevector(),
+    )
+    return evaluate_instance(counts, instance.correct_outcomes())
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One cluster point: (rate, depth) -> aggregated success stats."""
+
+    error_rate: float
+    depth: Optional[int]
+    depth_label: str
+    summary: SuccessSummary
+    outcomes: Tuple[InstanceOutcome, ...]
+
+
+def run_point(
+    config: SweepConfig,
+    instances: List[ArithmeticInstance],
+    error_rate: float,
+    depth: Optional[int],
+    rng: Optional[np.random.Generator] = None,
+) -> PointResult:
+    """Evaluate all instances of one (error rate, depth) cell."""
+    if rng is None:
+        # Deterministic per-cell stream, independent of execution order.
+        rng = np.random.default_rng(
+            (config.seed, int(error_rate * 1e7), depth or 0, 777)
+        )
+    circuit = build_arithmetic_circuit(
+        config.operation, config.n, config.m, depth
+    )
+    noise = noise_model_for(config.error_axis, error_rate, config.convention)
+    outcomes = [
+        run_instance(
+            circuit,
+            inst,
+            noise,
+            config.shots,
+            config.trajectories,
+            rng,
+            config.method,
+        )
+        for inst in instances
+    ]
+    return PointResult(
+        error_rate=error_rate,
+        depth=depth,
+        depth_label=config.depth_label(depth),
+        summary=summarize(outcomes),
+        outcomes=tuple(outcomes),
+    )

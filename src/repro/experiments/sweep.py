@@ -1,0 +1,119 @@
+"""Grid sweeps over (error rate, depth) with optional process parallelism.
+
+A panel sweep is embarrassingly parallel over its cells; on multi-core
+hosts cells are distributed with :class:`concurrent.futures.
+ProcessPoolExecutor` (each worker rebuilds its cached circuit once —
+cheap next to the simulation).  On single-core hosts the executor is
+skipped entirely, as the HPC guides advise: vectorisation inside the
+trajectory engine is the lever, processes only add overhead there.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .config import SweepConfig
+from .instances import ArithmeticInstance, generate_instances
+from .runner import PointResult, run_point
+
+__all__ = ["SweepResult", "run_sweep", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker processes to use: cpu_count - 1, at least 1."""
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
+@dataclass
+class SweepResult:
+    """All points of one panel, indexed by (error_rate, depth)."""
+
+    config: SweepConfig
+    points: Dict[Tuple[float, Optional[int]], PointResult]
+    instances: List[ArithmeticInstance]
+    elapsed_seconds: float = 0.0
+
+    def point(self, error_rate: float, depth: Optional[int]) -> PointResult:
+        """The point at one (error rate, depth) cell (KeyError if absent)."""
+        return self.points[(error_rate, depth)]
+
+    def series(self, depth: Optional[int]) -> List[PointResult]:
+        """The success-vs-rate curve of one depth, ordered by rate."""
+        return [
+            self.points[(r, depth)]
+            for r in self.config.error_rates
+            if (r, depth) in self.points
+        ]
+
+    def best_depth(self, error_rate: float) -> Tuple[Optional[int], float]:
+        """(depth, success %) of the best depth at one error rate."""
+        best, best_rate = None, -1.0
+        for d in self.config.depths:
+            pr = self.points.get((error_rate, d))
+            if pr is not None and pr.summary.success_rate > best_rate:
+                best, best_rate = d, pr.summary.success_rate
+        return best, best_rate
+
+
+def _run_cell(args) -> Tuple[Tuple[float, Optional[int]], PointResult]:
+    config, instances, rate, depth = args
+    return (rate, depth), run_point(config, instances, rate, depth)
+
+
+def run_sweep(
+    config: SweepConfig,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    instances: Optional[List[ArithmeticInstance]] = None,
+) -> SweepResult:
+    """Run every (rate, depth) cell of ``config``.
+
+    ``instances`` may be supplied to share one operand set across panels
+    (the paper reuses each row's instances across both error axes);
+    otherwise they are generated from ``config.seed``.
+    """
+    if instances is None:
+        instances = generate_instances(
+            config.operation,
+            config.n,
+            config.m,
+            config.orders,
+            config.instances,
+            config.seed,
+        )
+    cells = [
+        (config, instances, rate, depth)
+        for rate in config.error_rates
+        for depth in config.depths
+    ]
+    workers = default_workers() if workers is None else max(1, workers)
+    t0 = time.time()
+    points: Dict[Tuple[float, Optional[int]], PointResult] = {}
+    if workers == 1 or len(cells) == 1:
+        for i, cell in enumerate(cells):
+            key, result = _run_cell(cell)
+            points[key] = result
+            if progress:
+                progress(
+                    f"[{i + 1}/{len(cells)}] rate={key[0]:.4f} "
+                    f"depth={result.depth_label}: {result.summary}"
+                )
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for i, (key, result) in enumerate(pool.map(_run_cell, cells)):
+                points[key] = result
+                if progress:
+                    progress(
+                        f"[{i + 1}/{len(cells)}] rate={key[0]:.4f} "
+                        f"depth={result.depth_label}: {result.summary}"
+                    )
+    return SweepResult(
+        config=config,
+        points=points,
+        instances=instances,
+        elapsed_seconds=time.time() - t0,
+    )

@@ -1,0 +1,27 @@
+"""Success metrics and fidelities."""
+
+from .fidelity import (
+    counts_distance,
+    hellinger_fidelity,
+    state_fidelity,
+    total_variation_distance,
+)
+from .success import (
+    InstanceOutcome,
+    SuccessSummary,
+    evaluate_instance,
+    evaluate_instance_fidelity,
+    summarize,
+)
+
+__all__ = [
+    "evaluate_instance",
+    "evaluate_instance_fidelity",
+    "InstanceOutcome",
+    "summarize",
+    "SuccessSummary",
+    "state_fidelity",
+    "hellinger_fidelity",
+    "total_variation_distance",
+    "counts_distance",
+]

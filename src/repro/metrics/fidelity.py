@@ -1,0 +1,91 @@
+"""State and distribution fidelities.
+
+The paper's closing discussion (§4) points at quantum state fidelity
+[Jozsa 1994] as the more advanced success metric for the heavy-noise
+regime; these utilities implement it along with the classical
+distribution distances used for engine cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..sim.density import DensityMatrix
+from ..sim.result import Counts, Distribution
+
+__all__ = [
+    "state_fidelity",
+    "hellinger_fidelity",
+    "total_variation_distance",
+    "counts_distance",
+]
+
+StateLike = Union[np.ndarray, DensityMatrix]
+
+
+def _as_array(state: StateLike) -> np.ndarray:
+    if isinstance(state, DensityMatrix):
+        return state.data
+    return np.asarray(state, dtype=complex)
+
+
+def state_fidelity(a: StateLike, b: StateLike) -> float:
+    """Jozsa fidelity F(a, b) for pure and/or mixed states.
+
+    Pure/pure: ``|<a|b>|^2``.  Pure/mixed: ``<a| rho |b=a>``.
+    Mixed/mixed: ``(tr sqrt(sqrt(rho) sigma sqrt(rho)))^2``.
+    """
+    A, B = _as_array(a), _as_array(b)
+    if A.ndim == 1 and B.ndim == 1:
+        return float(abs(np.vdot(A, B)) ** 2)
+    if A.ndim == 1:
+        return float(np.real(A.conj() @ B @ A))
+    if B.ndim == 1:
+        return float(np.real(B.conj() @ A @ B))
+    # General mixed-mixed case via eigen square roots.
+    w, v = np.linalg.eigh(A)
+    w = np.clip(w, 0.0, None)
+    sqrt_a = (v * np.sqrt(w)) @ v.conj().T
+    inner = sqrt_a @ B @ sqrt_a
+    ew = np.linalg.eigvalsh((inner + inner.conj().T) / 2)
+    ew = np.clip(ew, 0.0, None)
+    return float(np.sqrt(ew).sum() ** 2)
+
+
+def _as_probs(d: Union[Distribution, Counts, np.ndarray]) -> np.ndarray:
+    if isinstance(d, Distribution):
+        return d.probs
+    if isinstance(d, Counts):
+        arr = d.to_array().astype(float)
+        return arr / arr.sum()
+    arr = np.asarray(d, dtype=float)
+    return arr / arr.sum()
+
+
+def hellinger_fidelity(
+    a: Union[Distribution, Counts, np.ndarray],
+    b: Union[Distribution, Counts, np.ndarray],
+) -> float:
+    """``(sum_i sqrt(p_i q_i))^2`` — 1 for identical distributions."""
+    pa, pb = _as_probs(a), _as_probs(b)
+    if pa.shape != pb.shape:
+        raise ValueError(f"shape mismatch: {pa.shape} vs {pb.shape}")
+    return float(np.sqrt(pa * pb).sum() ** 2)
+
+
+def total_variation_distance(
+    a: Union[Distribution, Counts, np.ndarray],
+    b: Union[Distribution, Counts, np.ndarray],
+) -> float:
+    """``0.5 * sum_i |p_i - q_i|`` — 0 for identical distributions."""
+    pa, pb = _as_probs(a), _as_probs(b)
+    if pa.shape != pb.shape:
+        raise ValueError(f"shape mismatch: {pa.shape} vs {pb.shape}")
+    return float(0.5 * np.abs(pa - pb).sum())
+
+
+def counts_distance(a: Counts, b: Counts) -> float:
+    """TVD between two empirical counts (engine cross-checks)."""
+    return total_variation_distance(a, b)

@@ -1,0 +1,164 @@
+"""The paper's success metric (§4).
+
+Per instance: simulate the arithmetic circuit for ``shots`` shots and
+tabulate outputs.  The instance is *successful* when no incorrect output
+out-counts any correct output — i.e. ``max(incorrect counts) <=
+min(correct counts)``, with strict inequality required to fail (ties
+survive, matching the paper's "if any incorrect output possessed more
+counts than any one of the correct outputs").
+
+Per point (cluster): the success rate over instances, plus the error-bar
+statistic: each instance records the minimum difference between any
+correct and any incorrect output count; ``sigma`` is the standard
+deviation of those differences across instances, and the lower/upper
+error bars count the successful/unsuccessful instances that would flip
+within one sigma.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Sequence
+
+import numpy as np
+
+from ..sim.result import Counts
+
+__all__ = [
+    "InstanceOutcome",
+    "evaluate_instance",
+    "evaluate_instance_fidelity",
+    "SuccessSummary",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class InstanceOutcome:
+    """One arithmetic instance's verdict.
+
+    ``min_diff`` = min over (correct, incorrect) output pairs of
+    (correct count - incorrect count); positive iff successful with
+    margin, <= 0 iff some incorrect output ties or beats a correct one.
+    """
+
+    success: bool
+    min_diff: int
+    shots: int
+
+    @property
+    def margin(self) -> float:
+        """min_diff as a fraction of shots."""
+        return self.min_diff / self.shots if self.shots else 0.0
+
+
+def evaluate_instance(
+    counts: Counts, correct: FrozenSet[int]
+) -> InstanceOutcome:
+    """Apply the paper's criterion to one instance's counts."""
+    if not correct:
+        raise ValueError("correct outcome set is empty")
+    correct_counts = [counts.get(o) for o in correct]
+    min_correct = min(correct_counts)
+    max_incorrect = 0
+    for outcome, c in counts.items():
+        if outcome not in correct and c > max_incorrect:
+            max_incorrect = c
+    min_diff = min_correct - max_incorrect
+    # Fail only when strictly out-counted.
+    success = max_incorrect <= min_correct
+    return InstanceOutcome(success, min_diff, counts.shots)
+
+
+def evaluate_instance_fidelity(
+    counts: Counts,
+    correct: FrozenSet[int],
+    threshold: float = 0.5,
+) -> InstanceOutcome:
+    """The paper's suggested 'more advanced success metric' (§4):
+    classical fidelity of the measured distribution against the ideal
+    one (uniform over the correct outcomes), thresholded.
+
+    The Hellinger fidelity ``(sum_i sqrt(p_i q_i))**2`` between the
+    empirical distribution and the uniform-correct target is compared
+    with ``threshold``.  ``min_diff`` is repurposed as the signed
+    distance to threshold in shot units, so :func:`summarize` and its
+    error-bar machinery apply unchanged.
+    """
+    if not correct:
+        raise ValueError("correct outcome set is empty")
+    if not 0 < threshold < 1:
+        raise ValueError("threshold must be in (0, 1)")
+    shots = counts.shots
+    q = 1.0 / len(correct)
+    fid = (
+        sum(
+            math.sqrt((counts.get(o) / shots) * q) for o in correct
+        )
+        ** 2
+        if shots
+        else 0.0
+    )
+    margin = int(round((fid - threshold) * shots))
+    return InstanceOutcome(fid >= threshold, margin, shots)
+
+
+@dataclass
+class SuccessSummary:
+    """Aggregate of one figure point (one cluster position)."""
+
+    num_instances: int
+    num_success: int
+    sigma: float
+    lower_flip: int  # successes within one sigma of failing
+    upper_flip: int  # failures within one sigma of succeeding
+    mean_min_diff: float
+
+    @property
+    def success_rate(self) -> float:
+        """Success percentage (the figures' vertical axis)."""
+        if self.num_instances == 0:
+            return 0.0
+        return 100.0 * self.num_success / self.num_instances
+
+    @property
+    def lower_bar(self) -> float:
+        """Lower error bar, in percentage points."""
+        if self.num_instances == 0:
+            return 0.0
+        return 100.0 * self.lower_flip / self.num_instances
+
+    @property
+    def upper_bar(self) -> float:
+        """Upper error bar, in percentage points."""
+        if self.num_instances == 0:
+            return 0.0
+        return 100.0 * self.upper_flip / self.num_instances
+
+    def __str__(self) -> str:
+        return (
+            f"{self.success_rate:5.1f}% "
+            f"(-{self.lower_bar:.1f}/+{self.upper_bar:.1f}, "
+            f"n={self.num_instances})"
+        )
+
+
+def summarize(outcomes: Sequence[InstanceOutcome]) -> SuccessSummary:
+    """Aggregate instance outcomes into a figure point."""
+    n = len(outcomes)
+    if n == 0:
+        return SuccessSummary(0, 0, 0.0, 0, 0, 0.0)
+    diffs = np.array([o.min_diff for o in outcomes], dtype=float)
+    sigma = float(diffs.std(ddof=0))
+    successes = sum(1 for o in outcomes if o.success)
+    lower = sum(1 for o in outcomes if o.success and o.min_diff - sigma <= 0)
+    upper = sum(1 for o in outcomes if not o.success and o.min_diff + sigma > 0)
+    return SuccessSummary(
+        num_instances=n,
+        num_success=successes,
+        sigma=sigma,
+        lower_flip=lower,
+        upper_flip=upper,
+        mean_min_diff=float(diffs.mean()),
+    )

@@ -1,0 +1,17 @@
+"""Error mitigation (paper §5 future work): readout mitigation + ZNE."""
+
+from .readout import (
+    TensoredReadoutMitigator,
+    calibration_circuits,
+    mitigate_counts,
+)
+from .zne import richardson_extrapolate, scale_noise_model, zne_expectation
+
+__all__ = [
+    "calibration_circuits",
+    "TensoredReadoutMitigator",
+    "mitigate_counts",
+    "scale_noise_model",
+    "richardson_extrapolate",
+    "zne_expectation",
+]

@@ -1,0 +1,118 @@
+"""Measurement-error mitigation (paper §5: "the impact of error
+mitigation ... deferred to a future work").
+
+Tensored readout mitigation: the measured distribution relates to the
+true one through a product of per-qubit assignment matrices,
+``p_meas = (A_0 (x) ... (x) A_{n-1}) p_true``.  Two calibration
+executions — all qubits prepared |0> and all prepared |1> — estimate
+every ``A_q``; inverting them qubit-by-qubit (the same tensor kernels
+the simulator uses) recovers a quasi-probability vector, which is
+clipped and renormalised in the usual way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..sim.ops import apply_gate_matrix
+from ..sim.result import Counts, Distribution
+
+__all__ = [
+    "calibration_circuits",
+    "TensoredReadoutMitigator",
+    "mitigate_counts",
+]
+
+
+def calibration_circuits(num_qubits: int) -> List[QuantumCircuit]:
+    """The two tensored-calibration circuits: |0...0> and |1...1>."""
+    zeros = QuantumCircuit(num_qubits)
+    zeros.name = "cal_zeros"
+    for q in range(num_qubits):
+        zeros.id(q)
+    ones = QuantumCircuit(num_qubits)
+    ones.name = "cal_ones"
+    for q in range(num_qubits):
+        ones.x(q)
+    return [zeros, ones]
+
+
+class TensoredReadoutMitigator:
+    """Per-qubit assignment matrices estimated from calibration counts.
+
+    Parameters
+    ----------
+    zeros_counts, ones_counts:
+        Measured counts of the two :func:`calibration_circuits` runs.
+    """
+
+    def __init__(self, zeros_counts: Counts, ones_counts: Counts) -> None:
+        if zeros_counts.num_qubits != ones_counts.num_qubits:
+            raise ValueError("calibration runs disagree on qubit count")
+        n = zeros_counts.num_qubits
+        self.num_qubits = n
+        self.assignment: List[np.ndarray] = []
+        for q in range(n):
+            # P(read 1 | prepared 0) from the zeros run, and vice versa.
+            p01 = _bit_mean(zeros_counts, q)
+            p10 = 1.0 - _bit_mean(ones_counts, q)
+            A = np.array([[1 - p01, p10], [p01, 1 - p10]], dtype=float)
+            if abs(np.linalg.det(A)) < 1e-6:
+                raise ValueError(
+                    f"assignment matrix for qubit {q} is singular "
+                    f"(p01={p01:.3f}, p10={p10:.3f})"
+                )
+            self.assignment.append(A)
+
+    @classmethod
+    def from_probabilities(
+        cls, p01s: Sequence[float], p10s: Optional[Sequence[float]] = None
+    ) -> "TensoredReadoutMitigator":
+        """Build directly from known flip probabilities (testing aid)."""
+        if p10s is None:
+            p10s = p01s
+        n = len(p01s)
+        fake_zero = Counts({0: 1}, n)
+        fake_one = Counts({(1 << n) - 1: 1}, n)
+        obj = cls(fake_zero, fake_one)
+        obj.assignment = [
+            np.array([[1 - a, b], [a, 1 - b]], dtype=float)
+            for a, b in zip(p01s, p10s)
+        ]
+        return obj
+
+    def mitigate(self, counts: Counts) -> Distribution:
+        """Invert the assignment tensor on the empirical distribution.
+
+        The raw inverse may dip below zero (quasi-probabilities);
+        the result is clipped and renormalised.
+        """
+        if counts.num_qubits != self.num_qubits:
+            raise ValueError("counts width does not match mitigator")
+        vec = counts.to_array().astype(complex).reshape(1, -1)
+        vec /= vec.sum()
+        for q, A in enumerate(self.assignment):
+            inv = np.linalg.inv(A).astype(complex)
+            vec = apply_gate_matrix(vec, inv, (q,), self.num_qubits)
+        probs = np.clip(np.real(vec[0]), 0.0, None)
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("mitigation produced an empty distribution")
+        return Distribution(probs / total, self.num_qubits)
+
+
+def _bit_mean(counts: Counts, q: int) -> float:
+    """Fraction of shots with bit ``q`` set."""
+    total = counts.shots
+    hits = sum(c for outcome, c in counts.items() if (outcome >> q) & 1)
+    return hits / total if total else 0.0
+
+
+def mitigate_counts(
+    counts: Counts, mitigator: TensoredReadoutMitigator
+) -> Distribution:
+    """Convenience wrapper around :meth:`TensoredReadoutMitigator.mitigate`."""
+    return mitigator.mitigate(counts)

@@ -1,0 +1,63 @@
+"""Noise channels, noise models, and IBM-style presets."""
+
+from .channels import (
+    KrausError,
+    NoiseError,
+    PauliError,
+    QuantumError,
+    ReadoutError,
+    ResetError,
+    amplitude_damping_error,
+    bit_flip_error,
+    depolarizing_error,
+    phase_damping_error,
+    phase_flip_error,
+    thermal_relaxation_error,
+)
+from .ibm import (
+    IBM_P1Q_REFERENCE,
+    IBM_P2Q_REFERENCE,
+    P1Q_SWEEP,
+    P2Q_SWEEP,
+    ibm_reference_model,
+    sweep_1q_models,
+    sweep_2q_models,
+)
+from .model import GATES_1Q_DEFAULT, GATES_2Q_DEFAULT, NoiseModel
+from .pauli import (
+    all_pauli_strings,
+    compose_paulis,
+    nontrivial_pauli_strings,
+    pauli_matrix,
+    pauli_weight,
+)
+
+__all__ = [
+    "NoiseModel",
+    "QuantumError",
+    "PauliError",
+    "KrausError",
+    "ResetError",
+    "ReadoutError",
+    "NoiseError",
+    "depolarizing_error",
+    "bit_flip_error",
+    "phase_flip_error",
+    "amplitude_damping_error",
+    "phase_damping_error",
+    "thermal_relaxation_error",
+    "GATES_1Q_DEFAULT",
+    "GATES_2Q_DEFAULT",
+    "IBM_P1Q_REFERENCE",
+    "IBM_P2Q_REFERENCE",
+    "P1Q_SWEEP",
+    "P2Q_SWEEP",
+    "ibm_reference_model",
+    "sweep_1q_models",
+    "sweep_2q_models",
+    "pauli_matrix",
+    "all_pauli_strings",
+    "nontrivial_pauli_strings",
+    "pauli_weight",
+    "compose_paulis",
+]

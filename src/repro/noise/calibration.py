@@ -1,0 +1,171 @@
+"""Synthetic backend calibrations -> per-qubit noise models.
+
+The paper uses *uniform* gate error rates "designed to reflect the
+current performance of IBM superconducting quantum computers (though
+with qubit counts and connectivity not currently available)".  Real
+calibration data is per-qubit and per-edge; this module generates
+synthetic calibration snapshots with IBM-era statistics and builds the
+corresponding qubit-resolved :class:`NoiseModel` — the substitution for
+the proprietary backend-properties API (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..transpile.layout import CouplingMap, full_coupling
+from .channels import ReadoutError, depolarizing_error, thermal_relaxation_error
+from .model import GATES_1Q_DEFAULT, NoiseModel
+
+__all__ = ["QubitCalibration", "BackendCalibration", "synthetic_calibration"]
+
+
+@dataclass(frozen=True)
+class QubitCalibration:
+    """One qubit's calibration snapshot (IBM-properties shaped)."""
+
+    t1_us: float
+    t2_us: float
+    error_1q: float
+    readout_p01: float
+    readout_p10: float
+
+    def validate(self) -> None:
+        """Range-check every field; raises ValueError when unphysical."""
+        if self.t1_us <= 0 or self.t2_us <= 0:
+            raise ValueError("T1/T2 must be positive")
+        if self.t2_us > 2 * self.t1_us:
+            raise ValueError("T2 must be <= 2*T1")
+        for p in (self.error_1q, self.readout_p01, self.readout_p10):
+            if not 0 <= p <= 1:
+                raise ValueError(f"probability {p} out of range")
+
+
+@dataclass
+class BackendCalibration:
+    """A full device snapshot: per-qubit data plus per-edge CX errors."""
+
+    qubits: List[QubitCalibration]
+    cx_errors: Dict[Tuple[int, int], float]
+    coupling: CouplingMap
+    gate_time_1q_ns: float = 35.0
+    gate_time_2q_ns: float = 300.0
+    name: str = "synthetic"
+
+    @property
+    def num_qubits(self) -> int:
+        """Device size."""
+        return len(self.qubits)
+
+    def mean_error_1q(self) -> float:
+        """Average per-qubit 1q gate error."""
+        return float(np.mean([q.error_1q for q in self.qubits]))
+
+    def mean_error_2q(self) -> float:
+        """Average per-edge CX error."""
+        return float(np.mean(list(self.cx_errors.values())))
+
+    def to_noise_model(
+        self,
+        include_thermal: bool = False,
+        include_readout: bool = True,
+        gates_1q: Sequence[str] = GATES_1Q_DEFAULT,
+    ) -> NoiseModel:
+        """Qubit-resolved noise model from this snapshot.
+
+        Depolarizing errors are attached per qubit (1q) and per directed
+        edge (2q); optionally layered with thermal relaxation from the
+        per-qubit T1/T2 and the snapshot's gate durations, and with the
+        per-qubit readout assignment errors.
+        """
+        model = NoiseModel(name=f"calibrated({self.name})")
+        for q, cal in enumerate(self.qubits):
+            cal.validate()
+            err = depolarizing_error(cal.error_1q, 1)
+            for g in gates_1q:
+                model.add_quantum_error(err, g, [q])
+            if include_thermal:
+                th = thermal_relaxation_error(
+                    cal.t1_us * 1e3, cal.t2_us * 1e3, self.gate_time_1q_ns
+                )
+                for g in gates_1q:
+                    model.add_quantum_error(th, g, [q])
+            if include_readout:
+                model.add_readout_error(
+                    ReadoutError(cal.readout_p01, cal.readout_p10), qubit=q
+                )
+        for (a, b), p in self.cx_errors.items():
+            err = depolarizing_error(p, 2)
+            model.add_quantum_error(err, "cx", [a, b])
+            model.add_quantum_error(err, "cx", [b, a])
+            if include_thermal:
+                # A 1q thermal channel attached to a 2q gate is expanded
+                # over both qubits by the engines; use the slower qubit's
+                # relaxation as the conservative shared channel.
+                slow = min((a, b), key=lambda q: self.qubits[q].t1_us)
+                th = thermal_relaxation_error(
+                    self.qubits[slow].t1_us * 1e3,
+                    self.qubits[slow].t2_us * 1e3,
+                    self.gate_time_2q_ns,
+                )
+                model.add_quantum_error(th, "cx", [a, b])
+                model.add_quantum_error(th, "cx", [b, a])
+        return model
+
+
+def synthetic_calibration(
+    num_qubits: int,
+    seed: int = 0,
+    coupling: Optional[CouplingMap] = None,
+    mean_error_1q: float = 0.002,
+    mean_error_2q: float = 0.010,
+    spread: float = 0.35,
+    mean_t1_us: float = 100.0,
+    mean_readout: float = 0.02,
+) -> BackendCalibration:
+    """Generate a plausible IBM-style snapshot.
+
+    Per-qubit quantities are log-normally scattered around the supplied
+    means (``spread`` is the log-space sigma), matching the order-of-
+    magnitude variation real calibration tables show.
+    """
+    rng = np.random.default_rng(seed)
+    if coupling is None:
+        coupling = full_coupling(num_qubits)
+    if coupling.size < num_qubits:
+        raise ValueError("coupling map smaller than qubit count")
+
+    def scatter(mean: float, size: int) -> np.ndarray:
+        return mean * rng.lognormal(mean=0.0, sigma=spread, size=size)
+
+    t1 = scatter(mean_t1_us, num_qubits)
+    # T2 <= 2*T1, typically below T1 on IBM devices.
+    t2 = np.minimum(scatter(mean_t1_us * 0.8, num_qubits), 2 * t1 * 0.99)
+    e1 = np.clip(scatter(mean_error_1q, num_qubits), 1e-6, 0.5)
+    ro = np.clip(scatter(mean_readout, 2 * num_qubits), 1e-5, 0.5)
+    qubits = [
+        QubitCalibration(
+            t1_us=float(t1[q]),
+            t2_us=float(t2[q]),
+            error_1q=float(e1[q]),
+            readout_p01=float(ro[2 * q]),
+            readout_p10=float(ro[2 * q + 1]),
+        )
+        for q in range(num_qubits)
+    ]
+    edges = [
+        (a, b)
+        for (a, b) in coupling.edges
+        if a < num_qubits and b < num_qubits
+    ]
+    e2 = np.clip(scatter(mean_error_2q, len(edges)), 1e-5, 0.5)
+    cx_errors = {edge: float(p) for edge, p in zip(edges, e2)}
+    return BackendCalibration(
+        qubits=qubits,
+        cx_errors=cx_errors,
+        coupling=coupling,
+        name=f"synthetic(seed={seed})",
+    )

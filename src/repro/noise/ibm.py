@@ -1,0 +1,67 @@
+"""IBM-superconducting-style noise presets.
+
+The paper calibrates its sweeps around the average reported performance
+of IBM superconducting machines circa the study: 0.2% single-qubit and
+1.0% two-qubit (CX) depolarizing gate error.  These presets capture the
+reference points and the exact sweep grids used in Figs. 3 and 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .model import NoiseModel
+
+__all__ = [
+    "IBM_P1Q_REFERENCE",
+    "IBM_P2Q_REFERENCE",
+    "P1Q_SWEEP",
+    "P2Q_SWEEP",
+    "ibm_reference_model",
+    "sweep_1q_models",
+    "sweep_2q_models",
+]
+
+#: Average reported 1q gate error of IBM machines (paper §4, dashed line).
+IBM_P1Q_REFERENCE = 0.002
+
+#: Average reported 2q (CX) gate error of IBM machines (paper §4).
+IBM_P2Q_REFERENCE = 0.010
+
+#: 1q error-rate grid of the figure left columns (fractions, not %).
+#: The x-origin (0.0) is the noise-free reference simulation.
+P1Q_SWEEP: Tuple[float, ...] = (0.0, 0.002, 0.003, 0.004, 0.005)
+
+#: 2q error-rate grid of the figure right columns.
+P2Q_SWEEP: Tuple[float, ...] = (0.0, 0.007, 0.010, 0.015, 0.020)
+
+
+def ibm_reference_model(convention: str = "qiskit") -> NoiseModel:
+    """Both error types at the IBM reference rates simultaneously.
+
+    The paper's figures isolate one error type at a time; this combined
+    model supports the §5 'simultaneous simulation' extension.
+    """
+    return NoiseModel.depolarizing(
+        p1q=IBM_P1Q_REFERENCE, p2q=IBM_P2Q_REFERENCE, convention=convention
+    )
+
+
+def sweep_1q_models(
+    rates: Tuple[float, ...] = P1Q_SWEEP, convention: str = "qiskit"
+) -> List[Tuple[float, NoiseModel]]:
+    """(rate, model) pairs for a 1q-only sweep (figure left columns)."""
+    return [
+        (r, NoiseModel.depolarizing(p1q=r, convention=convention))
+        for r in rates
+    ]
+
+
+def sweep_2q_models(
+    rates: Tuple[float, ...] = P2Q_SWEEP, convention: str = "qiskit"
+) -> List[Tuple[float, NoiseModel]]:
+    """(rate, model) pairs for a 2q-only sweep (figure right columns)."""
+    return [
+        (r, NoiseModel.depolarizing(p2q=r, convention=convention))
+        for r in rates
+    ]

@@ -1,0 +1,183 @@
+"""Noise models: mapping circuit instructions to error channels.
+
+A :class:`NoiseModel` mirrors the Aer concept used by the paper: errors
+are attached to *gate names* (optionally to specific qubits), and every
+matching instruction in a simulated circuit is followed by its error
+channel.  The paper's models attach a 1q depolarizing channel to every
+single-qubit basis gate and a 2q depolarizing channel to ``cx``, with all
+other error sources (reset, readout, thermal) disabled — those channels
+are still supported here for the §5 extension experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import Instruction
+from .channels import (
+    NoiseError,
+    QuantumError,
+    ReadoutError,
+    depolarizing_error,
+    thermal_relaxation_error,
+)
+
+__all__ = ["NoiseModel", "GATES_1Q_DEFAULT", "GATES_2Q_DEFAULT"]
+
+# The IBM universal basis used throughout the paper (§4): Id, X, RZ, SX, CX.
+GATES_1Q_DEFAULT: Tuple[str, ...] = ("id", "x", "sx", "rz")
+GATES_2Q_DEFAULT: Tuple[str, ...] = ("cx",)
+
+# Instruction names that never receive gate errors.
+_NEVER_NOISY = frozenset({"barrier", "measure", "reset"})
+
+
+class NoiseModel:
+    """Gate-keyed error channels plus readout error.
+
+    Use :meth:`add_all_qubit_quantum_error` for uniform noise (the
+    paper's setting) or :meth:`add_quantum_error` for qubit-specific
+    noise.  Qubit-specific entries take precedence over all-qubit ones.
+    """
+
+    def __init__(self, name: str = "noise") -> None:
+        self.name = name
+        self._all_qubit: Dict[str, List[QuantumError]] = {}
+        self._local: Dict[Tuple[str, Tuple[int, ...]], List[QuantumError]] = {}
+        self._readout_all: Optional[ReadoutError] = None
+        self._readout_local: Dict[int, ReadoutError] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_all_qubit_quantum_error(
+        self, error: QuantumError, gate_names: Iterable[str]
+    ) -> "NoiseModel":
+        """Attach ``error`` after every occurrence of the named gates."""
+        for name in gate_names:
+            if name in _NEVER_NOISY:
+                raise NoiseError(f"cannot attach gate error to {name!r}")
+            self._all_qubit.setdefault(name, []).append(error)
+        return self
+
+    def add_quantum_error(
+        self,
+        error: QuantumError,
+        gate_name: str,
+        qubits: Sequence[int],
+    ) -> "NoiseModel":
+        """Attach ``error`` to ``gate_name`` on the exact qubit tuple."""
+        if gate_name in _NEVER_NOISY:
+            raise NoiseError(f"cannot attach gate error to {gate_name!r}")
+        key = (gate_name, tuple(int(q) for q in qubits))
+        self._local.setdefault(key, []).append(error)
+        return self
+
+    def add_readout_error(
+        self, error: ReadoutError, qubit: Optional[int] = None
+    ) -> "NoiseModel":
+        """Attach a readout error to one qubit, or to all if ``None``."""
+        if qubit is None:
+            self._readout_all = error
+        else:
+            self._readout_local[int(qubit)] = error
+        return self
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def gate_errors(self, instr: Instruction) -> List[QuantumError]:
+        """Error channels to apply after ``instr`` (possibly empty)."""
+        name = instr.gate.name
+        if name in _NEVER_NOISY:
+            return []
+        local = self._local.get((name, instr.qubits))
+        if local is not None:
+            return local
+        return self._all_qubit.get(name, [])
+
+    def readout_error(self, qubit: int) -> Optional[ReadoutError]:
+        """Readout error for ``qubit``, or ``None``."""
+        return self._readout_local.get(qubit, self._readout_all)
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when the model contains no errors at all."""
+        return not (
+            self._all_qubit
+            or self._local
+            or self._readout_all
+            or self._readout_local
+        )
+
+    @property
+    def noisy_gate_names(self) -> Tuple[str, ...]:
+        """Sorted names of gates that carry at least one error."""
+        names = set(self._all_qubit)
+        names.update(k[0] for k in self._local)
+        return tuple(sorted(names))
+
+    def __repr__(self) -> str:
+        return (
+            f"<NoiseModel {self.name!r}: gates={list(self.noisy_gate_names)}, "
+            f"readout={'yes' if self._readout_all or self._readout_local else 'no'}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors (the paper's models)
+    # ------------------------------------------------------------------
+    @classmethod
+    def ideal(cls) -> "NoiseModel":
+        """The noise-free reference model (x-origin points in Figs. 3-4)."""
+        return cls(name="ideal")
+
+    @classmethod
+    def depolarizing(
+        cls,
+        p1q: float = 0.0,
+        p2q: float = 0.0,
+        gates_1q: Sequence[str] = GATES_1Q_DEFAULT,
+        gates_2q: Sequence[str] = GATES_2Q_DEFAULT,
+        convention: str = "qiskit",
+    ) -> "NoiseModel":
+        """The paper's model: isolated 1q-/2q-gate depolarizing errors.
+
+        ``p1q``/``p2q`` are *probabilities*, not percent — the paper's
+        0.2% 1q reference point is ``p1q=0.002``.
+        """
+        model = cls(name=f"depol(p1q={p1q}, p2q={p2q})")
+        if p1q > 0:
+            model.add_all_qubit_quantum_error(
+                depolarizing_error(p1q, 1, convention), gates_1q
+            )
+        if p2q > 0:
+            model.add_all_qubit_quantum_error(
+                depolarizing_error(p2q, 2, convention), gates_2q
+            )
+        return model
+
+    @classmethod
+    def thermal(
+        cls,
+        t1: float,
+        t2: float,
+        time_1q: float,
+        time_2q: float,
+        gates_1q: Sequence[str] = GATES_1Q_DEFAULT,
+        gates_2q: Sequence[str] = GATES_2Q_DEFAULT,
+        excited_state_population: float = 0.0,
+    ) -> "NoiseModel":
+        """T1/T2 relaxation attached per gate duration (§5 extension)."""
+        model = cls(name=f"thermal(t1={t1}, t2={t2})")
+        err1 = thermal_relaxation_error(
+            t1, t2, time_1q, excited_state_population
+        )
+        model.add_all_qubit_quantum_error(err1, gates_1q)
+        # A 2q gate relaxes both qubits independently; attach the 1q
+        # channel twice is wrong (it would hit only the first qubit), so
+        # the engines expand 1q channels onto each qubit of wider gates.
+        err2 = thermal_relaxation_error(
+            t1, t2, time_2q, excited_state_population
+        )
+        model.add_all_qubit_quantum_error(err2, gates_2q)
+        return model

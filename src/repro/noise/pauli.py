@@ -1,0 +1,91 @@
+"""Pauli-string utilities.
+
+A Pauli string is a str over ``"IXYZ"`` where character ``i`` acts on the
+``i``-th qubit *argument* of the gate it decorates (little-endian by list
+position — the same ordering as gate qubit arguments, so no reversal is
+ever needed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PAULI_CHARS",
+    "PAULI_MATRICES",
+    "pauli_matrix",
+    "all_pauli_strings",
+    "nontrivial_pauli_strings",
+    "pauli_weight",
+    "compose_paulis",
+]
+
+PAULI_CHARS = "IXYZ"
+
+PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+# Single-qubit Pauli multiplication table: (a, b) -> (phase, c) with
+# sigma_a sigma_b = phase * sigma_c.
+_MUL: dict = {}
+for _a in PAULI_CHARS:
+    for _b in PAULI_CHARS:
+        prod = PAULI_MATRICES[_a] @ PAULI_MATRICES[_b]
+        for _c in PAULI_CHARS:
+            for _ph in (1, -1, 1j, -1j):
+                if np.allclose(prod, _ph * PAULI_MATRICES[_c]):
+                    _MUL[(_a, _b)] = (_ph, _c)
+del _a, _b, _c, _ph, prod
+
+
+def pauli_matrix(label: str) -> np.ndarray:
+    """Little-endian matrix of a Pauli string (char i = qubit argument i)."""
+    if not label or any(ch not in PAULI_CHARS for ch in label):
+        raise ValueError(f"invalid Pauli label {label!r}")
+    # Matrix bit i corresponds to argument i => argument 0 is the LSB,
+    # which in a Kronecker product is the *rightmost* factor.
+    mat = PAULI_MATRICES[label[-1]]
+    for ch in reversed(label[:-1]):
+        mat = np.kron(mat, PAULI_MATRICES[ch])
+    return mat
+
+
+def all_pauli_strings(num_qubits: int) -> List[str]:
+    """All 4**n Pauli strings on ``num_qubits`` qubits, identity first."""
+    return [
+        "".join(t) for t in itertools.product(PAULI_CHARS, repeat=num_qubits)
+    ]
+
+
+def nontrivial_pauli_strings(num_qubits: int) -> List[str]:
+    """All Pauli strings except the identity."""
+    return [s for s in all_pauli_strings(num_qubits) if set(s) != {"I"}]
+
+
+def pauli_weight(label: str) -> int:
+    """Number of non-identity characters."""
+    return sum(1 for ch in label if ch != "I")
+
+
+def compose_paulis(a: str, b: str) -> Tuple[complex, str]:
+    """Product ``a @ b`` of two equal-length Pauli strings.
+
+    Returns ``(phase, string)`` with ``pauli(a) @ pauli(b) ==
+    phase * pauli(string)``.
+    """
+    if len(a) != len(b):
+        raise ValueError("Pauli strings must have equal length")
+    phase: complex = 1.0
+    out = []
+    for ca, cb in zip(a, b):
+        ph, cc = _MUL[(ca, cb)]
+        phase *= ph
+        out.append(cc)
+    return phase, "".join(out)

@@ -1,0 +1,29 @@
+"""Simulation engines: statevector, density matrix, trajectories,
+perturbative — plus the ``auto`` dispatcher used by the harness."""
+
+from .density import DensityMatrix, DensityMatrixEngine
+from .engines import (
+    choose_method,
+    simulate_counts,
+    simulate_distribution,
+)
+from .perturbative import PerturbativeEngine
+from .result import Counts, Distribution, extract_register_values
+from .statevector import Statevector, StatevectorEngine, zero_state
+from .trajectories import TrajectoryEngine
+
+__all__ = [
+    "StatevectorEngine",
+    "Statevector",
+    "DensityMatrixEngine",
+    "DensityMatrix",
+    "TrajectoryEngine",
+    "PerturbativeEngine",
+    "simulate_counts",
+    "simulate_distribution",
+    "choose_method",
+    "Counts",
+    "Distribution",
+    "extract_register_values",
+    "zero_state",
+]

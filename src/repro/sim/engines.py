@@ -1,0 +1,112 @@
+"""Engine dispatch: pick the right simulator for a (circuit, noise) pair.
+
+``method="auto"`` implements the strategy documented in DESIGN.md:
+ideal -> statevector; small noisy -> exact density matrix; large noisy ->
+batched trajectories.  ``simulate_counts`` is the single entry point the
+experiment harness uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.model import NoiseModel
+from .density import DensityMatrixEngine
+from .perturbative import PerturbativeEngine
+from .result import Counts, Distribution
+from .statevector import StatevectorEngine
+from .trajectories import TrajectoryEngine
+
+__all__ = ["simulate_counts", "simulate_distribution", "choose_method"]
+
+#: Largest register handled by the exact density-matrix engine in auto mode.
+DENSITY_MAX_QUBITS = 10
+
+
+def choose_method(
+    circuit: QuantumCircuit, noise_model: Optional[NoiseModel]
+) -> str:
+    """The auto-dispatch rule: statevector / density / trajectory."""
+    if noise_model is None or noise_model.is_ideal:
+        return "statevector"
+    if circuit.num_qubits <= DENSITY_MAX_QUBITS:
+        return "density"
+    return "trajectory"
+
+
+def simulate_distribution(
+    circuit: QuantumCircuit,
+    noise_model: Optional[NoiseModel] = None,
+    method: str = "auto",
+    max_order: int = 1,
+    initial_state: Optional[np.ndarray] = None,
+) -> Distribution:
+    """Exact (or deterministic-approximate) outcome distribution.
+
+    ``method`` in {"auto", "statevector", "density", "perturbative"}.
+    The trajectory engine is excluded here because its output is
+    stochastic — use :func:`simulate_counts` for sampled results.
+    """
+    from .density import _apply_readout_to_distribution
+
+    if method == "auto":
+        method = choose_method(circuit, noise_model)
+        if method == "trajectory":
+            method = "perturbative"
+    if method == "statevector":
+        dist = StatevectorEngine().distribution(circuit, initial_state)
+    elif method == "density":
+        # Readout folding happens inside the density path already.
+        return DensityMatrixEngine().distribution(
+            circuit, noise_model, initial_state
+        )
+    elif method == "perturbative":
+        dist = PerturbativeEngine(max_order=max_order).distribution(
+            circuit, noise_model, initial_state
+        )
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    if noise_model is not None:
+        dist = _apply_readout_to_distribution(
+            dist, noise_model, circuit.num_qubits
+        )
+    return dist
+
+
+def simulate_counts(
+    circuit: QuantumCircuit,
+    noise_model: Optional[NoiseModel] = None,
+    shots: int = 2048,
+    method: str = "auto",
+    trajectories: int = 128,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    initial_state: Optional[np.ndarray] = None,
+    dtype=np.complex128,
+    split_clean: bool = True,
+) -> Counts:
+    """Sampled measurement counts over all qubits.
+
+    The harness's single entry point.  ``method`` in {"auto",
+    "statevector", "density", "trajectory", "perturbative"}; non-
+    trajectory methods compute the exact distribution and sample it.
+    ``split_clean`` toggles the trajectory engine's exact ideal/erred
+    ensemble split (see :mod:`repro.sim.trajectories`).
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    if method == "auto":
+        method = choose_method(circuit, noise_model)
+    if method == "trajectory":
+        engine = TrajectoryEngine(
+            trajectories=trajectories, rng=rng, dtype=dtype,
+            split_clean=split_clean,
+        )
+        return engine.run(circuit, noise_model, shots, initial_state)
+    dist = simulate_distribution(
+        circuit, noise_model, method=method, initial_state=initial_state
+    )
+    return dist.sample(shots, rng)

@@ -1,0 +1,161 @@
+"""Measurement results: probability distributions and shot counts.
+
+Outcomes are integers whose bit ``q`` is the measured value of qubit
+``q`` (little-endian, consistent with the state layout).  Bitstring
+rendering is MSB-first, matching the paper's figures and Qiskit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Distribution", "Counts", "extract_register_values"]
+
+
+def extract_register_values(
+    outcomes: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Re-pack the listed qubit bits of each outcome into a small integer.
+
+    ``qubits[i]`` contributes bit ``i`` of the result — i.e. passing a
+    register's global indices (LSB first) recovers that register's
+    integer value from full-circuit outcomes.
+    """
+    outcomes = np.asarray(outcomes)
+    vals = np.zeros_like(outcomes)
+    for pos, q in enumerate(qubits):
+        vals |= ((outcomes >> q) & 1) << pos
+    return vals
+
+
+class Distribution:
+    """An exact probability distribution over measurement outcomes."""
+
+    def __init__(self, probs: np.ndarray, num_qubits: int) -> None:
+        probs = np.asarray(probs, dtype=float)
+        if probs.shape != (1 << num_qubits,):
+            raise ValueError(
+                f"probs has shape {probs.shape}, expected ({1 << num_qubits},)"
+            )
+        if np.any(probs < -1e-9):
+            raise ValueError("negative probability")
+        total = probs.sum()
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"probabilities sum to {total}")
+        self.probs = np.clip(probs, 0.0, None)
+        self.probs /= self.probs.sum()
+        self.num_qubits = int(num_qubits)
+
+    def sample(self, shots: int, rng: np.random.Generator) -> "Counts":
+        """Multinomial sampling of ``shots`` outcomes."""
+        raw = rng.multinomial(shots, self.probs)
+        return Counts.from_array(raw, self.num_qubits)
+
+    def marginal(self, qubits: Sequence[int]) -> "Distribution":
+        """Distribution over the listed qubits only (bit i = qubits[i])."""
+        k = len(qubits)
+        vals = extract_register_values(
+            np.arange(1 << self.num_qubits, dtype=np.int64), qubits
+        )
+        out = np.bincount(vals, weights=self.probs, minlength=1 << k)
+        return Distribution(out, k)
+
+    def top(self, k: int = 1) -> List[Tuple[int, float]]:
+        """The ``k`` most probable outcomes as (outcome, prob)."""
+        order = np.argsort(self.probs)[::-1][:k]
+        return [(int(i), float(self.probs[i])) for i in order]
+
+    def __repr__(self) -> str:
+        best = self.top(3)
+        body = ", ".join(f"{o}:{p:.3f}" for o, p in best)
+        return f"<Distribution {self.num_qubits}q: {body}, ...>"
+
+
+class Counts:
+    """Tabulated shot counts over measurement outcomes."""
+
+    def __init__(self, data: Dict[int, int], num_qubits: int) -> None:
+        self._data = {int(k): int(v) for k, v in data.items() if v > 0}
+        self.num_qubits = int(num_qubits)
+        for k in self._data:
+            if not 0 <= k < (1 << self.num_qubits):
+                raise ValueError(f"outcome {k} out of range for {num_qubits} qubits")
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray, num_qubits: int) -> "Counts":
+        """From a dense per-outcome count vector."""
+        nz = np.flatnonzero(arr)
+        return cls({int(i): int(arr[i]) for i in nz}, num_qubits)
+
+    @classmethod
+    def from_outcome_list(
+        cls, outcomes: np.ndarray, num_qubits: int
+    ) -> "Counts":
+        """From one outcome integer per shot."""
+        vals, cnt = np.unique(np.asarray(outcomes), return_counts=True)
+        return cls(dict(zip(vals.tolist(), cnt.tolist())), num_qubits)
+
+    # -- mapping-ish API ---------------------------------------------------
+    def __getitem__(self, outcome: int) -> int:
+        return self._data.get(int(outcome), 0)
+
+    def get(self, outcome: int, default: int = 0) -> int:
+        """Counts for ``outcome`` (``default`` if absent)."""
+        return self._data.get(int(outcome), default)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """(outcome, count) pairs, nonzero only."""
+        return self._data.items()
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Counts):
+            return NotImplemented
+        return self._data == other._data and self.num_qubits == other.num_qubits
+
+    @property
+    def shots(self) -> int:
+        """Total number of recorded shots."""
+        return sum(self._data.values())
+
+    def to_array(self) -> np.ndarray:
+        """Dense per-outcome count vector of length 2**num_qubits."""
+        out = np.zeros(1 << self.num_qubits, dtype=np.int64)
+        for k, v in self._data.items():
+            out[k] = v
+        return out
+
+    def most_common(self, k: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Outcomes by descending count (ties broken by outcome)."""
+        items = sorted(self._data.items(), key=lambda kv: (-kv[1], kv[0]))
+        return items if k is None else items[:k]
+
+    def bitstring_counts(self) -> Dict[str, int]:
+        """Counts keyed by MSB-first bitstrings."""
+        n = self.num_qubits
+        return {format(k, f"0{n}b"): v for k, v in self._data.items()}
+
+    def marginal(self, qubits: Sequence[int]) -> "Counts":
+        """Counts over the listed qubits (bit i of key = qubits[i])."""
+        out: Dict[int, int] = {}
+        for k, v in self._data.items():
+            m = int(extract_register_values(np.asarray([k]), qubits)[0])
+            out[m] = out.get(m, 0) + v
+        return Counts(out, len(qubits))
+
+    def to_distribution(self) -> Distribution:
+        """Empirical distribution (counts / shots)."""
+        arr = self.to_array().astype(float)
+        return Distribution(arr / arr.sum(), self.num_qubits)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}:{v}" for k, v in self.most_common(4))
+        more = "" if len(self._data) <= 4 else ", ..."
+        return f"<Counts {self.shots} shots: {body}{more}>"

@@ -1,0 +1,51 @@
+"""Transpilation to the IBM basis: decomposition, optimisation, routing."""
+
+from .basis import IBM_BASIS, BasisTarget, is_in_basis
+from .counts import GateCounts, gate_counts
+from .decompose import TranspileError, decompose_instruction, decompose_to_basis
+from .euler import euler_zyz_angles, zsx_sequence
+from .layout import (
+    CouplingMap,
+    Layout,
+    full_coupling,
+    grid_coupling,
+    heavy_hex_coupling,
+    linear_coupling,
+    ring_coupling,
+)
+from .optimize import (
+    cancel_adjacent_cx,
+    drop_identities,
+    merge_1q_runs,
+    optimize_circuit,
+)
+from .passes import PassManager, transpile
+from .routing import RoutingResult, route_circuit
+
+__all__ = [
+    "transpile",
+    "PassManager",
+    "IBM_BASIS",
+    "BasisTarget",
+    "is_in_basis",
+    "decompose_to_basis",
+    "decompose_instruction",
+    "TranspileError",
+    "euler_zyz_angles",
+    "zsx_sequence",
+    "gate_counts",
+    "GateCounts",
+    "optimize_circuit",
+    "merge_1q_runs",
+    "cancel_adjacent_cx",
+    "drop_identities",
+    "CouplingMap",
+    "Layout",
+    "full_coupling",
+    "linear_coupling",
+    "ring_coupling",
+    "grid_coupling",
+    "heavy_hex_coupling",
+    "route_circuit",
+    "RoutingResult",
+]

@@ -1,0 +1,47 @@
+"""Transpilation targets (gate bases).
+
+The study's target is the universal basis of IBM superconducting
+machines (paper §4): ``Id, X, RZ, SX, CX``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["IBM_BASIS", "BasisTarget", "is_in_basis"]
+
+#: The paper's transpilation basis.
+IBM_BASIS: FrozenSet[str] = frozenset({"id", "x", "rz", "sx", "cx"})
+
+#: Non-gate ops always allowed through transpilation.
+_STRUCTURAL = frozenset({"barrier", "measure", "reset"})
+
+
+class BasisTarget:
+    """A named set of allowed gate names."""
+
+    def __init__(self, names: Iterable[str], name: str = "custom") -> None:
+        self.names = frozenset(names)
+        self.name = name
+
+    def allows(self, gate_name: str) -> bool:
+        """Whether the named gate may appear in a transpiled circuit."""
+        return gate_name in self.names or gate_name in _STRUCTURAL
+
+    def __contains__(self, gate_name: str) -> bool:
+        return self.allows(gate_name)
+
+    def __repr__(self) -> str:
+        return f"BasisTarget({self.name}: {sorted(self.names)})"
+
+
+IBM_TARGET = BasisTarget(IBM_BASIS, "ibm")
+
+
+def is_in_basis(circuit: QuantumCircuit, basis: FrozenSet[str] = IBM_BASIS) -> bool:
+    """True when every op of ``circuit`` is a basis gate or structural."""
+    return all(
+        i.gate.name in basis or i.gate.name in _STRUCTURAL for i in circuit
+    )

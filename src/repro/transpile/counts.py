@@ -1,0 +1,56 @@
+"""Gate-count accounting (the paper's Table I quantities)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["GateCounts", "gate_counts"]
+
+_EXCLUDED = frozenset({"barrier", "measure", "reset"})
+
+
+@dataclass(frozen=True)
+class GateCounts:
+    """1q/2q gate totals plus the per-name breakdown."""
+
+    one_qubit: int
+    two_qubit: int
+    by_name: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        """1q + 2q gate total."""
+        return self.one_qubit + self.two_qubit
+
+    def __str__(self) -> str:
+        names = ", ".join(f"{k}:{v}" for k, v in sorted(self.by_name.items()))
+        return f"1q={self.one_qubit} 2q={self.two_qubit} ({names})"
+
+
+def gate_counts(circuit: QuantumCircuit) -> GateCounts:
+    """Count 1q and 2q gates, excluding barriers/measure/reset.
+
+    Matches the paper's Table I accounting: every single-qubit basis gate
+    (including RZ) counts toward 1q; CX (and any other two-qubit gate)
+    toward 2q.
+    """
+    one = two = 0
+    by_name: Dict[str, int] = {}
+    for instr in circuit:
+        name = instr.gate.name
+        if name in _EXCLUDED:
+            continue
+        by_name[name] = by_name.get(name, 0) + 1
+        if instr.gate.num_qubits == 1:
+            one += 1
+        elif instr.gate.num_qubits == 2:
+            two += 1
+        else:
+            # >2q gates should not survive transpilation; count as 2q
+            # equivalents is wrong, so track separately via by_name and
+            # raise visibility through neither bucket.
+            pass
+    return GateCounts(one, two, by_name)

@@ -1,0 +1,240 @@
+"""Gate decomposition to the IBM basis.
+
+Each logical gate has a rule mapping it to {id, x, rz, sx, cx}.  The
+rules are chosen to reproduce the gate-count accounting of the paper's
+Table I (see DESIGN.md and EXPERIMENTS.md):
+
+* ``cp(lam)``  -> 3 RZ + 2 CX  (the standard phase-gate ladder)
+* ``ccp(lam)`` -> 3 CP + 2 CX  -> 9 RZ + 8 CX
+* ``h``        -> RZ(pi/2) SX RZ(pi/2)
+* ``ch``       -> W on target, CX, W^dag on target with W = T H S; each
+  three-gate 1q run is resynthesised to <= 3 basis gates, giving the
+  1 CX + 6 1q form the paper counts.
+
+Every decomposition is exact up to global phase, which is unobservable
+because rules fire only after all controls are explicit gates.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence
+
+import numpy as np
+
+from ..circuits import gates as G
+from ..circuits.circuit import Instruction, QuantumCircuit
+from .basis import IBM_BASIS, _STRUCTURAL
+from .euler import zsx_sequence
+
+__all__ = ["decompose_to_basis", "decompose_instruction", "TranspileError"]
+
+
+class TranspileError(ValueError):
+    """Raised when a circuit cannot be mapped to the target basis."""
+
+
+def _seq_to_instrs(
+    seq: Sequence, qubit: int
+) -> List[Instruction]:
+    out = []
+    for name, params in seq:
+        out.append(Instruction(G.make_gate(name, *params), [qubit]))
+    return out
+
+
+def _synth_1q(
+    mat: np.ndarray, qubit: int, keep_zeros: bool = False
+) -> List[Instruction]:
+    """Minimal RZ/SX realisation of a 1q matrix on ``qubit``."""
+    return _seq_to_instrs(zsx_sequence(mat, keep_zeros=keep_zeros), qubit)
+
+
+# -- fixed product matrices used by the CH rule -----------------------------
+_W_CH = (
+    G.TGate().matrix @ G.HGate().matrix @ G.SGate().matrix
+)  # applied S, H, T in circuit order
+
+
+def _rule_cp(lam: float, c: int, t: int) -> List[Instruction]:
+    half = lam / 2.0
+    return [
+        Instruction(G.RZGate(half), [c]),
+        Instruction(G.CXGate(), [c, t]),
+        Instruction(G.RZGate(-half), [t]),
+        Instruction(G.CXGate(), [c, t]),
+        Instruction(G.RZGate(half), [t]),
+    ]
+
+
+def _rule_crz(lam: float, c: int, t: int) -> List[Instruction]:
+    half = lam / 2.0
+    return [
+        Instruction(G.RZGate(half), [t]),
+        Instruction(G.CXGate(), [c, t]),
+        Instruction(G.RZGate(-half), [t]),
+        Instruction(G.CXGate(), [c, t]),
+    ]
+
+
+def _rule_ccp(lam: float, a: int, b: int, c: int) -> List[Instruction]:
+    """ccp = cp(l/2) on (b,c); cx(a,b); cp(-l/2)(b,c); cx(a,b); cp(l/2)(a,c)."""
+    half = lam / 2.0
+    return [
+        Instruction(G.CPGate(half), [b, c]),
+        Instruction(G.CXGate(), [a, b]),
+        Instruction(G.CPGate(-half), [b, c]),
+        Instruction(G.CXGate(), [a, b]),
+        Instruction(G.CPGate(half), [a, c]),
+    ]
+
+
+def _rule_ch(c: int, t: int) -> List[Instruction]:
+    """CH = (I (x) W^dag) CX (I (x) W), W = T H S.
+
+    Each W run is emitted in canonical RZ-SX-RZ form (``keep_zeros``):
+    1 CX + 6 single-qubit gates, the paper's Table I accounting.
+    """
+    return (
+        _synth_1q(_W_CH, t, keep_zeros=True)
+        + [Instruction(G.CXGate(), [c, t])]
+        + _synth_1q(_W_CH.conj().T, t, keep_zeros=True)
+    )
+
+
+def _rule_cch(a: int, b: int, t: int) -> List[Instruction]:
+    """CCH = (I (x) W^dag) CCX (I (x) W) on the target."""
+    return (
+        _synth_1q(_W_CH, t, keep_zeros=True)
+        + [Instruction(G.CCXGate(), [a, b, t])]
+        + _synth_1q(_W_CH.conj().T, t, keep_zeros=True)
+    )
+
+
+def _rule_ccx(a: int, b: int, t: int) -> List[Instruction]:
+    """The standard 6-CX, T-depth Toffoli."""
+    T, Tdg, H = G.TGate(), G.TdgGate(), G.HGate()
+    cx = G.CXGate
+    return [
+        Instruction(H, [t]),
+        Instruction(cx(), [b, t]),
+        Instruction(Tdg, [t]),
+        Instruction(cx(), [a, t]),
+        Instruction(T, [t]),
+        Instruction(cx(), [b, t]),
+        Instruction(Tdg, [t]),
+        Instruction(cx(), [a, t]),
+        Instruction(T, [b]),
+        Instruction(T, [t]),
+        Instruction(H, [t]),
+        Instruction(cx(), [a, b]),
+        Instruction(T, [a]),
+        Instruction(Tdg, [b]),
+        Instruction(cx(), [a, b]),
+    ]
+
+
+def _rule_swap(a: int, b: int) -> List[Instruction]:
+    cx = G.CXGate
+    return [
+        Instruction(cx(), [a, b]),
+        Instruction(cx(), [b, a]),
+        Instruction(cx(), [a, b]),
+    ]
+
+
+def _rule_cswap(c: int, a: int, b: int) -> List[Instruction]:
+    return (
+        [Instruction(G.CXGate(), [b, a])]
+        + [Instruction(G.CCXGate(), [c, a, b])]
+        + [Instruction(G.CXGate(), [b, a])]
+    )
+
+
+def _rule_cz(a: int, b: int) -> List[Instruction]:
+    return (
+        [Instruction(G.HGate(), [b])]
+        + [Instruction(G.CXGate(), [a, b])]
+        + [Instruction(G.HGate(), [b])]
+    )
+
+
+def _rule_cy(c: int, t: int) -> List[Instruction]:
+    return [
+        Instruction(G.SdgGate(), [t]),
+        Instruction(G.CXGate(), [c, t]),
+        Instruction(G.SGate(), [t]),
+    ]
+
+
+def decompose_instruction(
+    instr: Instruction, basis: FrozenSet[str] = IBM_BASIS
+) -> List[Instruction]:
+    """One level of decomposition of ``instr`` toward ``basis``.
+
+    Basis gates and structural ops pass through unchanged; 1q gates go
+    straight to minimal RZ/SX form; known multi-qubit gates expand by
+    their rule.  Unknown gates with a matrix and <= 2 qubits fall back to
+    synthesis; anything else raises :class:`TranspileError`.
+    """
+    g = instr.gate
+    name = g.name
+    if name in basis or name in _STRUCTURAL:
+        return [instr]
+    q = instr.qubits
+    if g.num_qubits == 1:
+        if not g.is_unitary:
+            raise TranspileError(f"cannot decompose non-unitary {name!r}")
+        return _synth_1q(g.matrix, q[0])
+    if name == "cp":
+        return _rule_cp(g.params[0], q[0], q[1])
+    if name == "crz":
+        return _rule_crz(g.params[0], q[0], q[1])
+    if name == "ccp":
+        return _rule_ccp(g.params[0], q[0], q[1], q[2])
+    if name == "ch":
+        return _rule_ch(q[0], q[1])
+    if name == "cch":
+        return _rule_cch(q[0], q[1], q[2])
+    if name == "ccx":
+        return _rule_ccx(q[0], q[1], q[2])
+    if name == "swap":
+        return _rule_swap(q[0], q[1])
+    if name == "cswap":
+        return _rule_cswap(q[0], q[1], q[2])
+    if name == "cz":
+        return _rule_cz(q[0], q[1])
+    if name == "cy":
+        return _rule_cy(q[0], q[1])
+    raise TranspileError(
+        f"no decomposition rule for {name!r} on {g.num_qubits} qubits"
+    )
+
+
+def decompose_to_basis(
+    circuit: QuantumCircuit, basis: FrozenSet[str] = IBM_BASIS
+) -> QuantumCircuit:
+    """Fully expand ``circuit`` into ``basis`` gates.
+
+    Rules are applied repeatedly (rules may emit intermediate gates like
+    ``cp`` inside ``ccp``) until a fixed point; a non-decreasing guard
+    prevents infinite loops on bad rule sets.
+    """
+    out = circuit._like(f"{circuit.name}@basis")
+    pending: List[Instruction] = list(circuit.instructions)
+    # Worklist expansion, depth-first to preserve order.
+    result: List[Instruction] = []
+    stack = list(reversed(pending))
+    guard = 0
+    limit = 200 * max(1, len(pending)) + 10_000
+    while stack:
+        guard += 1
+        if guard > limit:
+            raise TranspileError("decomposition did not converge")
+        instr = stack.pop()
+        expanded = decompose_instruction(instr, basis)
+        if len(expanded) == 1 and expanded[0] is instr:
+            result.append(instr)
+        else:
+            stack.extend(reversed(expanded))
+    out._instructions = result
+    return out

@@ -1,0 +1,113 @@
+"""Single-qubit Euler synthesis for the IBM RZ/SX basis.
+
+Any 2x2 unitary equals ``e^{i gamma} U(theta, phi, lam)`` for the generic
+rotation of :func:`repro.circuits.gates._u_matrix`; in the IBM basis that
+becomes (verified identities, tested against random unitaries):
+
+* ``theta = 0 (mod 2pi)``:   ``RZ(phi + lam)``                — 1 gate
+* ``theta = pi/2 (mod 2pi)``: ``RZ(lam - pi/2) SX RZ(phi + pi/2)`` — 3
+* otherwise:    ``RZ(lam) SX RZ(theta + pi) SX RZ(phi + pi)`` — 5
+
+(gates listed in circuit order, i.e. leftmost applied first).  Global
+phase is dropped — every caller decomposes *after* all controls have been
+made explicit, so global phase is unobservable.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["euler_zyz_angles", "zsx_sequence"]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _mod_2pi(angle: float) -> float:
+    """Reduce to (-pi, pi]."""
+    out = math.remainder(angle, _TWO_PI)
+    return out
+
+
+def euler_zyz_angles(mat: np.ndarray) -> Tuple[float, float, float, float]:
+    """(theta, phi, lam, gamma) with ``mat = e^{i gamma} U(theta,phi,lam)``.
+
+    ``theta`` is returned in [0, pi].
+    """
+    mat = np.asarray(mat, dtype=complex)
+    if mat.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 matrix, got {mat.shape}")
+    # Normalise determinant drift from accumulated float error.
+    det = np.linalg.det(mat)
+    mat = mat / cmath.sqrt(det)
+    theta = 2.0 * math.atan2(abs(mat[1, 0]), abs(mat[0, 0]))
+    if abs(mat[0, 0]) < 1e-12:
+        # theta = pi: U = [[0, -e^{i lam}], [e^{i phi}, 0]]; lam free.
+        lam = 0.0
+        gamma = cmath.phase(-mat[0, 1])
+        phi = cmath.phase(mat[1, 0]) - gamma
+    elif abs(mat[1, 0]) < 1e-12:
+        # theta = 0: diagonal; phi free.
+        phi = 0.0
+        gamma = cmath.phase(mat[0, 0])
+        lam = cmath.phase(mat[1, 1]) - gamma
+    else:
+        gamma = cmath.phase(mat[0, 0])
+        phi = cmath.phase(mat[1, 0]) - gamma
+        lam = cmath.phase(-mat[0, 1]) - gamma
+    # Undo the det normalisation's phase shift in gamma (callers mostly
+    # ignore gamma; keep it consistent anyway).
+    gamma += cmath.phase(cmath.sqrt(det))
+    return theta, _mod_2pi(phi), _mod_2pi(lam), _mod_2pi(gamma)
+
+
+def zsx_sequence(
+    mat: np.ndarray, atol: float = 1e-10, keep_zeros: bool = False
+) -> List[Tuple[str, Tuple[float, ...]]]:
+    """Minimal RZ/SX realisation of a 2x2 unitary, up to global phase.
+
+    Returns ``[(name, params), ...]`` in circuit order; empty for
+    (phase times) identity.  ``keep_zeros=True`` emits the canonical
+    RZ-SX-RZ form even when an RZ angle vanishes — the accounting used
+    by the Qiskit u2 path the paper's Table I reflects.
+    """
+    theta, phi, lam, _ = euler_zyz_angles(mat)
+    if abs(theta) < atol or abs(theta - _TWO_PI) < atol:
+        total = _mod_2pi(phi + lam)
+        if abs(total) < atol and not keep_zeros:
+            return []
+        return [("rz", (total,))]
+    if abs(theta - math.pi / 2.0) < atol:
+        seq: List[Tuple[str, Tuple[float, ...]]] = []
+        a = _mod_2pi(lam - math.pi / 2.0)
+        b = _mod_2pi(phi + math.pi / 2.0)
+        if keep_zeros or abs(a) > atol:
+            seq.append(("rz", (a,)))
+        seq.append(("sx", ()))
+        if keep_zeros or abs(b) > atol:
+            seq.append(("rz", (b,)))
+        return seq
+    if abs(theta - math.pi) < atol and not keep_zeros:
+        # theta = pi with lam pinned to 0: U ~ RZ(phi + pi) . X
+        # (X itself when phi = 0 — this also covers Y, which is X up to
+        # global phase).
+        seq = [("x", ())]
+        b = _mod_2pi(phi + math.pi)
+        if abs(b) > atol:
+            seq.append(("rz", (b,)))
+        return seq
+    seq = []
+    if keep_zeros or abs(_mod_2pi(lam)) > atol:
+        seq.append(("rz", (_mod_2pi(lam),)))
+    seq.append(("sx", ()))
+    mid = _mod_2pi(theta + math.pi)
+    if keep_zeros or abs(mid) > atol:
+        seq.append(("rz", (mid,)))
+    seq.append(("sx", ()))
+    b = _mod_2pi(phi + math.pi)
+    if keep_zeros or abs(b) > atol:
+        seq.append(("rz", (b,)))
+    return seq

@@ -1,0 +1,174 @@
+"""Qubit connectivity: coupling maps and layouts.
+
+The paper assumes "an idealized layout with complete qubit connectivity"
+(§4) — :func:`full_coupling`.  Real IBM devices are sparser; the maps
+here (linear, ring, grid, heavy-hex) support the routing extension that
+quantifies what the idealised assumption hides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "CouplingMap",
+    "full_coupling",
+    "linear_coupling",
+    "ring_coupling",
+    "grid_coupling",
+    "heavy_hex_coupling",
+    "Layout",
+]
+
+
+class CouplingMap:
+    """An undirected physical-connectivity graph over ``size`` qubits."""
+
+    def __init__(self, edges: Iterable[Tuple[int, int]], size: int, name: str = "custom") -> None:
+        self.size = int(size)
+        self.name = name
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(self.size))
+        for a, b in edges:
+            if not (0 <= a < self.size and 0 <= b < self.size):
+                raise ValueError(f"edge ({a},{b}) out of range for size {size}")
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+            self.graph.add_edge(int(a), int(b))
+        self._dist: Optional[Dict[int, Dict[int, int]]] = None
+        self._paths: Dict[Tuple[int, int], List[int]] = {}
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """Sorted undirected edge list."""
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether qubits ``a`` and ``b`` share an edge."""
+        return self.graph.has_edge(a, b)
+
+    def is_fully_connected(self) -> bool:
+        """True for all-to-all maps (no routing ever needed)."""
+        n = self.size
+        return self.graph.number_of_edges() == n * (n - 1) // 2
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path hop count between two physical qubits."""
+        if self._dist is None:
+            self._dist = dict(nx.all_pairs_shortest_path_length(self.graph))
+        return self._dist[a][b]
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """One shortest physical path from ``a`` to ``b`` (cached)."""
+        key = (a, b)
+        path = self._paths.get(key)
+        if path is None:
+            path = nx.shortest_path(self.graph, a, b)
+            self._paths[key] = path
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingMap({self.name}, {self.size} qubits, "
+            f"{self.graph.number_of_edges()} edges)"
+        )
+
+
+def full_coupling(size: int) -> CouplingMap:
+    """All-to-all connectivity (the paper's idealised layout)."""
+    edges = [(a, b) for a in range(size) for b in range(a + 1, size)]
+    return CouplingMap(edges, size, "full")
+
+
+def linear_coupling(size: int) -> CouplingMap:
+    """A 1D chain."""
+    return CouplingMap([(i, i + 1) for i in range(size - 1)], size, "linear")
+
+
+def ring_coupling(size: int) -> CouplingMap:
+    """A 1D ring."""
+    edges = [(i, (i + 1) % size) for i in range(size)]
+    return CouplingMap(edges, size, "ring")
+
+
+def grid_coupling(rows: int, cols: int) -> CouplingMap:
+    """A 2D rectangular grid (rows*cols qubits, row-major numbering)."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(edges, rows * cols, f"grid{rows}x{cols}")
+
+
+def heavy_hex_coupling(distance: int = 3) -> CouplingMap:
+    """A small heavy-hex-style lattice (IBM topology family).
+
+    This is the unit-cell-tiled approximation used for routing studies,
+    not a calibration-exact device map.
+    """
+    if distance < 1:
+        raise ValueError("distance must be >= 1")
+    # Rows of length 2d+1 joined by bridge qubits every fourth column
+    # (offset alternating per row), like IBM's heavy-hex unit cells.
+    # Node ids are allocated densely so no isolated qubits exist.
+    row_len = 2 * distance + 1
+    rows = distance + 1
+    ids: dict = {}
+
+    def node(key) -> int:
+        if key not in ids:
+            ids[key] = len(ids)
+        return ids[key]
+
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(row_len - 1):
+            edges.append((node(("q", r, c)), node(("q", r, c + 1))))
+        if r + 1 < rows:
+            offset = 0 if r % 2 == 0 else 2
+            for c in range(offset, row_len, 4):
+                bridge = node(("b", r, c))
+                edges.append((node(("q", r, c)), bridge))
+                edges.append((bridge, node(("q", r + 1, c))))
+    return CouplingMap(edges, len(ids), f"heavy_hex(d={distance})")
+
+
+class Layout:
+    """A bijection logical qubit -> physical qubit."""
+
+    def __init__(self, mapping: Dict[int, int]) -> None:
+        self.l2p = dict(mapping)
+        self.p2l = {p: l for l, p in self.l2p.items()}
+        if len(self.p2l) != len(self.l2p):
+            raise ValueError(f"layout {mapping} is not injective")
+
+    @classmethod
+    def trivial(cls, n: int) -> "Layout":
+        """The identity layout on ``n`` qubits."""
+        return cls({i: i for i in range(n)})
+
+    def physical(self, logical: int) -> int:
+        """Physical qubit currently holding ``logical``."""
+        return self.l2p[logical]
+
+    def swap_physical(self, p1: int, p2: int) -> None:
+        """Record a physical SWAP: the logicals on p1/p2 exchange."""
+        l1, l2 = self.p2l.get(p1), self.p2l.get(p2)
+        if l1 is not None:
+            self.l2p[l1] = p2
+        if l2 is not None:
+            self.l2p[l2] = p1
+        self.p2l = {p: l for l, p in self.l2p.items()}
+
+    def copy(self) -> "Layout":
+        """An independent copy."""
+        return Layout(self.l2p)
+
+    def __repr__(self) -> str:
+        return f"Layout({self.l2p})"

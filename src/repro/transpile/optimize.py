@@ -1,0 +1,209 @@
+"""Peephole optimisation passes on basis circuits.
+
+Three passes, mirroring the light (level-1) optimisations of the stack
+the paper used:
+
+* :func:`merge_1q_runs` — every maximal run of single-qubit gates on a
+  wire is resynthesised into at most three RZ/SX gates (Euler form).
+* :func:`cancel_adjacent_cx` — adjacent identical CX (and self-inverse
+  2q) pairs annihilate.
+* :func:`drop_identities` — explicit ``id`` gates and zero-angle
+  rotations are removed.
+
+All passes preserve the circuit unitary up to global phase.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from ..circuits import gates as G
+from ..circuits.circuit import Instruction, QuantumCircuit
+from .euler import zsx_sequence
+
+__all__ = [
+    "merge_1q_runs",
+    "cancel_adjacent_cx",
+    "drop_identities",
+    "commute_phases",
+    "optimize_circuit",
+]
+
+_SELF_INVERSE_2Q = frozenset({"cx", "cz", "swap", "ch", "cy"})
+
+#: 1q diagonal gates absorbable into a running RZ angle (up to global
+#: phase, which is unobservable post-control-expansion).
+_PHASE_ANGLES = {
+    "z": math.pi,
+    "s": math.pi / 2,
+    "sdg": -math.pi / 2,
+    "t": math.pi / 4,
+    "tdg": -math.pi / 4,
+}
+
+
+def commute_phases(circuit: QuantumCircuit, atol: float = 1e-12) -> QuantumCircuit:
+    """Slide 1q phase gates through everything they commute with.
+
+    A pending RZ on wire ``w`` passes through any *diagonal* gate (cp,
+    cz, ccp, rz, crz, ...) and through CX/CCX when ``w`` is a control
+    wire; it flushes just before the first non-commuting gate (sx, h,
+    CX target, measure...).  Runs of phase gates separated only by
+    transparent gates therefore merge into one RZ — the dominant
+    saving in CP-heavy Fourier arithmetic.
+    """
+    pending = {}  # wire -> accumulated rz angle
+
+    out = circuit._like(circuit.name)
+
+    def flush(wire: int) -> None:
+        angle = pending.pop(wire, 0.0)
+        angle = math.remainder(angle, 2 * math.pi)
+        if abs(angle) > atol:
+            out._instructions.append(
+                Instruction(G.RZGate(angle), [wire])
+            )
+
+    for instr in circuit:
+        g = instr.gate
+        name = g.name
+        if g.num_qubits == 1 and (
+            name == "rz" or name == "p" or name in _PHASE_ANGLES
+        ):
+            angle = (
+                g.params[0] if g.params else _PHASE_ANGLES[name]
+            )
+            w = instr.qubits[0]
+            pending[w] = pending.get(w, 0.0) + angle
+            continue
+        if name == "id":
+            continue
+        if g.is_unitary and g.is_diagonal:
+            out._instructions.append(instr)
+            continue
+        if name in ("cx", "ccx"):
+            # Controls are transparent; only the target blocks.
+            target = instr.qubits[-1]
+            flush(target)
+            out._instructions.append(instr)
+            continue
+        for w in instr.qubits:
+            flush(w)
+        out._instructions.append(instr)
+    for w in sorted(pending):
+        flush(w)
+    return out
+
+
+def drop_identities(
+    circuit: QuantumCircuit, atol: float = 1e-12
+) -> QuantumCircuit:
+    """Remove ``id`` gates and rotations with angle 0 (mod 2*pi)."""
+    out = circuit._like(circuit.name)
+    for instr in circuit:
+        name = instr.gate.name
+        if name == "id":
+            continue
+        if name in ("rz", "p", "rx", "ry") and instr.gate.params:
+            if abs(math.remainder(instr.gate.params[0], 2 * math.pi)) < atol:
+                continue
+        out._instructions.append(instr)
+    return out
+
+
+def cancel_adjacent_cx(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Annihilate adjacent identical self-inverse 2q gates.
+
+    "Adjacent" means no intervening op touches either qubit.  Applied
+    until a fixed point.
+    """
+    instrs = list(circuit.instructions)
+    changed = True
+    while changed:
+        changed = False
+        # last_open[w]: index into `kept` of the latest op touching wire w.
+        kept: List[Optional[Instruction]] = []
+        last_open = {}
+        for instr in instrs:
+            name = instr.gate.name
+            if (
+                name in _SELF_INVERSE_2Q
+                and instr.qubits[0] in last_open
+                and instr.qubits[1] in last_open
+                and last_open[instr.qubits[0]] == last_open[instr.qubits[1]]
+            ):
+                j = last_open[instr.qubits[0]]
+                prev = kept[j]
+                if prev is not None and prev == instr:
+                    kept[j] = None
+                    for w in instr.qubits:
+                        del last_open[w]
+                    changed = True
+                    continue
+            kept.append(instr)
+            idx = len(kept) - 1
+            for w in instr.qubits:
+                last_open[w] = idx
+        instrs = [i for i in kept if i is not None]
+    out = circuit._like(circuit.name)
+    out._instructions = instrs
+    return out
+
+
+def merge_1q_runs(
+    circuit: QuantumCircuit, atol: float = 1e-10
+) -> QuantumCircuit:
+    """Resynthesise maximal single-qubit runs into minimal RZ/SX form.
+
+    Barriers, measurements and multi-qubit gates break runs.  A run that
+    multiplies to (a phase times) the identity vanishes entirely.
+    """
+    out = circuit._like(circuit.name)
+    pending: dict = {}  # wire -> accumulated 2x2 matrix
+
+    def flush(wire: int) -> None:
+        mat = pending.pop(wire, None)
+        if mat is None:
+            return
+        for name, params in zsx_sequence(mat, atol):
+            out._instructions.append(
+                Instruction(G.make_gate(name, *params), [wire])
+            )
+
+    for instr in circuit:
+        g = instr.gate
+        if g.num_qubits == 1 and g.is_unitary:
+            w = instr.qubits[0]
+            acc = pending.get(w)
+            pending[w] = g.matrix @ acc if acc is not None else g.matrix
+            continue
+        for w in instr.qubits:
+            flush(w)
+        out._instructions.append(instr)
+    for w in sorted(pending):
+        flush(w)
+    return out
+
+
+def optimize_circuit(
+    circuit: QuantumCircuit, level: int = 1
+) -> QuantumCircuit:
+    """Peephole pipeline: merge 1q runs, cancel CX pairs, iterate.
+
+    CX cancellation can create new adjacent 1q runs and vice versa, so
+    the passes alternate until the op count stops shrinking.  ``level
+    >= 2`` additionally slides phase gates through commuting structure
+    (:func:`commute_phases`) each round.
+    """
+    current = drop_identities(circuit)
+    while True:
+        size = current.size()
+        current = merge_1q_runs(current)
+        if level >= 2:
+            current = commute_phases(current)
+        current = cancel_adjacent_cx(current)
+        if current.size() >= size:
+            return current

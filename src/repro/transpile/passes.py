@@ -1,0 +1,73 @@
+"""The transpilation pipeline.
+
+``transpile(circuit, optimization_level=...)`` mirrors the stack the
+paper used:
+
+* level 0 — decompose every logical gate to the IBM basis using the
+  per-gate rules (each rule already emits minimal 1q runs).  This is the
+  accounting the paper's Table I reflects.
+* level 1 — additionally run the global peephole pipeline (merge 1q runs
+  across gate boundaries, cancel adjacent CX pairs, drop identities).
+
+An optional coupling map triggers swap routing before decomposition of
+the inserted SWAPs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..circuits.circuit import QuantumCircuit
+from .basis import IBM_BASIS
+from .decompose import TranspileError, decompose_to_basis
+from .layout import CouplingMap, Layout
+from .optimize import optimize_circuit
+from .routing import route_circuit
+
+__all__ = ["transpile", "PassManager"]
+
+
+class PassManager:
+    """An ordered list of circuit -> circuit passes."""
+
+    def __init__(self, passes=()) -> None:
+        self.passes = list(passes)
+
+    def append(self, pass_fn) -> "PassManager":
+        """Add a pass; returns self for chaining."""
+        self.passes.append(pass_fn)
+        return self
+
+    def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Apply every pass in order."""
+        for p in self.passes:
+            circuit = p(circuit)
+        return circuit
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    basis: FrozenSet[str] = IBM_BASIS,
+    optimization_level: int = 0,
+    coupling: Optional[CouplingMap] = None,
+    initial_layout: Optional[Layout] = None,
+) -> QuantumCircuit:
+    """Map ``circuit`` to the target basis (and topology, if given).
+
+    Returns the transpiled circuit.  When ``coupling`` is given, the
+    returned circuit acts on physical qubits; use :func:`route_circuit`
+    directly if the final layout is needed for readout.
+    """
+    if optimization_level not in (0, 1, 2):
+        raise TranspileError(
+            f"optimization_level must be 0, 1 or 2, got {optimization_level}"
+        )
+    current = circuit
+    if coupling is not None and not coupling.is_fully_connected():
+        # Routing needs <=2q gates; decompose wide gates first.
+        current = decompose_to_basis(current, basis)
+        current = route_circuit(current, coupling, initial_layout).circuit
+    current = decompose_to_basis(current, basis)
+    if optimization_level >= 1:
+        current = optimize_circuit(current, level=optimization_level)
+    return current

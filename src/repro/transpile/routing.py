@@ -1,0 +1,86 @@
+"""Swap routing onto limited-connectivity devices.
+
+A greedy shortest-path router: when a two-qubit gate falls on physically
+non-adjacent qubits, SWAPs walk one operand along the shortest physical
+path until adjacency holds.  The paper sidesteps routing with its
+idealised full-connectivity layout; this pass exists so the routing
+overhead the paper defers ("noise associated with qubit-layout and/or
+swap-gates", §4) can be quantified — see the routing ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..circuits import gates as G
+from ..circuits.circuit import QuantumCircuit
+from .decompose import TranspileError
+from .layout import CouplingMap, Layout
+
+__all__ = ["route_circuit", "RoutingResult"]
+
+
+@dataclass
+class RoutingResult:
+    """A routed circuit plus bookkeeping.
+
+    ``circuit`` acts on *physical* qubits; ``final_layout`` maps each
+    logical qubit to the physical qubit holding it at the end (needed to
+    read out measurement results).
+    """
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    swaps_inserted: int
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Optional[Layout] = None,
+) -> RoutingResult:
+    """Insert SWAPs so every 2q gate lands on a coupled pair.
+
+    Gates wider than two qubits must be decomposed first.  Measurements
+    and barriers are remapped through the live layout.
+    """
+    n = circuit.num_qubits
+    if coupling.size < n:
+        raise TranspileError(
+            f"coupling map has {coupling.size} qubits, circuit needs {n}"
+        )
+    layout = (initial_layout or Layout.trivial(n)).copy()
+    initial = layout.copy()
+    out = QuantumCircuit(coupling.size, circuit.num_clbits)
+    out.name = f"{circuit.name}@{coupling.name}"
+    swaps = 0
+
+    for instr in circuit:
+        g = instr.gate
+        if g.name == "barrier":
+            out.append(G.BarrierOp(len(instr.qubits)),
+                       [layout.physical(q) for q in instr.qubits])
+            continue
+        if g.num_qubits == 1:
+            out.append(g, [layout.physical(instr.qubits[0])], instr.clbits)
+            continue
+        if g.num_qubits > 2:
+            raise TranspileError(
+                f"route_circuit requires <=2q gates, got {g.name!r} — "
+                "decompose first"
+            )
+        a, b = (layout.physical(q) for q in instr.qubits)
+        if not coupling.connected(a, b):
+            path = coupling.shortest_path(a, b)
+            # Walk `a`'s logical qubit down the path until adjacent to b.
+            for step in path[1:-1]:
+                out.cx(a, step)
+                out.cx(step, a)
+                out.cx(a, step)
+                layout.swap_physical(a, step)
+                swaps += 1
+                a = step
+        out.append(g, [a, b], instr.clbits)
+    return RoutingResult(out, initial, layout, swaps)

@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import StatevectorEngine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sv_engine():
+    return StatevectorEngine()
+
+
+def assert_matrix_equiv(a: np.ndarray, b: np.ndarray, atol: float = 1e-8):
+    """Assert two matrices are equal up to a global phase."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    assert a.shape == b.shape, f"shape mismatch {a.shape} vs {b.shape}"
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    assert abs(b[idx]) > 1e-12, "reference matrix is zero"
+    phase = a[idx] / b[idx]
+    assert abs(abs(phase) - 1.0) < 1e-6, f"no unit-phase relation ({phase})"
+    np.testing.assert_allclose(a, phase * b, atol=atol)
+
+
+def assert_circuit_equiv(c1, c2, atol: float = 1e-8):
+    """Assert two circuits implement the same unitary up to phase."""
+    assert_matrix_equiv(c1.to_matrix(), c2.to_matrix(), atol)
+
+
+def basis_input(circ, reg_vals):
+    """Product basis state for named register values of ``circ``."""
+    v = 0
+    for reg in circ.qregs:
+        val = reg_vals.get(reg.name, 0)
+        for i in range(reg.size):
+            v |= ((val >> i) & 1) << reg[i]
+    vec = np.zeros(1 << circ.num_qubits, dtype=complex)
+    vec[v] = 1.0
+    return vec
+
+
+def register_value(outcome: int, reg) -> int:
+    """Extract a register's integer from a full-circuit outcome."""
+    val = 0
+    for i, q in enumerate(reg.indices):
+        val |= ((outcome >> q) & 1) << i
+    return val

@@ -1,0 +1,242 @@
+"""Tests for QFA adders, subtractors and constant adders."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QInteger,
+    add_step_gate_counts,
+    constant_adder_circuit,
+    cqfa_circuit,
+    qfa_circuit,
+    qfs_circuit,
+)
+from repro.experiments.instances import product_statevector
+from repro.sim import StatevectorEngine, extract_register_values
+
+from conftest import basis_input, register_value
+
+ENG = StatevectorEngine()
+
+
+def run_add(circ, x, y):
+    sv = ENG.run(circ, basis_input(circ, {"x": x, "y": y}))
+    out = sv.probabilities().top(1)
+    assert out[0][1] > 1 - 1e-9, "output not a basis state"
+    return register_value(out[0][0], circ.get_qreg("y"))
+
+
+class TestNonModularQFA:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exhaustive_small(self, n):
+        circ = qfa_circuit(n)
+        for x in range(1 << n):
+            for y in range(1 << n):
+                assert run_add(circ, x, y) == x + y, (x, y)
+
+    def test_default_target_is_n_plus_1(self):
+        circ = qfa_circuit(3)
+        assert circ.get_qreg("y").size == 4
+
+    def test_x_register_preserved(self):
+        circ = qfa_circuit(3)
+        sv = ENG.run(circ, basis_input(circ, {"x": 5, "y": 2}))
+        out = sv.probabilities().top(1)[0][0]
+        assert register_value(out, circ.get_qreg("x")) == 5
+
+
+class TestModularQFA:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_wraps_mod_2n(self, n):
+        circ = qfa_circuit(n, n)
+        mod = 1 << n
+        for x, y in itertools.product(range(1 << n), repeat=2):
+            assert run_add(circ, x, y) == (x + y) % mod
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            qfa_circuit(0)
+
+
+class TestSuperposedOperands:
+    def test_superposed_x(self):
+        circ = qfa_circuit(3)
+        x = QInteger.uniform([1, 4], 3)
+        y = QInteger.basis(2, 4)
+        init = product_statevector([x.statevector(), y.statevector()])
+        dist = ENG.run(circ, init).probabilities()
+        tops = dict(dist.top(2))
+        y_reg = circ.get_qreg("y")
+        x_reg = circ.get_qreg("x")
+        results = {
+            (register_value(o, x_reg), register_value(o, y_reg))
+            for o in tops
+        }
+        assert results == {(1, 3), (4, 6)}
+        for p in tops.values():
+            assert p == pytest.approx(0.5, abs=1e-9)
+
+    def test_entangled_output_keeps_x_correlation(self):
+        """After adding, x and x+y remain perfectly correlated."""
+        circ = qfa_circuit(2)
+        x = QInteger.uniform([0, 3], 2)
+        y = QInteger.basis(1, 3)
+        init = product_statevector([x.statevector(), y.statevector()])
+        dist = ENG.run(circ, init).probabilities()
+        outcomes = {o for o, p in dist.top(4) if p > 1e-9}
+        x_reg, y_reg = circ.get_qreg("x"), circ.get_qreg("y")
+        pairs = {
+            (register_value(o, x_reg), register_value(o, y_reg))
+            for o in outcomes
+        }
+        assert pairs == {(0, 1), (3, 4)}
+
+    def test_two_superposed_operands(self):
+        circ = qfa_circuit(2)
+        x = QInteger.uniform([1, 2], 2)
+        y = QInteger.uniform([0, 3], 3)
+        init = product_statevector([x.statevector(), y.statevector()])
+        dist = ENG.run(circ, init).probabilities()
+        y_reg, x_reg = circ.get_qreg("y"), circ.get_qreg("x")
+        pairs = {
+            (register_value(o, x_reg), register_value(o, y_reg))
+            for o, p in dist.top(8)
+            if p > 1e-9
+        }
+        assert pairs == {(1, 1), (1, 4), (2, 2), (2, 5)}
+
+
+class TestSubtraction:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_modular_subtraction(self, n):
+        circ = qfs_circuit(n, n)
+        mod = 1 << n
+        for x, y in itertools.product(range(1 << n), repeat=2):
+            assert run_add(circ, x, y) == (y - x) % mod
+
+    def test_subtract_then_add_is_identity(self):
+        add = qfa_circuit(3, 3)
+        sub = qfs_circuit(3, 3)
+        combined = add.copy()
+        combined.compose(sub)
+        from conftest import assert_matrix_equiv
+
+        assert_matrix_equiv(combined.to_matrix(), np.eye(1 << 6))
+
+    def test_signed_interpretation(self):
+        # 2 - 5 = -3 in 4-bit two's complement = pattern 13.
+        circ = qfs_circuit(4, 4)
+        pattern = run_add(circ, 5, 2)
+        from repro.core import decode_twos_complement
+
+        assert decode_twos_complement(pattern, 4) == -3
+
+
+class TestApproximateQFA:
+    def test_full_depth_exact(self):
+        circ = qfa_circuit(3, depth=4)
+        assert run_add(circ, 3, 4) == 7
+
+    def test_depth1_mostly_wrong_with_carries(self):
+        """Hadamard-only AQFT destroys carry propagation."""
+        circ = qfa_circuit(3, 3, depth=1)
+        sv = ENG.run(circ, basis_input(circ, {"x": 7, "y": 7}))
+        dist = ENG.run(circ, basis_input(circ, {"x": 7, "y": 7})).probabilities()
+        top, p = dist.top(1)[0]
+        # The exact result (6 mod 8) need not dominate at depth 1.
+        assert p < 1 - 1e-9
+
+    def test_intermediate_depth_improves_on_depth1(self):
+        rng = np.random.default_rng(0)
+        n = 5
+        full = qfa_circuit(n, n)
+
+        def success_prob(depth):
+            circ = qfa_circuit(n, n, depth=depth)
+            tot = 0.0
+            for _ in range(10):
+                x, y = rng.integers(0, 1 << n, 2)
+                dist = ENG.run(
+                    circ, basis_input(circ, {"x": int(x), "y": int(y)})
+                ).probabilities()
+                expected = int(x) | ((int(x) + int(y)) % (1 << n)) << n
+                tot += dist.probs[expected]
+            return tot / 10
+
+        p1, p3, pfull = success_prob(1), success_prob(3), success_prob(None)
+        assert p1 < p3 <= pfull + 1e-9
+        assert pfull == pytest.approx(1.0, abs=1e-9)
+
+    def test_add_depth_truncation(self):
+        # Truncated add step changes the circuit but keeps cp count rule.
+        circ = qfa_circuit(4, 4, add_depth=2)
+        counts = add_step_gate_counts(4, 4, add_depth=2)
+        # QFT(4) full = 6 cp each side; total = 12 + add step.
+        assert circ.count_ops()["cp"] == 12 + counts["cp"]
+
+    def test_add_step_counts_full(self):
+        assert add_step_gate_counts(8, 8)["cp"] == 36
+        assert add_step_gate_counts(4, 5)["cp"] == 14
+
+    def test_add_depth_accuracy_degrades(self):
+        circ_full = qfa_circuit(4, 4)
+        circ_trunc = qfa_circuit(4, 4, add_depth=1)
+        x, y = 13, 9
+        expected = x | (((x + y) % 16) << 4)
+        p_full = ENG.run(
+            circ_full, basis_input(circ_full, {"x": x, "y": y})
+        ).probabilities().probs[expected]
+        p_trunc = ENG.run(
+            circ_trunc, basis_input(circ_trunc, {"x": x, "y": y})
+        ).probabilities().probs[expected]
+        assert p_full == pytest.approx(1.0, abs=1e-9)
+        assert p_trunc < p_full
+
+
+class TestControlledQFA:
+    def test_control_gates(self):
+        ops = cqfa_circuit(2).count_ops()
+        assert set(ops) <= {"ch", "ccp"}
+
+    @pytest.mark.parametrize("ctrl", [0, 1])
+    def test_conditional_addition(self, ctrl):
+        circ = cqfa_circuit(2)
+        init = basis_input(circ, {"ctrl": ctrl, "x": 2, "y": 1})
+        dist = ENG.run(circ, init).probabilities()
+        top, p = dist.top(1)[0]
+        assert p > 1 - 1e-9
+        y_val = register_value(top, circ.get_qreg("y"))
+        assert y_val == (3 if ctrl else 1)
+
+
+class TestConstantAdder:
+    @pytest.mark.parametrize("const", [0, 1, 7, 15])
+    def test_modular_constant_add(self, const):
+        n = 4
+        circ = constant_adder_circuit(n, const)
+        for y in (0, 5, 15):
+            sv = ENG.run(circ, basis_input(circ, {"y": y}))
+            top, p = sv.probabilities().top(1)[0]
+            assert p > 1 - 1e-9
+            assert top == (y + const) % 16
+
+    def test_non_modular_widens(self):
+        circ = constant_adder_circuit(3, 7, modular=False)
+        assert circ.num_qubits == 4
+        sv = ENG.run(circ, basis_input(circ, {"y": 7}))
+        assert sv.probabilities().top(1)[0][0] == 14
+
+    def test_uses_only_1q_phases(self):
+        ops = constant_adder_circuit(3, 5).count_ops()
+        assert "cp" not in ops or ops.get("p", 0) > 0
+        # The add stage itself is uncontrolled.
+        assert ops.get("p", 0) >= 1
+
+    def test_applies_uniformly_to_superposition(self):
+        circ = constant_adder_circuit(3, 3)
+        q = QInteger.uniform([0, 4], 3)
+        dist = ENG.run(circ, q.statevector()).probabilities()
+        outs = {o for o, p in dist.top(2) if p > 1e-9}
+        assert outs == {3, 7}

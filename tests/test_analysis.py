@@ -1,0 +1,102 @@
+"""Tests for the analysis package (error budgets, depth heuristics)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ErrorBudget,
+    aqft_fidelity_profile,
+    barenco_depth,
+    empirical_optimal_depth,
+    error_budget,
+    paper_depth_label,
+    predicted_no_error_probability,
+)
+from repro.core import qfa_circuit
+from repro.transpile import gate_counts, transpile
+
+
+class TestErrorBudget:
+    def test_counts_from_circuit(self):
+        circ = transpile(qfa_circuit(3, 3))
+        b = error_budget(circ, p1q=0.002, p2q=0.01)
+        gc = gate_counts(circ)
+        assert b.gates_1q == gc.one_qubit
+        assert b.gates_2q == gc.two_qubit
+
+    def test_no_error_probability_formula(self):
+        b = ErrorBudget(gates_1q=10, gates_2q=5, p1q=0.01, p2q=0.02)
+        e1 = 0.01 * 3 / 4
+        e2 = 0.02 * 15 / 16
+        expected = (1 - e1) ** 10 * (1 - e2) ** 5
+        assert b.no_error_probability == pytest.approx(expected)
+
+    def test_expected_errors_additive(self):
+        b = ErrorBudget(gates_1q=100, gates_2q=0, p1q=0.01, p2q=0.0)
+        assert b.expected_errors == pytest.approx(100 * 0.01 * 0.75)
+
+    def test_pauli_convention(self):
+        b = ErrorBudget(1, 0, p1q=0.4, p2q=0, convention="pauli")
+        assert b.no_error_probability == pytest.approx(0.6)
+
+    def test_zero_noise_certainty(self):
+        b = ErrorBudget(1000, 1000, 0.0, 0.0)
+        assert b.no_error_probability == 1.0
+        assert b.expected_errors == 0.0
+
+    def test_predicted_success_threshold(self):
+        quiet = ErrorBudget(10, 10, 0.001, 0.001)
+        loud = ErrorBudget(2000, 2000, 0.01, 0.05)
+        assert quiet.predicted_success_probability(1, 256) == 1.0
+        assert loud.predicted_success_probability(4, 256) == 0.0
+
+    def test_predicted_success_validation(self):
+        b = ErrorBudget(1, 1, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            b.predicted_success_probability(0, 4)
+
+    def test_more_gates_lower_p0(self):
+        small = predicted_no_error_probability(
+            transpile(qfa_circuit(3, 3)), 0.002, 0.01
+        )
+        large = predicted_no_error_probability(
+            transpile(qfa_circuit(6, 6)), 0.002, 0.01
+        )
+        assert large < small
+
+    def test_str(self):
+        assert "lambda" in str(ErrorBudget(1, 1, 0.1, 0.1))
+
+
+class TestDepthHeuristics:
+    def test_barenco_values(self):
+        assert barenco_depth(8) == 4  # log2(8)=3 rotations -> depth 4
+        assert barenco_depth(4) == 3
+        assert barenco_depth(2) == 2
+
+    def test_labels(self):
+        assert paper_depth_label(None, 8) == "full"
+        assert paper_depth_label(8, 8) == "full"
+        assert paper_depth_label(3, 8) == "2"
+
+    def test_fidelity_profile(self):
+        prof = aqft_fidelity_profile(4, trials=4)
+        assert set(prof) == {1, 2, 3, 4}
+        assert prof[4] == pytest.approx(1.0)
+        vals = [prof[d] for d in sorted(prof)]
+        assert vals == sorted(vals)
+
+    def test_empirical_optimum(self):
+        from repro.experiments import SweepConfig, run_sweep
+
+        cfg = SweepConfig(
+            operation="add", n=3, m=3, orders=(1, 1), error_axis="2q",
+            error_rates=(0.0,), depths=(2, None), instances=3,
+            shots=128, trajectories=4, seed=3,
+        )
+        res = run_sweep(cfg, workers=1)
+        opt = empirical_optimal_depth(res)
+        assert 0.0 in opt
+        d, pct = opt[0.0]
+        assert pct == pytest.approx(100.0)

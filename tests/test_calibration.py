@@ -1,0 +1,89 @@
+"""Tests for synthetic backend calibrations."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits import gates as G
+from repro.circuits.circuit import Instruction
+from repro.noise.calibration import (
+    BackendCalibration,
+    QubitCalibration,
+    synthetic_calibration,
+)
+from repro.sim import DensityMatrixEngine
+from repro.transpile import linear_coupling
+
+
+class TestQubitCalibration:
+    def test_validation(self):
+        QubitCalibration(100, 80, 0.002, 0.01, 0.02).validate()
+        with pytest.raises(ValueError):
+            QubitCalibration(100, 250, 0.002, 0.01, 0.02).validate()
+        with pytest.raises(ValueError):
+            QubitCalibration(100, 80, 1.5, 0.01, 0.02).validate()
+
+
+class TestSyntheticCalibration:
+    def test_reproducible(self):
+        a = synthetic_calibration(4, seed=5)
+        b = synthetic_calibration(4, seed=5)
+        assert a.qubits == b.qubits
+        assert a.cx_errors == b.cx_errors
+
+    def test_means_in_the_right_ballpark(self):
+        cal = synthetic_calibration(20, seed=1)
+        assert 0.0005 < cal.mean_error_1q() < 0.01
+        assert 0.003 < cal.mean_error_2q() < 0.04
+
+    def test_qubit_variation_exists(self):
+        cal = synthetic_calibration(10, seed=2)
+        errs = [q.error_1q for q in cal.qubits]
+        assert max(errs) > min(errs)
+
+    def test_t2_cap_respected(self):
+        cal = synthetic_calibration(30, seed=3)
+        for q in cal.qubits:
+            q.validate()
+
+    def test_custom_coupling_restricts_edges(self):
+        cal = synthetic_calibration(4, seed=0, coupling=linear_coupling(4))
+        assert set(cal.cx_errors) == {(0, 1), (1, 2), (2, 3)}
+
+
+class TestToNoiseModel:
+    def test_per_qubit_errors_differ(self):
+        cal = synthetic_calibration(3, seed=7, coupling=linear_coupling(3))
+        model = cal.to_noise_model(include_readout=False)
+        e0 = model.gate_errors(Instruction(G.SXGate(), [0]))
+        e1 = model.gate_errors(Instruction(G.SXGate(), [1]))
+        assert e0 and e1 and e0 != e1
+
+    def test_cx_both_directions(self):
+        cal = synthetic_calibration(2, seed=7)
+        model = cal.to_noise_model()
+        assert model.gate_errors(Instruction(G.CXGate(), [0, 1]))
+        assert model.gate_errors(Instruction(G.CXGate(), [1, 0]))
+
+    def test_readout_per_qubit(self):
+        cal = synthetic_calibration(2, seed=7)
+        model = cal.to_noise_model(include_readout=True)
+        assert model.readout_error(0) is not None
+        assert model.readout_error(0) is not model.readout_error(1)
+
+    def test_thermal_layer_optional(self):
+        cal = synthetic_calibration(2, seed=7)
+        plain = cal.to_noise_model(include_thermal=False)
+        thermal = cal.to_noise_model(include_thermal=True)
+        instr = Instruction(G.CXGate(), [0, 1])
+        assert len(thermal.gate_errors(instr)) > len(plain.gate_errors(instr))
+
+    def test_model_runs_in_engine(self):
+        cal = synthetic_calibration(2, seed=9)
+        model = cal.to_noise_model(include_thermal=True)
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        dm = DensityMatrixEngine().run(qc, model)
+        assert dm.purity() < 1.0
+        dist = DensityMatrixEngine().distribution(qc, model)
+        assert dist.probs.sum() == pytest.approx(1.0)

@@ -1,0 +1,219 @@
+"""Tests for noise channels and Pauli utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.noise import (
+    KrausError,
+    NoiseError,
+    PauliError,
+    ReadoutError,
+    ResetError,
+    amplitude_damping_error,
+    bit_flip_error,
+    depolarizing_error,
+    phase_damping_error,
+    phase_flip_error,
+    thermal_relaxation_error,
+)
+from repro.noise.channels import kraus_from_choi
+from repro.noise.pauli import (
+    all_pauli_strings,
+    compose_paulis,
+    nontrivial_pauli_strings,
+    pauli_matrix,
+    pauli_weight,
+)
+
+
+class TestPauliUtils:
+    def test_all_strings_count(self):
+        assert len(all_pauli_strings(1)) == 4
+        assert len(all_pauli_strings(2)) == 16
+
+    def test_nontrivial_excludes_identity(self):
+        s = nontrivial_pauli_strings(2)
+        assert "II" not in s and len(s) == 15
+
+    def test_weight(self):
+        assert pauli_weight("IXZ") == 2
+        assert pauli_weight("II") == 0
+
+    def test_matrix_little_endian(self):
+        # "XI": X on argument 0, I on argument 1 -> I (x) X in kron order.
+        m = pauli_matrix("XI")
+        X = pauli_matrix("X")
+        expected = np.kron(np.eye(2), X)
+        np.testing.assert_allclose(m, expected)
+
+    def test_matrix_invalid(self):
+        with pytest.raises(ValueError):
+            pauli_matrix("XQ")
+
+    @pytest.mark.parametrize("a,b", [("X", "Y"), ("XZ", "ZX"), ("IY", "YI")])
+    def test_compose(self, a, b):
+        phase, c = compose_paulis(a, b)
+        np.testing.assert_allclose(
+            pauli_matrix(a) @ pauli_matrix(b), phase * pauli_matrix(c),
+            atol=1e-12,
+        )
+
+    def test_compose_length_mismatch(self):
+        with pytest.raises(ValueError):
+            compose_paulis("X", "XX")
+
+
+class TestPauliError:
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(NoiseError):
+            PauliError(["I", "X"], [0.5, 0.2])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(NoiseError):
+            PauliError(["X", "X"], [0.5, 0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(NoiseError):
+            PauliError(["X", "XY"], [0.5, 0.5])
+
+    def test_identity_prob(self):
+        e = PauliError(["II", "XY"], [0.9, 0.1])
+        assert e.identity_prob == pytest.approx(0.9)
+
+    def test_trace_preserving(self):
+        PauliError(["I", "X", "Z"], [0.8, 0.1, 0.1]).validate()
+
+    def test_sampling_distribution(self, rng):
+        e = PauliError(["I", "X"], [0.75, 0.25])
+        draws = e.sample(rng, 10000)
+        assert abs((draws == 1).mean() - 0.25) < 0.02
+
+
+class TestDepolarizing:
+    def test_qiskit_convention_weights(self):
+        e = depolarizing_error(0.04, 1)
+        assert e.identity_prob == pytest.approx(1 - 0.03)
+        assert e.probs[1] == pytest.approx(0.01)
+
+    def test_pauli_convention_weights(self):
+        e = depolarizing_error(0.03, 1, convention="pauli")
+        assert e.identity_prob == pytest.approx(0.97)
+        assert e.probs[1] == pytest.approx(0.01)
+
+    def test_two_qubit_has_16_terms(self):
+        e = depolarizing_error(0.1, 2)
+        assert len(e.paulis) == 16
+        assert e.identity_prob == pytest.approx(1 - 0.1 * 15 / 16)
+
+    def test_negative_rejected(self):
+        with pytest.raises(NoiseError):
+            depolarizing_error(-0.1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(NoiseError):
+            depolarizing_error(1.5, 1)
+        with pytest.raises(NoiseError):
+            depolarizing_error(1.5, 1, convention="pauli")
+
+    def test_unknown_convention(self):
+        with pytest.raises(NoiseError):
+            depolarizing_error(0.1, 1, convention="bogus")
+
+    def test_flip_helpers(self):
+        assert bit_flip_error(0.2).paulis == ("I", "X")
+        assert phase_flip_error(0.2).paulis == ("I", "Z")
+
+
+class TestKrausChannels:
+    def test_amplitude_damping_tp(self):
+        amplitude_damping_error(0.3).validate()
+
+    def test_phase_damping_tp(self):
+        phase_damping_error(0.4).validate()
+
+    def test_gamma_range(self):
+        with pytest.raises(NoiseError):
+            amplitude_damping_error(1.5)
+
+    def test_kraus_validation_rejects_non_tp(self):
+        with pytest.raises(NoiseError):
+            KrausError([np.eye(2) * 0.5])
+
+    def test_kraus_shape_validation(self):
+        with pytest.raises(NoiseError):
+            KrausError([np.ones((3, 3))])
+
+    def test_kraus_from_choi_roundtrip(self):
+        # Choi of amplitude damping, rebuilt and compared channel-wise.
+        gamma = 0.35
+        ks = amplitude_damping_error(gamma).kraus_operators()
+        choi = np.zeros((4, 4), dtype=complex)
+        for i in range(2):
+            for j in range(2):
+                eij = np.zeros((2, 2), dtype=complex)
+                eij[i, j] = 1.0
+                out = sum(K @ eij @ K.conj().T for K in ks)
+                choi += np.kron(eij, out)
+        ks2 = kraus_from_choi(choi)
+        rho = np.array([[0.3, 0.2j], [-0.2j, 0.7]], dtype=complex)
+        out1 = sum(K @ rho @ K.conj().T for K in ks)
+        out2 = sum(K @ rho @ K.conj().T for K in ks2)
+        np.testing.assert_allclose(out1, out2, atol=1e-10)
+
+
+class TestThermalRelaxation:
+    def test_t2_le_t1_is_tp(self):
+        thermal_relaxation_error(50e3, 30e3, 100).validate()
+
+    def test_t2_gt_t1_is_tp(self):
+        thermal_relaxation_error(50e3, 70e3, 100).validate()
+
+    def test_t2_cap(self):
+        with pytest.raises(NoiseError):
+            thermal_relaxation_error(50.0, 120.0, 1.0)
+
+    def test_long_time_decays_to_ground(self):
+        err = thermal_relaxation_error(10.0, 10.0, 1e4)
+        rho = np.array([[0, 0], [0, 1]], dtype=complex)
+        out = sum(K @ rho @ K.conj().T for K in err.kraus_operators())
+        np.testing.assert_allclose(out, [[1, 0], [0, 0]], atol=1e-6)
+
+    def test_excited_population(self):
+        err = thermal_relaxation_error(
+            10.0, 10.0, 1e4, excited_state_population=1.0
+        )
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        out = sum(K @ rho @ K.conj().T for K in err.kraus_operators())
+        np.testing.assert_allclose(out, [[0, 0], [0, 1]], atol=1e-6)
+
+    def test_zero_time_is_identity(self):
+        err = thermal_relaxation_error(50.0, 50.0, 0.0)
+        rho = np.array([[0.2, 0.1], [0.1, 0.8]], dtype=complex)
+        out = sum(K @ rho @ K.conj().T for K in err.kraus_operators())
+        np.testing.assert_allclose(out, rho, atol=1e-12)
+
+
+class TestResetAndReadout:
+    def test_reset_tp(self):
+        ResetError(0.3, 0.1).validate()
+
+    def test_reset_invalid(self):
+        with pytest.raises(NoiseError):
+            ResetError(0.8, 0.5)
+
+    def test_readout_matrix_columns(self):
+        ro = ReadoutError(0.1, 0.2)
+        m = ro.assignment_matrix
+        np.testing.assert_allclose(m.sum(axis=0), [1, 1])
+        assert m[1, 0] == pytest.approx(0.1)
+        assert m[0, 1] == pytest.approx(0.2)
+
+    def test_readout_symmetric_default(self):
+        ro = ReadoutError(0.05)
+        assert ro.p10 == pytest.approx(0.05)
+
+    def test_readout_invalid(self):
+        with pytest.raises(NoiseError):
+            ReadoutError(1.2)

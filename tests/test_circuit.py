@@ -1,0 +1,280 @@
+"""Unit tests for repro.circuits.circuit and registers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CircuitError,
+    ClassicalRegister,
+    QuantumCircuit,
+    QuantumRegister,
+    RegisterError,
+)
+from repro.circuits.circuit import Instruction
+from repro.circuits import gates as G
+
+from conftest import assert_circuit_equiv, assert_matrix_equiv
+
+
+class TestRegisters:
+    def test_sizes_and_offsets(self):
+        a = QuantumRegister(3, "a")
+        b = QuantumRegister(2, "b")
+        qc = QuantumCircuit(a, b)
+        assert qc.num_qubits == 5
+        assert a.indices == [0, 1, 2]
+        assert b.indices == [3, 4]
+
+    def test_indexing(self):
+        r = QuantumRegister(4, "r")
+        assert r[0] == 0
+        assert r[-1] == 3
+        assert r[1:3] == [1, 2]
+
+    def test_out_of_range(self):
+        r = QuantumRegister(2, "r")
+        with pytest.raises(RegisterError):
+            r[2]
+
+    def test_invalid_size(self):
+        with pytest.raises(RegisterError):
+            QuantumRegister(0, "r")
+
+    def test_invalid_name(self):
+        with pytest.raises(RegisterError):
+            QuantumRegister(2, "bad name!")
+
+    def test_duplicate_register_names_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(QuantumRegister(1, "x"), QuantumRegister(2, "x"))
+
+    def test_get_qreg(self):
+        x = QuantumRegister(2, "x")
+        qc = QuantumCircuit(x)
+        assert qc.get_qreg("x") is x
+        with pytest.raises(CircuitError):
+            qc.get_qreg("nope")
+
+    def test_classical_register(self):
+        qc = QuantumCircuit(QuantumRegister(2, "q"), ClassicalRegister(2, "c"))
+        assert qc.num_clbits == 2
+
+
+class TestConstruction:
+    def test_anonymous_sizes(self):
+        qc = QuantumCircuit(3, 2)
+        assert qc.num_qubits == 3
+        assert qc.num_clbits == 2
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_mixing_ints_and_registers_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(3, QuantumRegister(2, "q"))
+
+    def test_gate_helpers_append(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).ccp(0.5, 0, 1, 2).rz(0.1, 2)
+        assert [i.gate.name for i in qc] == ["h", "cx", "ccp", "rz"]
+
+    def test_qubit_out_of_range(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.h(2)
+
+    def test_duplicate_qubits_rejected(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.cx(1, 1)
+
+    def test_arity_mismatch_rejected(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.append(G.CXGate(), [0])
+
+    def test_instruction_equality(self):
+        a = Instruction(G.HGate(), [0])
+        b = Instruction(G.HGate(), [0])
+        c = Instruction(G.HGate(), [1])
+        assert a == b and a != c
+
+
+class TestAnalysis:
+    def test_count_ops(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1).cx(0, 1).rz(0.1, 0)
+        assert qc.count_ops() == {"h": 2, "cx": 1, "rz": 1}
+
+    def test_size_excludes_barriers(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).barrier().cx(0, 1)
+        assert qc.size() == 2
+        assert len(qc) == 3
+
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(4)
+        qc.h(0).h(1).h(2).h(3)
+        assert qc.depth() == 1
+
+    def test_depth_serial_chain(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).h(1)
+        assert qc.depth() == 3
+
+    def test_depth_with_barrier(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).barrier().h(1)
+        # Barrier synchronises: h(1) must come after h(0)'s level.
+        assert qc.depth() == 2
+
+    def test_num_nonlocal_gates(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).ccp(0.1, 0, 1, 2)
+        assert qc.num_nonlocal_gates() == 2
+
+    def test_width(self):
+        qc = QuantumCircuit(3, 2)
+        assert qc.width() == 5
+
+
+class TestCompose:
+    def test_identity_mapping(self):
+        inner = QuantumCircuit(2)
+        inner.h(0).cx(0, 1)
+        outer = QuantumCircuit(3)
+        outer.compose(inner)
+        assert [i.qubits for i in outer] == [(0,), (0, 1)]
+
+    def test_custom_mapping(self):
+        inner = QuantumCircuit(2)
+        inner.cx(0, 1)
+        outer = QuantumCircuit(4)
+        outer.compose(inner, [3, 1])
+        assert outer[0].qubits == (3, 1)
+
+    def test_mapping_length_mismatch(self):
+        inner = QuantumCircuit(2)
+        outer = QuantumCircuit(4)
+        with pytest.raises(CircuitError):
+            outer.compose(inner, [0])
+
+    def test_duplicate_mapping_rejected(self):
+        inner = QuantumCircuit(2)
+        inner.cx(0, 1)
+        outer = QuantumCircuit(4)
+        with pytest.raises(CircuitError):
+            outer.compose(inner, [1, 1])
+
+    def test_too_wide_without_map(self):
+        inner = QuantumCircuit(4)
+        outer = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            outer.compose(inner)
+
+
+class TestInverse:
+    def test_inverse_cancels(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cp(0.3, 0, 1).sx(1)
+        prod = qc.copy().compose(qc.inverse())
+        assert_matrix_equiv(prod.to_matrix(), np.eye(4))
+
+    def test_inverse_reverses_order(self):
+        qc = QuantumCircuit(1)
+        qc.s(0).t(0)
+        inv = qc.inverse()
+        assert [i.gate.name for i in inv] == ["tdg", "sdg"]
+
+    def test_inverse_with_measure_raises(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0).measure(0, 0)
+        with pytest.raises(CircuitError):
+            qc.inverse()
+
+
+class TestControlled:
+    def test_control_zero_is_identity(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        cqc = qc.controlled()
+        m = cqc.to_matrix()
+        vec = np.zeros(4)
+        vec[0b00] = 1  # control (qubit 0) = 0
+        np.testing.assert_allclose(m @ vec, vec, atol=1e-12)
+
+    def test_control_one_applies(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        m = qc.controlled().to_matrix()
+        vec = np.zeros(4)
+        vec[0b01] = 1  # control = 1, target = 0
+        out = m @ vec
+        assert abs(out[0b11] - 1) < 1e-12
+
+    def test_controlled_matches_controlled_matrix(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cp(0.4, 0, 1)
+        from repro.circuits.gates import controlled_matrix
+
+        expected = controlled_matrix(qc.to_matrix(), 1)
+        # Note: circuit.controlled() prepends the control as qubit 0,
+        # matching controlled_matrix's LSB-control convention.
+        assert_matrix_equiv(qc.controlled().to_matrix(), expected)
+
+    def test_controlled_register_names(self):
+        x = QuantumRegister(2, "x")
+        qc = QuantumCircuit(x)
+        qc.h(x[0])
+        cqc = qc.controlled()
+        assert cqc.qregs[0].name == "ctrl"
+        assert cqc.num_qubits == 3
+
+
+class TestOther:
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        cp = qc.copy()
+        cp.x(0)
+        assert len(qc) == 1 and len(cp) == 2
+
+    def test_repeat(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        assert_matrix_equiv(qc.repeat(2).to_matrix(), np.eye(2))
+
+    def test_measure_all_grows_clbits(self):
+        qc = QuantumCircuit(3)
+        qc.measure_all()
+        assert qc.num_clbits == 3
+        assert sum(1 for i in qc if i.gate.name == "measure") == 3
+
+    def test_remove_final_measurements(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).measure_all()
+        bare = qc.remove_final_measurements()
+        assert not bare.has_measurements()
+        assert bare.size() == 1
+
+    def test_to_matrix_limit(self):
+        qc = QuantumCircuit(13)
+        with pytest.raises(CircuitError):
+            qc.to_matrix()
+
+    def test_bell_matrix(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        col = qc.to_matrix()[:, 0]
+        s = 1 / math.sqrt(2)
+        np.testing.assert_allclose(col, [s, 0, 0, s], atol=1e-12)
+
+    def test_draw_smoke(self):
+        qc = QuantumCircuit(QuantumRegister(2, "x"), QuantumRegister(1, "y"))
+        qc.h(0).cx(0, 2).ccp(0.5, 0, 1, 2).barrier().measure_all()
+        text = qc.draw()
+        assert "x[0]" in text and "y[0]" in text
+        assert "[h]" in text

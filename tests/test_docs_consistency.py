@@ -1,0 +1,55 @@
+"""Documentation consistency guards.
+
+Cheap meta-tests that keep DESIGN.md / README.md honest: every benchmark
+and example they reference must exist, and every benchmark on disk must
+be indexed in DESIGN.md's experiment table.
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_design_references_existing_benchmarks():
+    design = (ROOT / "DESIGN.md").read_text()
+    for ref in set(re.findall(r"benchmarks/\w+\.py", design)):
+        assert (ROOT / ref).exists(), f"DESIGN.md references missing {ref}"
+
+
+def test_every_benchmark_is_indexed_in_design():
+    design = (ROOT / "DESIGN.md").read_text()
+    for path in (ROOT / "benchmarks").glob("test_*.py"):
+        assert path.name in design, (
+            f"{path.name} not indexed in DESIGN.md's experiment table"
+        )
+
+
+def test_readme_references_existing_examples():
+    readme = (ROOT / "README.md").read_text()
+    for ref in set(re.findall(r"`(\w+\.py)`", readme)):
+        assert (ROOT / "examples" / ref).exists(), (
+            f"README references missing examples/{ref}"
+        )
+
+
+def test_every_example_runs_in_tests():
+    """test_examples.py must smoke-run every example on disk."""
+    runner = (ROOT / "tests" / "test_examples.py").read_text()
+    for path in (ROOT / "examples").glob("*.py"):
+        assert path.name in runner, f"{path.name} not smoke-tested"
+
+
+def test_docs_pages_exist():
+    readme = (ROOT / "README.md").read_text()
+    for ref in set(re.findall(r"docs/\w+\.md", readme)):
+        assert (ROOT / ref).exists(), f"README references missing {ref}"
+
+
+def test_design_mentions_all_packages():
+    design = (ROOT / "DESIGN.md").read_text()
+    for pkg in (ROOT / "src" / "repro").iterdir():
+        if pkg.is_dir() and (pkg / "__init__.py").exists():
+            assert f"repro.{pkg.name}" in design, (
+                f"package repro.{pkg.name} missing from DESIGN.md inventory"
+            )

@@ -1,0 +1,117 @@
+"""Tests for partial trace and entanglement entropies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.entanglement import (
+    partial_trace,
+    register_entanglement,
+    renyi2_entropy,
+    von_neumann_entropy,
+)
+from repro.circuits import QuantumCircuit
+from repro.core import QInteger, qfa_circuit
+from repro.experiments.instances import product_statevector
+from repro.sim import StatevectorEngine
+
+ENG = StatevectorEngine()
+
+
+def bell_state():
+    qc = QuantumCircuit(2)
+    qc.h(0).cx(0, 1)
+    return ENG.run(qc).data
+
+
+class TestPartialTrace:
+    def test_product_state_pure_reduction(self):
+        state = np.kron([0, 1], [1, 0]) + 0j  # |0> (x) |1> -> q0=0? check below
+        rho = partial_trace(state, [0], 2)
+        # q0 is the LSB: state index 2 = q1=1, q0=0.
+        np.testing.assert_allclose(rho, [[1, 0], [0, 0]], atol=1e-12)
+
+    def test_bell_reduction_is_maximally_mixed(self):
+        rho = partial_trace(bell_state(), [0], 2)
+        np.testing.assert_allclose(rho, np.eye(2) / 2, atol=1e-12)
+
+    def test_trace_one(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=8) + 1j * rng.normal(size=8)
+        v /= np.linalg.norm(v)
+        rho = partial_trace(v, [0, 2], 3)
+        assert np.trace(rho) == pytest.approx(1.0)
+        # Hermitian PSD.
+        np.testing.assert_allclose(rho, rho.conj().T, atol=1e-12)
+
+    def test_keep_ordering(self):
+        # |q2 q1 q0> = |110>: keeping [1, 2] should read value 0b11.
+        state = np.zeros(8, dtype=complex)
+        state[0b110] = 1.0
+        rho = partial_trace(state, [1, 2], 3)
+        assert rho[3, 3] == pytest.approx(1.0)
+
+    def test_invalid_keep(self):
+        with pytest.raises(ValueError):
+            partial_trace(np.ones(4) / 2, [0, 0], 2)
+        with pytest.raises(ValueError):
+            partial_trace(np.ones(4) / 2, [5], 2)
+
+
+class TestEntropies:
+    def test_pure_state_zero_entropy(self):
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        assert von_neumann_entropy(rho) == pytest.approx(0.0, abs=1e-9)
+        assert renyi2_entropy(rho) == pytest.approx(0.0, abs=1e-9)
+
+    def test_maximally_mixed_entropy(self):
+        rho = np.eye(2) / 2
+        assert von_neumann_entropy(rho) == pytest.approx(1.0)
+        assert renyi2_entropy(rho) == pytest.approx(1.0)
+
+    def test_bell_entanglement_is_one_bit(self):
+        rho = partial_trace(bell_state(), [1], 2)
+        assert von_neumann_entropy(rho) == pytest.approx(1.0)
+
+    def test_renyi_lower_bounds_vn(self):
+        rho = np.diag([0.7, 0.2, 0.1, 0.0]).astype(complex)
+        assert renyi2_entropy(rho) <= von_neumann_entropy(rho) + 1e-9
+
+
+class TestArithmeticEntanglement:
+    def _qfa_output_entropy(self, x_vals, y_vals, n=3):
+        circ = qfa_circuit(n, n)
+        x = QInteger.uniform(x_vals, n)
+        y = QInteger.uniform(y_vals, n)
+        init = product_statevector([x.statevector(), y.statevector()])
+        out = ENG.run(circ, init).data
+        ent = register_entanglement(
+            out,
+            {"x": circ.get_qreg("x").indices, "y": circ.get_qreg("y").indices},
+            circ.num_qubits,
+        )
+        return ent
+
+    def test_order1_inputs_stay_product(self):
+        ent = self._qfa_output_entropy([3], [5])
+        assert ent["x"] == pytest.approx(0.0, abs=1e-9)
+        assert ent["y"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_superposed_x_entangles_registers(self):
+        """Paper §4's driving mechanism: a superposed *preserved*
+        operand leaves the sum register correlated with it."""
+        ent = self._qfa_output_entropy([1, 6], [2])
+        assert ent["x"] == pytest.approx(1.0, abs=1e-9)
+        assert ent["y"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_superposed_y_alone_does_not_entangle(self):
+        """An order-2 *updated* register shifts coherently: |x> stays
+        factored out, so no x-y entanglement is created."""
+        ent = self._qfa_output_entropy([3], [1, 4])
+        assert ent["x"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_entropy_grows_with_order(self):
+        e2 = self._qfa_output_entropy([0, 1], [2])["x"]
+        e4 = self._qfa_output_entropy([0, 1, 2, 3], [2])["x"]
+        assert e4 > e2

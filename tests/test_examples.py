@@ -1,0 +1,65 @@
+"""Smoke-run every example script so they cannot rot.
+
+Each example is executed as a subprocess at smoke scale; assertions
+check the banner output, not the physics (that's the unit tests' job).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    env = dict(os.environ, REPRO_SCALE="smoke")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "expected: y = 11 + 7 = 18" in out
+    assert "success=True" in out
+
+
+def test_weighted_sum_ml():
+    out = run_example("weighted_sum_ml.py")
+    assert "expected scores: [7, 13]" in out
+
+
+def test_modular_arithmetic():
+    out = run_example("modular_arithmetic.py")
+    assert "ancilla back to 0" in out
+    assert "[1, 5]" in out
+
+
+def test_signed_multiplication():
+    out = run_example("signed_multiplication.py")
+    assert "x=-2: x*y = +2" in out
+
+
+def test_optimal_depth_search():
+    out = run_example("optimal_depth_search.py", "4", "1.5")
+    assert "optimal measured depth" in out
+
+
+def test_error_mitigation():
+    out = run_example("error_mitigation.py")
+    assert "mitigated: success=" in out
+    assert "extrapolated ->" in out
+
+
+def test_noise_landscape():
+    out = run_example("noise_landscape.py")
+    assert "best depth at" in out

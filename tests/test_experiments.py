@@ -1,0 +1,289 @@
+"""Tests for the experiment harness (instances, runner, sweep, results)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import QInteger
+from repro.experiments import (
+    ArithmeticInstance,
+    PAPER_TABLE1,
+    SCALES,
+    SweepConfig,
+    build_arithmetic_circuit,
+    current_scale,
+    generate_instances,
+    load_sweep,
+    noise_model_for,
+    product_statevector,
+    random_qinteger,
+    render_panel,
+    render_series_table,
+    render_table1,
+    run_point,
+    run_sweep,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_csv,
+    sweep_to_dict,
+    table1_counts,
+)
+from repro.experiments.paper import (
+    ORDER_ROWS,
+    fig3_configs,
+    fig4_configs,
+    qfa_depths_for,
+    qfm_depths_for,
+)
+
+
+class TestRandomQInteger:
+    def test_order(self, rng):
+        q = random_qinteger(rng, 4, 3)
+        assert q.order == 3
+
+    def test_uniform_amplitudes(self, rng):
+        q = random_qinteger(rng, 4, 2)
+        probs = list(q.probabilities().values())
+        assert probs[0] == pytest.approx(0.5)
+
+    def test_order_too_large(self, rng):
+        with pytest.raises(ValueError):
+            random_qinteger(rng, 2, 5)
+
+
+class TestArithmeticInstance:
+    def test_add_correct_outcomes(self):
+        inst = ArithmeticInstance(
+            "add", 3, 3, QInteger.basis(3, 3), QInteger.basis(6, 3)
+        )
+        # x=3 stays; y -> (3+6) mod 8 = 1: outcome 3 | 1<<3 = 11.
+        assert inst.correct_outcomes() == frozenset({3 | (1 << 3)})
+
+    def test_add_superposed_outcomes(self):
+        inst = ArithmeticInstance(
+            "add", 2, 2, QInteger.basis(1, 2), QInteger.uniform([0, 2], 2)
+        )
+        assert inst.correct_outcomes() == frozenset(
+            {1 | (1 << 2), 1 | (3 << 2)}
+        )
+
+    def test_mul_correct_outcomes(self):
+        inst = ArithmeticInstance(
+            "mul", 2, 2, QInteger.basis(3, 2), QInteger.basis(2, 2)
+        )
+        assert inst.correct_outcomes() == frozenset(
+            {3 | (2 << 2) | (6 << 4)}
+        )
+
+    def test_initial_statevector_add(self):
+        inst = ArithmeticInstance(
+            "add", 2, 2, QInteger.basis(1, 2), QInteger.basis(2, 2)
+        )
+        vec = inst.initial_statevector()
+        assert vec[1 | (2 << 2)] == pytest.approx(1.0)
+
+    def test_initial_statevector_mul_includes_zero_z(self):
+        inst = ArithmeticInstance(
+            "mul", 2, 2, QInteger.basis(1, 2), QInteger.basis(2, 2)
+        )
+        vec = inst.initial_statevector()
+        assert vec.shape == (1 << 8,)
+        assert vec[1 | (2 << 2)] == pytest.approx(1.0)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ArithmeticInstance(
+                "add", 3, 3, QInteger.basis(0, 2), QInteger.basis(0, 3)
+            )
+
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError):
+            ArithmeticInstance(
+                "div", 2, 2, QInteger.basis(0, 2), QInteger.basis(0, 2)
+            )
+
+    def test_orders_property(self):
+        inst = ArithmeticInstance(
+            "add", 2, 2, QInteger.uniform([0, 1], 2), QInteger.basis(0, 2)
+        )
+        assert inst.orders == (2, 1)
+
+
+class TestGenerateInstances:
+    def test_count_and_orders(self):
+        insts = generate_instances("add", 4, 4, (1, 2), 10, seed=1)
+        assert len(insts) == 10
+        assert all(i.orders == (1, 2) for i in insts)
+
+    def test_seeded_reproducibility(self):
+        a = generate_instances("add", 4, 4, (2, 2), 5, seed=7)
+        b = generate_instances("add", 4, 4, (2, 2), 5, seed=7)
+        assert all(
+            ia.x == ib.x and ia.y == ib.y for ia, ib in zip(a, b)
+        )
+
+    def test_unique_within_set(self):
+        insts = generate_instances("add", 4, 4, (1, 1), 20, seed=3)
+        keys = {(i.x.values, i.y.values) for i in insts}
+        assert len(keys) == 20
+
+    def test_small_space_allows_repeats_eventually(self):
+        # 1-qubit registers: only 4 unique (x, y) basis pairs but we ask
+        # for 8 — generation must terminate.
+        insts = generate_instances("add", 1, 1, (1, 1), 8, seed=0)
+        assert len(insts) == 8
+
+
+class TestProductStatevector:
+    def test_ordering(self):
+        a = np.array([0, 1], dtype=complex)  # |1> on low register
+        b = np.array([1, 0], dtype=complex)  # |0> on high register
+        v = product_statevector([a, b])
+        assert v[1] == pytest.approx(1.0)
+
+    def test_three_registers(self):
+        a = np.array([0, 1], dtype=complex)
+        v = product_statevector([a, a, a])
+        assert v[0b111] == pytest.approx(1.0)
+
+
+class TestRunner:
+    def test_circuit_cache_reuse(self):
+        c1 = build_arithmetic_circuit("add", 3, 3, None)
+        c2 = build_arithmetic_circuit("add", 3, 3, None)
+        assert c1 is c2
+
+    def test_noise_model_for(self):
+        assert noise_model_for("1q", 0.0).is_ideal
+        m1 = noise_model_for("1q", 0.01)
+        assert "sx" in m1.noisy_gate_names and "cx" not in m1.noisy_gate_names
+        m2 = noise_model_for("2q", 0.01)
+        assert m2.noisy_gate_names == ("cx",)
+
+    def test_run_point_ideal_full_depth_succeeds(self):
+        cfg = SweepConfig(
+            operation="add", n=3, m=3, orders=(1, 1), error_axis="2q",
+            error_rates=(0.0,), depths=(None,), instances=3, shots=128,
+            trajectories=4, seed=11,
+        )
+        insts = generate_instances("add", 3, 3, (1, 1), 3, seed=11)
+        pr = run_point(cfg, insts, 0.0, None)
+        assert pr.summary.success_rate == pytest.approx(100.0)
+        assert pr.depth_label == "full"
+
+    def test_run_point_heavy_noise_fails(self):
+        cfg = SweepConfig(
+            operation="add", n=3, m=3, orders=(2, 2), error_axis="2q",
+            error_rates=(0.5,), depths=(None,), instances=3, shots=128,
+            trajectories=8, seed=13,
+        )
+        insts = generate_instances("add", 3, 3, (2, 2), 3, seed=13)
+        pr = run_point(cfg, insts, 0.5, None)
+        assert pr.summary.success_rate < 100.0
+
+
+class TestSweepAndResults:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        cfg = SweepConfig(
+            operation="add", n=3, m=3, orders=(1, 2), error_axis="2q",
+            error_rates=(0.0, 0.05), depths=(2, None), instances=3,
+            shots=128, trajectories=4, seed=21,
+        )
+        return run_sweep(cfg, workers=1)
+
+    def test_all_cells_present(self, small_sweep):
+        assert len(small_sweep.points) == 4
+
+    def test_series(self, small_sweep):
+        s = small_sweep.series(None)
+        assert [p.error_rate for p in s] == [0.0, 0.05]
+
+    def test_best_depth(self, small_sweep):
+        d, rate = small_sweep.best_depth(0.0)
+        assert rate == pytest.approx(100.0)
+
+    def test_json_roundtrip(self, small_sweep, tmp_path):
+        path = save_sweep(small_sweep, tmp_path / "s.json")
+        loaded = load_sweep(path)
+        assert loaded.config == small_sweep.config
+        for key, pr in small_sweep.points.items():
+            lp = loaded.points[key]
+            assert lp.summary.success_rate == pr.summary.success_rate
+            assert lp.outcomes == pr.outcomes
+
+    def test_dict_schema_guard(self, small_sweep):
+        data = sweep_to_dict(small_sweep)
+        data["schema"] = 99
+        with pytest.raises(ValueError):
+            sweep_from_dict(data)
+
+    def test_csv_rows(self, small_sweep):
+        csv_text = sweep_to_csv(small_sweep)
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 1 + 4
+        assert lines[0].startswith("operation,")
+
+    def test_render_panel_smoke(self, small_sweep):
+        text = render_panel(small_sweep)
+        assert "QFA" in text and "legend" in text
+
+    def test_render_series_table(self, small_sweep):
+        text = render_series_table(small_sweep)
+        assert "d=full" in text and "d=1" in text
+
+
+class TestPaperConfigs:
+    def test_table1_structure(self):
+        rows = table1_counts()
+        assert len(rows) == len(PAPER_TABLE1)
+        qfm_rows = [r for r in rows if r.circuit == "qfm"]
+        assert all(r.delta == (0, 0) for r in qfm_rows)
+        qfa_rows = [r for r in rows if r.circuit == "qfa"]
+        assert all(r.delta == (35, 2) for r in qfa_rows)
+
+    def test_render_table1(self):
+        text = render_table1(table1_counts())
+        assert "QFM" in text and "full" in text
+
+    def test_depth_series(self):
+        assert qfa_depths_for(8) == (2, 3, 4, 5, None)
+        assert qfa_depths_for(3) == (2, None)
+        assert qfm_depths_for(4) == (2, 3, None)
+
+    def test_fig3_panels(self):
+        cfgs = fig3_configs(SCALES["smoke"])
+        assert len(cfgs) == 6
+        assert [c.label for c in cfgs] == [
+            "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
+        ]
+        assert cfgs[0].error_axis == "1q" and cfgs[1].error_axis == "2q"
+        # Rows share seeds across axes (shared instances).
+        assert cfgs[0].seed == cfgs[1].seed
+        assert cfgs[0].seed != cfgs[2].seed
+
+    def test_fig4_panels(self):
+        cfgs = fig4_configs(SCALES["smoke"])
+        assert len(cfgs) == 6
+        assert all(c.operation == "mul" for c in cfgs)
+        assert [c.orders for c in cfgs[::2]] == list(ORDER_ROWS)
+
+    def test_rates_include_origin_and_reference(self):
+        cfgs = fig3_configs(SCALES["smoke"])
+        assert cfgs[0].error_rates[0] == 0.0
+        assert 0.002 in cfgs[0].error_rates
+        assert 0.010 in cfgs[1].error_rates
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_depth_labels(self):
+        cfg = fig3_configs(SCALES["smoke"])[0]
+        assert cfg.depth_label(None) == "full"
+        assert cfg.depth_label(2) == "1"

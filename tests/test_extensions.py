@@ -1,0 +1,150 @@
+"""Tests for extended arithmetic: weighted sums, squares, inner products."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    inner_product_circuit,
+    inner_product_width,
+    square_circuit,
+    weighted_sum_circuit,
+    weighted_sum_width,
+)
+from repro.sim import StatevectorEngine
+
+from conftest import register_value
+
+ENG = StatevectorEngine()
+
+
+def run_regs(circ, reg_vals):
+    idx = 0
+    for name, val in reg_vals.items():
+        idx |= val << circ.get_qreg(name).offset
+    vec = np.zeros(1 << circ.num_qubits, dtype=complex)
+    vec[idx] = 1.0
+    top, p = ENG.run(circ, vec).probabilities().top(1)[0]
+    assert p > 1 - 1e-9
+    return top
+
+
+class TestWeightedSumWidth:
+    def test_width_covers_maximum(self):
+        w = weighted_sum_width([3, 1, 2], 2)
+        assert (1 << w) > (3 + 1 + 2) * 3
+
+    def test_negative_weights_counted_by_magnitude(self):
+        assert weighted_sum_width([-4], 2) == weighted_sum_width([4], 2)
+
+
+class TestWeightedSum:
+    @pytest.mark.parametrize("weights", [[1], [2, 3], [3, 1, 2]])
+    def test_exhaustive_small(self, weights):
+        n = 2
+        circ = weighted_sum_circuit(weights, n)
+        acc = circ.get_qreg("acc")
+        mod = 1 << acc.size
+        for vals in itertools.product(range(1 << n), repeat=len(weights)):
+            regs = {f"x{i}": v for i, v in enumerate(vals)}
+            regs["acc"] = 0
+            out = run_regs(circ, regs)
+            expected = sum(w * v for w, v in zip(weights, vals)) % mod
+            assert register_value(out, acc) == expected, (weights, vals)
+
+    def test_negative_weight_two_complement(self):
+        circ = weighted_sum_circuit([-1], 2, acc_width=3)
+        out = run_regs(circ, {"x0": 3, "acc": 0})
+        # -3 mod 8 = 5
+        assert register_value(out, circ.get_qreg("acc")) == 5
+
+    def test_accumulates(self):
+        circ = weighted_sum_circuit([2], 2, acc_width=4)
+        out = run_regs(circ, {"x0": 3, "acc": 5})
+        assert register_value(out, circ.get_qreg("acc")) == 11
+
+    def test_operands_preserved(self):
+        circ = weighted_sum_circuit([3, 1], 2)
+        out = run_regs(circ, {"x0": 2, "x1": 1, "acc": 0})
+        assert register_value(out, circ.get_qreg("x0")) == 2
+        assert register_value(out, circ.get_qreg("x1")) == 1
+
+    def test_only_singly_controlled_gates(self):
+        ops = weighted_sum_circuit([3, 1, 2], 2).count_ops()
+        assert "ccp" not in ops
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_sum_circuit([], 2)
+
+
+class TestSquare:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exhaustive(self, n):
+        circ = square_circuit(n)
+        z = circ.get_qreg("z")
+        for x in range(1 << n):
+            out = run_regs(circ, {"x": x, "z": 0})
+            assert register_value(out, z) == x * x, x
+
+    def test_accumulates(self):
+        circ = square_circuit(2)
+        out = run_regs(circ, {"x": 3, "z": 4})
+        assert register_value(out, circ.get_qreg("z")) == 13
+
+    def test_smaller_than_qfm(self):
+        from repro.core import qfm_circuit
+
+        assert (
+            square_circuit(3).size()
+            < qfm_circuit(3, strategy="fused").size()
+        )
+
+    def test_superposition(self):
+        from repro.core import QInteger
+        from repro.experiments.instances import product_statevector
+
+        circ = square_circuit(2)
+        x = QInteger.uniform([1, 3], 2)
+        z = np.zeros(1 << 4, dtype=complex)
+        z[0] = 1.0
+        init = product_statevector([x.statevector(), z])
+        dist = ENG.run(circ, init).probabilities()
+        outs = {
+            register_value(o, circ.get_qreg("z"))
+            for o, p in dist.top(2)
+            if p > 1e-9
+        }
+        assert outs == {1, 9}
+
+
+class TestInnerProduct:
+    def test_width(self):
+        assert (1 << inner_product_width(2, 2, 2)) > 2 * 9
+
+    def test_two_pairs(self):
+        circ = inner_product_circuit(2, 2)
+        acc = circ.get_qreg("acc")
+        for vals in [(1, 2, 3, 1), (3, 3, 2, 2), (0, 0, 1, 3)]:
+            x0, y0, x1, y1 = vals
+            out = run_regs(
+                circ, {"x0": x0, "y0": y0, "x1": x1, "y1": y1, "acc": 0}
+            )
+            assert register_value(out, acc) == x0 * y0 + x1 * y1, vals
+
+    def test_single_pair_matches_multiplication(self):
+        circ = inner_product_circuit(2, 1)
+        out = run_regs(circ, {"x0": 3, "y0": 2, "acc": 0})
+        assert register_value(out, circ.get_qreg("acc")) == 6
+
+    def test_rect_operands(self):
+        circ = inner_product_circuit(2, 1, m=3)
+        out = run_regs(circ, {"x0": 3, "y0": 7, "acc": 0})
+        assert register_value(out, circ.get_qreg("acc")) == 21
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inner_product_circuit(0, 1)
+        with pytest.raises(ValueError):
+            inner_product_circuit(2, 0)

@@ -1,0 +1,255 @@
+"""Unit tests for repro.circuits.gates."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates as G
+from repro.circuits.gates import Gate, GateError, controlled_matrix, make_gate
+
+from conftest import assert_matrix_equiv
+
+
+ALL_FIXED = [
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+    "cx", "cz", "cy", "ch", "swap", "cswap", "ccx", "cch",
+]
+ALL_PARAM = ["p", "rz", "rx", "ry", "cp", "crz", "ccp"]
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("name", ALL_FIXED)
+    def test_fixed_gates_are_unitary(self, name):
+        g = make_gate(name)
+        m = g.matrix
+        dim = 2**g.num_qubits
+        np.testing.assert_allclose(m @ m.conj().T, np.eye(dim), atol=1e-12)
+
+    @pytest.mark.parametrize("name", ALL_PARAM)
+    @pytest.mark.parametrize("angle", [0.3, -1.7, math.pi, 2 * math.pi])
+    def test_param_gates_are_unitary(self, name, angle):
+        params = (angle,) if name != "u" else (angle, 0.1, -0.2)
+        g = make_gate(name, *params)
+        m = g.matrix
+        dim = 2**g.num_qubits
+        np.testing.assert_allclose(m @ m.conj().T, np.eye(dim), atol=1e-12)
+
+    def test_u_gate_unitary(self):
+        g = make_gate("u", 0.5, 1.0, -0.4)
+        np.testing.assert_allclose(
+            g.matrix @ g.matrix.conj().T, np.eye(2), atol=1e-12
+        )
+
+    def test_hadamard_values(self):
+        h = G.HGate().matrix
+        s = 1 / math.sqrt(2)
+        np.testing.assert_allclose(h, [[s, s], [s, -s]])
+
+    def test_x_matrix(self):
+        np.testing.assert_allclose(G.XGate().matrix, [[0, 1], [1, 0]])
+
+    def test_sx_squares_to_x(self):
+        sx = G.SXGate().matrix
+        np.testing.assert_allclose(sx @ sx, G.XGate().matrix, atol=1e-12)
+
+    def test_s_squares_to_z(self):
+        s = G.SGate().matrix
+        np.testing.assert_allclose(s @ s, G.ZGate().matrix, atol=1e-12)
+
+    def test_t_fourth_power_is_z(self):
+        t = G.TGate().matrix
+        np.testing.assert_allclose(
+            np.linalg.matrix_power(t, 4), G.ZGate().matrix, atol=1e-12
+        )
+
+    def test_cx_little_endian_convention(self):
+        # Control = argument 0 = LSB: |01> (q0=1, q1=0) -> |11>.
+        cx = G.CXGate().matrix
+        vec = np.zeros(4)
+        vec[0b01] = 1.0
+        out = cx @ vec
+        assert abs(out[0b11] - 1.0) < 1e-12
+
+    def test_cx_inactive_when_control_zero(self):
+        cx = G.CXGate().matrix
+        vec = np.zeros(4)
+        vec[0b10] = 1.0  # q0 (control) = 0, q1 = 1
+        out = cx @ vec
+        assert abs(out[0b10] - 1.0) < 1e-12
+
+    def test_cp_phase_on_11_only(self):
+        lam = 0.77
+        cp = G.CPGate(lam).matrix
+        expected = np.diag([1, 1, 1, cmath.exp(1j * lam)])
+        np.testing.assert_allclose(cp, expected, atol=1e-12)
+
+    def test_ccp_phase_on_111_only(self):
+        lam = -0.3
+        m = G.CCPGate(lam).matrix
+        d = np.ones(8, dtype=complex)
+        d[7] = cmath.exp(1j * lam)
+        np.testing.assert_allclose(m, np.diag(d), atol=1e-12)
+
+    def test_rz_phases(self):
+        lam = 1.1
+        m = G.RZGate(lam).matrix
+        np.testing.assert_allclose(
+            m,
+            np.diag([cmath.exp(-0.5j * lam), cmath.exp(0.5j * lam)]),
+            atol=1e-12,
+        )
+
+    def test_p_differs_from_rz_by_phase_only(self):
+        lam = 0.9
+        assert_matrix_equiv(G.PhaseGate(lam).matrix, G.RZGate(lam).matrix)
+
+    def test_ch_matrix_structure(self):
+        m = G.CHGate().matrix
+        # Control=0 block (indices 0 and 2 in little-endian) is identity.
+        np.testing.assert_allclose(m[np.ix_([0, 2], [0, 2])], np.eye(2))
+        # Control=1 block (indices 1 and 3 in little-endian) is H.
+        s = 1 / math.sqrt(2)
+        np.testing.assert_allclose(
+            m[np.ix_([1, 3], [1, 3])], [[s, s], [s, -s]], atol=1e-12
+        )
+
+    def test_swap_matrix(self):
+        m = G.SwapGate().matrix
+        vec = np.zeros(4)
+        vec[0b01] = 1
+        np.testing.assert_allclose((m @ vec)[0b10], 1.0)
+
+    def test_ccx_flips_only_when_both_controls_set(self):
+        m = G.CCXGate().matrix
+        vec = np.zeros(8)
+        vec[0b011] = 1  # controls q0=q1=1, target q2=0
+        assert abs((m @ vec)[0b111] - 1) < 1e-12
+        vec = np.zeros(8)
+        vec[0b001] = 1  # only one control
+        assert abs((m @ vec)[0b001] - 1) < 1e-12
+
+
+class TestControlledMatrix:
+    def test_embeds_in_lower_right_pattern(self):
+        base = G.XGate().matrix
+        m = controlled_matrix(base, 1)
+        np.testing.assert_allclose(m, G.CXGate().matrix)
+
+    def test_two_controls(self):
+        m = controlled_matrix(G.XGate().matrix, 2)
+        np.testing.assert_allclose(m, G.CCXGate().matrix)
+
+    def test_rejects_zero_controls(self):
+        with pytest.raises(GateError):
+            controlled_matrix(G.XGate().matrix, 0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GateError):
+            controlled_matrix(np.ones((3, 3)), 1)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("name", ALL_FIXED)
+    def test_fixed_inverse_matrix(self, name):
+        g = make_gate(name)
+        inv = g.inverse()
+        dim = 2**g.num_qubits
+        np.testing.assert_allclose(
+            g.matrix @ inv.matrix, np.eye(dim), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("name", ALL_PARAM)
+    def test_param_inverse_matrix(self, name):
+        g = make_gate(name, 0.83)
+        inv = g.inverse()
+        dim = 2**g.num_qubits
+        np.testing.assert_allclose(
+            g.matrix @ inv.matrix, np.eye(dim), atol=1e-12
+        )
+
+    def test_u_inverse(self):
+        g = G.UGate(0.3, 0.9, -1.2)
+        np.testing.assert_allclose(
+            g.matrix @ g.inverse().matrix, np.eye(2), atol=1e-12
+        )
+
+    def test_s_inverse_is_sdg(self):
+        assert G.SGate().inverse().name == "sdg"
+
+    def test_cp_inverse_negates_angle(self):
+        inv = G.CPGate(0.5).inverse()
+        assert inv.name == "cp"
+        assert inv.params == (-0.5,)
+
+    def test_measure_not_invertible(self):
+        with pytest.raises(GateError):
+            G.MeasureOp().inverse()
+
+
+class TestControl:
+    def test_x_control_is_cx(self):
+        assert G.XGate().control().name == "cx"
+
+    def test_x_double_control_is_ccx(self):
+        assert G.XGate().control(2).name == "ccx"
+
+    def test_h_control_is_ch(self):
+        assert G.HGate().control().name == "ch"
+
+    def test_cp_control_is_ccp_with_angle(self):
+        g = G.CPGate(0.7).control()
+        assert g.name == "ccp"
+        assert g.params == (0.7,)
+
+    def test_ch_control_is_cch(self):
+        assert G.CHGate().control().name == "cch"
+
+    def test_generic_control_matrix(self):
+        g = G.RYGate(0.4)
+        cg = g.control()
+        expected = controlled_matrix(g.matrix, 1)
+        np.testing.assert_allclose(cg.matrix, expected, atol=1e-12)
+        assert cg.num_qubits == 2
+
+    def test_control_zero_raises(self):
+        with pytest.raises(GateError):
+            G.XGate().control(0)
+
+
+class TestGateObject:
+    def test_equality_includes_params(self):
+        assert G.RZGate(0.5) == G.RZGate(0.5)
+        assert G.RZGate(0.5) != G.RZGate(0.6)
+
+    def test_hashable(self):
+        assert len({G.RZGate(0.5), G.RZGate(0.5), G.RZGate(0.6)}) == 2
+
+    def test_repr_contains_name(self):
+        assert "cp" in repr(G.CPGate(0.1))
+
+    def test_unknown_gate_name(self):
+        with pytest.raises(GateError):
+            make_gate("nope")
+
+    def test_measure_has_no_matrix(self):
+        m = G.MeasureOp()
+        assert not m.is_unitary
+        with pytest.raises(GateError):
+            m.matrix
+
+    def test_barrier_width(self):
+        assert G.BarrierOp(3).num_qubits == 3
+
+    def test_diagonal_detection(self):
+        assert G.RZGate(0.1).is_diagonal
+        assert G.CPGate(0.1).is_diagonal
+        assert G.CCPGate(0.1).is_diagonal
+        assert not G.HGate().is_diagonal
+        assert not G.CXGate().is_diagonal
+
+    def test_matrix_is_readonly(self):
+        m = G.HGate().matrix
+        with pytest.raises(ValueError):
+            m[0, 0] = 5

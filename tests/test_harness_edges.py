@@ -1,0 +1,122 @@
+"""Remaining harness edge cases: scale tiers, figure callbacks, panel
+rendering edge cases, and a QASM round-trip property test."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, from_qasm, to_qasm
+from repro.circuits import gates as G
+from repro.experiments import SCALES, SweepConfig, render_panel, run_sweep
+from repro.experiments.config import Scale
+from repro.experiments.paper import run_figure
+
+
+class TestScaleTiers:
+    def test_all_tiers_well_formed(self):
+        for s in SCALES.values():
+            assert s.qfa_n >= s.qfm_n
+            assert s.shots >= 1 and s.trajectories >= 1
+            assert "n=" in str(s)
+
+    def test_paper_tier_matches_publication(self):
+        p = SCALES["paper"]
+        assert (p.qfa_n, p.qfm_n) == (8, 4)
+        assert p.shots == 2048
+        assert p.instances_add >= 200
+
+    def test_tiers_strictly_ordered_in_cost(self):
+        smoke, default, paper = (
+            SCALES["smoke"], SCALES["default"], SCALES["paper"],
+        )
+        assert smoke.qfa_n < default.qfa_n < paper.qfa_n
+        assert smoke.shots < default.shots < paper.shots
+
+
+class TestRunFigureCallback:
+    def test_on_panel_fires_per_panel(self):
+        scale = Scale("t", qfa_n=3, qfm_n=2, instances_add=2,
+                      instances_mul=2, shots=64, trajectories=4)
+        cfgs = [
+            SweepConfig(
+                operation="add", n=3, m=3, orders=(1, 1), error_axis=ax,
+                error_rates=(0.0,), depths=(None,), instances=2,
+                shots=64, trajectories=4, seed=5, label=f"p{ax}",
+            )
+            for ax in ("1q", "2q")
+        ]
+        seen = []
+        results = run_figure(
+            cfgs, workers=1, on_panel=lambda lab, res: seen.append(lab)
+        )
+        assert seen == ["p1q", "p2q"]
+        assert set(results) == {"p1q", "p2q"}
+
+    def test_shared_instances_across_axes(self):
+        cfgs = [
+            SweepConfig(
+                operation="add", n=3, m=3, orders=(1, 2), error_axis=ax,
+                error_rates=(0.0,), depths=(None,), instances=3,
+                shots=64, trajectories=4, seed=77, label=f"x{ax}",
+            )
+            for ax in ("1q", "2q")
+        ]
+        results = run_figure(cfgs, workers=1)
+        a = results["x1q"].instances
+        b = results["x2q"].instances
+        assert [(i.x.values, i.y.values) for i in a] == [
+            (i.x.values, i.y.values) for i in b
+        ]
+
+
+class TestPanelRenderingEdges:
+    def test_single_rate_panel(self):
+        cfg = SweepConfig(
+            operation="mul", n=2, m=2, orders=(2, 2), error_axis="1q",
+            error_rates=(0.0,), depths=(None,), instances=2, shots=64,
+            trajectories=4, seed=9,
+        )
+        res = run_sweep(cfg, workers=1)
+        text = render_panel(res, title="edge panel")
+        assert "edge panel" in text
+        assert "QFM" not in text  # custom title overrides the default
+
+    def test_missing_cells_render_as_dash(self):
+        cfg = SweepConfig(
+            operation="add", n=2, m=2, orders=(1, 1), error_axis="1q",
+            error_rates=(0.0, 0.01), depths=(None,), instances=2,
+            shots=64, trajectories=4, seed=10,
+        )
+        res = run_sweep(cfg, workers=1)
+        # Drop one cell to simulate a partial (checkpointed) sweep.
+        del res.points[(0.01, None)]
+        text = render_panel(res)
+        assert "—" in text
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 100_000))
+def test_qasm_roundtrip_random_circuits(seed):
+    """QASM export/import preserves gate sequence for random circuits."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(3)
+    pool = ["h", "x", "s", "sx", "rz", "cp", "cx", "ccp", "swap"]
+    for _ in range(8):
+        name = pool[rng.integers(len(pool))]
+        g = (
+            G.make_gate(name, float(rng.uniform(-3, 3)))
+            if name in ("rz", "cp", "ccp")
+            else G.make_gate(name)
+        )
+        qs = rng.choice(3, size=g.num_qubits, replace=False)
+        qc.append(g, [int(q) for q in qs])
+    back = from_qasm(to_qasm(qc))
+    assert [i.gate.name for i in back] == [i.gate.name for i in qc]
+    assert [i.qubits for i in back] == [i.qubits for i in qc]
+    for a, b in zip(back, qc):
+        assert a.gate.params == pytest.approx(b.gate.params, abs=1e-9)

@@ -1,0 +1,168 @@
+"""End-to-end integration tests across the full stack.
+
+These mirror the actual experiment pipeline: build arithmetic circuit ->
+transpile to IBM basis -> attach noise -> simulate -> apply the paper's
+success metric — at reduced sizes so the suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import QInteger, qfa_circuit, qfm_circuit
+from repro.experiments import (
+    ArithmeticInstance,
+    SweepConfig,
+    generate_instances,
+    run_point,
+    run_sweep,
+)
+from repro.metrics import evaluate_instance, total_variation_distance
+from repro.noise import NoiseModel
+from repro.sim import (
+    DensityMatrixEngine,
+    TrajectoryEngine,
+    simulate_counts,
+)
+from repro.transpile import gate_counts, transpile
+
+
+class TestPipelineAddition:
+    def test_noise_free_pipeline_always_succeeds(self):
+        insts = generate_instances("add", 4, 4, (2, 2), 5, seed=1)
+        circ = transpile(qfa_circuit(4, 4))
+        rng = np.random.default_rng(0)
+        for inst in insts:
+            counts = simulate_counts(
+                circ,
+                None,
+                shots=256,
+                rng=rng,
+                initial_state=inst.initial_statevector(),
+            )
+            out = evaluate_instance(counts, inst.correct_outcomes())
+            assert out.success
+
+    def test_noisy_trajectory_vs_exact_density(self):
+        """The pipeline's trajectory sampling agrees with the exact
+        channel on a full transpiled QFA circuit (8 qubits)."""
+        inst = ArithmeticInstance(
+            "add", 4, 4, QInteger.basis(11, 4), QInteger.uniform([2, 9], 4)
+        )
+        circ = transpile(qfa_circuit(4, 4))
+        noise = NoiseModel.depolarizing(p1q=0.002, p2q=0.01)
+        exact = DensityMatrixEngine().distribution(
+            circ, noise, inst.initial_statevector()
+        )
+        counts = TrajectoryEngine(trajectories=3000, seed=5).run(
+            circ, noise, shots=3000, initial_state=inst.initial_statevector()
+        )
+        assert total_variation_distance(exact, counts) < 0.08
+
+    def test_noise_hurts_success_monotonically(self):
+        cfg_base = dict(
+            operation="add", n=4, m=4, orders=(2, 2), error_axis="2q",
+            depths=(None,), instances=6, shots=512, trajectories=512,
+            seed=33, method="density",
+        )
+        insts = generate_instances("add", 4, 4, (2, 2), 6, seed=33)
+        rates = [0.0, 0.05, 0.4]
+        margins = []
+        for r in rates:
+            cfg = SweepConfig(error_rates=(r,), **cfg_base)
+            pr = run_point(cfg, insts, r, None)
+            margins.append(pr.summary.mean_min_diff)
+        assert margins[0] > margins[1] > margins[2]
+
+    def test_aqft_depth1_worse_than_full_noise_free(self):
+        insts = generate_instances("add", 5, 5, (1, 1), 8, seed=40)
+        cfg = SweepConfig(
+            operation="add", n=5, m=5, orders=(1, 1), error_axis="1q",
+            error_rates=(0.0,), depths=(2, None), instances=8, shots=256,
+            trajectories=8, seed=40,
+        )
+        p_shallow = run_point(cfg, insts, 0.0, 2)
+        p_full = run_point(cfg, insts, 0.0, None)
+        assert p_full.summary.success_rate == 100.0
+        assert (
+            p_shallow.summary.mean_min_diff <= p_full.summary.mean_min_diff
+        )
+
+
+class TestPipelineMultiplication:
+    def test_qfm_noise_free_success(self):
+        insts = generate_instances("mul", 2, 2, (1, 2), 4, seed=2)
+        circ = transpile(qfm_circuit(2, 2))
+        rng = np.random.default_rng(1)
+        for inst in insts:
+            counts = simulate_counts(
+                circ, None, shots=256, rng=rng,
+                initial_state=inst.initial_statevector(),
+            )
+            assert evaluate_instance(counts, inst.correct_outcomes()).success
+
+    def test_qfm_more_fragile_than_qfa(self):
+        """Paper: QFM success << QFA success at equal error rates,
+        because the QFM circuit is ~6x larger."""
+        noise_rate = 0.01
+        qfa_cfg = SweepConfig(
+            operation="add", n=3, m=3, orders=(1, 1), error_axis="2q",
+            error_rates=(noise_rate,), depths=(None,), instances=5,
+            shots=512, trajectories=64, seed=50, method="density",
+        )
+        qfm_cfg = SweepConfig(
+            operation="mul", n=3, m=3, orders=(1, 1), error_axis="2q",
+            error_rates=(noise_rate,), depths=(None,), instances=5,
+            shots=512, trajectories=64, seed=50,
+        )
+        add_insts = generate_instances("add", 3, 3, (1, 1), 5, seed=50)
+        mul_insts = generate_instances("mul", 3, 3, (1, 1), 5, seed=50)
+        qfa_pt = run_point(qfa_cfg, add_insts, noise_rate, None)
+        qfm_pt = run_point(qfm_cfg, mul_insts, noise_rate, None)
+        # Compare the margins, which are strictly ordered even when the
+        # binary success rates saturate.
+        assert (
+            qfm_pt.summary.mean_min_diff < qfa_pt.summary.mean_min_diff
+        )
+
+
+class TestGateCountScaling:
+    def test_qfa_counts_grow_with_depth(self):
+        sizes = [
+            gate_counts(transpile(qfa_circuit(6, 6, depth=d))).total
+            for d in (2, 3, 4, None)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_qfm_counts_dwarf_qfa_counts(self):
+        qfa = gate_counts(transpile(qfa_circuit(4, 4))).total
+        qfm = gate_counts(transpile(qfm_circuit(4, 4))).total
+        assert qfm > 5 * qfa
+
+
+class TestSweepEndToEnd:
+    def test_full_mini_panel(self):
+        cfg = SweepConfig(
+            operation="add", n=3, m=3, orders=(1, 2), error_axis="1q",
+            error_rates=(0.0, 0.01, 0.2), depths=(2, None), instances=4,
+            shots=256, trajectories=16, seed=60,
+        )
+        res = run_sweep(cfg, workers=1)
+        assert len(res.points) == 6
+        # Noise-free full depth must be perfect.
+        assert res.point(0.0, None).summary.success_rate == 100.0
+        # Extreme noise must not beat noise-free (margin-wise).
+        assert (
+            res.point(0.2, None).summary.mean_min_diff
+            <= res.point(0.0, None).summary.mean_min_diff
+        )
+
+    def test_panel_renders(self):
+        from repro.experiments import render_panel
+
+        cfg = SweepConfig(
+            operation="add", n=2, m=2, orders=(1, 1), error_axis="2q",
+            error_rates=(0.0,), depths=(None,), instances=2, shots=64,
+            trajectories=4, seed=61,
+        )
+        res = run_sweep(cfg, workers=1)
+        assert "100" in render_panel(res)

@@ -1,0 +1,138 @@
+"""Tests for coupling maps, layouts and swap routing."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import qfa_circuit
+from repro.sim import StatevectorEngine
+from repro.transpile import (
+    CouplingMap,
+    Layout,
+    TranspileError,
+    decompose_to_basis,
+    full_coupling,
+    grid_coupling,
+    heavy_hex_coupling,
+    linear_coupling,
+    ring_coupling,
+    route_circuit,
+    transpile,
+)
+
+
+class TestCouplingMaps:
+    def test_full(self):
+        cm = full_coupling(4)
+        assert cm.is_fully_connected()
+        assert cm.connected(0, 3)
+
+    def test_linear(self):
+        cm = linear_coupling(4)
+        assert cm.connected(0, 1) and not cm.connected(0, 2)
+        assert cm.distance(0, 3) == 3
+
+    def test_ring(self):
+        cm = ring_coupling(5)
+        assert cm.connected(0, 4)
+        assert cm.distance(0, 3) == 2
+
+    def test_grid(self):
+        cm = grid_coupling(2, 3)
+        assert cm.size == 6
+        assert cm.connected(0, 3)  # vertical neighbour
+        assert not cm.connected(2, 3)
+
+    def test_heavy_hex_connected(self):
+        import networkx as nx
+
+        cm = heavy_hex_coupling(2)
+        assert nx.is_connected(cm.graph)
+
+    def test_edge_validation(self):
+        with pytest.raises(ValueError):
+            CouplingMap([(0, 5)], 3)
+        with pytest.raises(ValueError):
+            CouplingMap([(1, 1)], 3)
+
+    def test_shortest_path(self):
+        cm = linear_coupling(5)
+        assert cm.shortest_path(0, 3) == [0, 1, 2, 3]
+
+
+class TestLayout:
+    def test_trivial(self):
+        l = Layout.trivial(3)
+        assert l.physical(2) == 2
+
+    def test_swap_physical(self):
+        l = Layout.trivial(3)
+        l.swap_physical(0, 2)
+        assert l.physical(0) == 2 and l.physical(2) == 0
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(ValueError):
+            Layout({0: 1, 1: 1})
+
+
+class TestRouting:
+    def test_no_swaps_on_connected_pairs(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1).cx(1, 2)
+        res = route_circuit(qc, linear_coupling(3))
+        assert res.swaps_inserted == 0
+
+    def test_swaps_inserted_for_distant_pair(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)
+        res = route_circuit(qc, linear_coupling(3))
+        assert res.swaps_inserted == 1
+
+    def test_rejects_wide_gates(self):
+        qc = QuantumCircuit(3)
+        qc.ccx(0, 1, 2)
+        with pytest.raises(TranspileError):
+            route_circuit(qc, linear_coupling(3))
+
+    def test_rejects_small_device(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 3)
+        with pytest.raises(TranspileError):
+            route_circuit(qc, linear_coupling(2))
+
+    def test_routed_circuit_preserves_semantics(self):
+        """Routing + final layout reproduces the original distribution."""
+        logical = decompose_to_basis(qfa_circuit(2, 2))
+        eng = StatevectorEngine()
+        # |x=3>, |y=2> -> |x=3>|y=1 (mod 4)>
+        init = np.zeros(16, dtype=complex)
+        init[0b1011] = 1.0
+        expected_dist = eng.run(logical, init).probabilities()
+        expected = expected_dist.top(1)[0][0]
+
+        res = route_circuit(logical, linear_coupling(4))
+        # Map the initial state through the (trivial) initial layout.
+        got = eng.run(res.circuit, init).probabilities()
+        top = got.top(1)[0][0]
+        # Undo the final layout: logical q -> physical res.final_layout.
+        relabelled = 0
+        for lq in range(4):
+            bit = (top >> res.final_layout.physical(lq)) & 1
+            relabelled |= bit << lq
+        assert relabelled == expected
+
+    def test_transpile_with_coupling(self):
+        qc = qfa_circuit(2, 2)
+        out = transpile(qc, coupling=linear_coupling(4))
+        from repro.transpile import is_in_basis
+
+        assert is_in_basis(out)
+        assert out.num_qubits == 4
+
+    def test_routing_overhead_grows_with_distance(self):
+        qc = QuantumCircuit(6)
+        for i in range(5):
+            qc.cx(0, i + 1)
+        near = route_circuit(qc, full_coupling(6)).swaps_inserted
+        far = route_circuit(qc, linear_coupling(6)).swaps_inserted
+        assert near == 0 and far > 0

@@ -1,0 +1,194 @@
+"""Tests for the success metric and fidelity utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    InstanceOutcome,
+    counts_distance,
+    evaluate_instance,
+    evaluate_instance_fidelity,
+    hellinger_fidelity,
+    state_fidelity,
+    summarize,
+    total_variation_distance,
+)
+from repro.sim import Counts, DensityMatrixEngine, Distribution
+from repro.circuits import QuantumCircuit
+
+
+class TestEvaluateInstance:
+    def test_clear_success(self):
+        counts = Counts({5: 100, 2: 3}, 3)
+        out = evaluate_instance(counts, frozenset({5}))
+        assert out.success and out.min_diff == 97
+
+    def test_clear_failure(self):
+        counts = Counts({5: 3, 2: 100}, 3)
+        out = evaluate_instance(counts, frozenset({5}))
+        assert not out.success and out.min_diff == -97
+
+    def test_tie_survives(self):
+        # Paper: fail only if an incorrect output has *more* counts.
+        counts = Counts({5: 50, 2: 50}, 3)
+        out = evaluate_instance(counts, frozenset({5}))
+        assert out.success and out.min_diff == 0
+
+    def test_superposed_all_correct_must_beat_all_incorrect(self):
+        # One correct output below an incorrect one -> failure.
+        counts = Counts({1: 60, 2: 30, 7: 40}, 3)
+        out = evaluate_instance(counts, frozenset({1, 2}))
+        assert not out.success
+        assert out.min_diff == 30 - 40
+
+    def test_unequal_correct_distribution_still_success(self):
+        # Paper: success regardless of inequality between correct outputs.
+        counts = Counts({1: 90, 2: 10, 7: 5}, 3)
+        out = evaluate_instance(counts, frozenset({1, 2}))
+        assert out.success
+
+    def test_correct_with_zero_counts_fails_against_any_noise(self):
+        counts = Counts({7: 10}, 3)
+        out = evaluate_instance(counts, frozenset({1}))
+        assert not out.success
+
+    def test_empty_correct_set_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_instance(Counts({0: 1}, 1), frozenset())
+
+    def test_margin(self):
+        out = InstanceOutcome(True, 512, 2048)
+        assert out.margin == pytest.approx(0.25)
+
+
+class TestFidelityMetric:
+    def test_perfect_counts_full_fidelity(self):
+        counts = Counts({5: 100}, 3)
+        out = evaluate_instance_fidelity(counts, frozenset({5}))
+        assert out.success
+        # Fidelity 1.0 -> margin = (1 - 0.5) * shots.
+        assert out.min_diff == 50
+
+    def test_uniform_correct_superposition(self):
+        counts = Counts({1: 50, 2: 50}, 3)
+        out = evaluate_instance_fidelity(counts, frozenset({1, 2}))
+        assert out.success and out.min_diff == 50
+
+    def test_all_wrong_zero_fidelity(self):
+        counts = Counts({7: 100}, 3)
+        out = evaluate_instance_fidelity(counts, frozenset({0}))
+        assert not out.success
+        assert out.min_diff == -50
+
+    def test_partial_overlap(self):
+        # Half the shots on the correct outcome: fidelity 0.5 -> ties at
+        # the default threshold and counts as success.
+        counts = Counts({0: 50, 7: 50}, 3)
+        out = evaluate_instance_fidelity(counts, frozenset({0}))
+        assert out.success and out.min_diff == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_instance_fidelity(Counts({0: 1}, 1), frozenset({0}), 1.5)
+
+    def test_empty_correct_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_instance_fidelity(Counts({0: 1}, 1), frozenset())
+
+    def test_more_discriminating_than_argmax(self):
+        # Argmax succeeds for both; fidelity ranks the cleaner one higher.
+        clean = Counts({0: 95, 1: 5}, 1)
+        dirty = Counts({0: 55, 1: 45}, 1)
+        f_clean = evaluate_instance_fidelity(clean, frozenset({0}))
+        f_dirty = evaluate_instance_fidelity(dirty, frozenset({0}))
+        assert f_clean.min_diff > f_dirty.min_diff
+        assert evaluate_instance(clean, frozenset({0})).success
+        assert evaluate_instance(dirty, frozenset({0})).success
+
+
+class TestSummarize:
+    def test_success_rate(self):
+        outs = [InstanceOutcome(True, 100, 200)] * 3 + [
+            InstanceOutcome(False, -10, 200)
+        ]
+        s = summarize(outs)
+        assert s.success_rate == pytest.approx(75.0)
+        assert s.num_instances == 4
+
+    def test_sigma_and_flips(self):
+        outs = [
+            InstanceOutcome(True, 10, 100),
+            InstanceOutcome(True, 200, 100),
+            InstanceOutcome(False, -10, 100),
+        ]
+        s = summarize(outs)
+        assert s.sigma > 0
+        # diff=10 success flips within sigma (~95); diff=-10 failure flips.
+        assert s.lower_flip == 1
+        assert s.upper_flip == 1
+        assert s.lower_bar == pytest.approx(100 / 3)
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.success_rate == 0.0
+
+    def test_all_perfect_no_bars(self):
+        outs = [InstanceOutcome(True, 2048, 2048)] * 5
+        s = summarize(outs)
+        assert s.sigma == 0.0
+        assert s.lower_flip == 0 and s.upper_flip == 0
+        assert s.success_rate == 100.0
+
+
+class TestStateFidelity:
+    def test_pure_pure(self):
+        a = np.array([1, 0], dtype=complex)
+        b = np.array([1, 1], dtype=complex) / math.sqrt(2)
+        assert state_fidelity(a, b) == pytest.approx(0.5)
+
+    def test_pure_mixed(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        dm = DensityMatrixEngine().run(qc)
+        plus = np.array([1, 1]) / math.sqrt(2)
+        assert state_fidelity(plus, dm) == pytest.approx(1.0)
+        assert state_fidelity(dm, plus) == pytest.approx(1.0)
+
+    def test_mixed_mixed_identical(self):
+        rho = np.array([[0.5, 0], [0, 0.5]], dtype=complex)
+        assert state_fidelity(rho, rho) == pytest.approx(1.0)
+
+    def test_mixed_mixed_orthogonal_pures(self):
+        a = np.array([[1, 0], [0, 0]], dtype=complex)
+        b = np.array([[0, 0], [0, 1]], dtype=complex)
+        assert state_fidelity(a, b) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDistances:
+    def test_hellinger_identical(self):
+        d = Distribution(np.array([0.3, 0.7]), 1)
+        assert hellinger_fidelity(d, d) == pytest.approx(1.0)
+
+    def test_hellinger_disjoint(self):
+        a = Distribution(np.array([1.0, 0.0]), 1)
+        b = Distribution(np.array([0.0, 1.0]), 1)
+        assert hellinger_fidelity(a, b) == pytest.approx(0.0)
+
+    def test_tvd_bounds(self):
+        a = Distribution(np.array([1.0, 0.0]), 1)
+        b = Distribution(np.array([0.0, 1.0]), 1)
+        assert total_variation_distance(a, b) == pytest.approx(1.0)
+        assert total_variation_distance(a, a) == pytest.approx(0.0)
+
+    def test_counts_vs_distribution_inputs(self):
+        c1 = Counts({0: 50, 1: 50}, 1)
+        c2 = Counts({0: 49, 1: 51}, 1)
+        assert counts_distance(c1, c2) == pytest.approx(0.01)
+
+    def test_shape_mismatch(self):
+        a = Distribution(np.array([1.0, 0.0]), 1)
+        b = Distribution(np.array([1.0, 0, 0, 0]), 2)
+        with pytest.raises(ValueError):
+            total_variation_distance(a, b)

@@ -1,0 +1,179 @@
+"""Tests for error mitigation: readout inversion and ZNE."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.metrics import total_variation_distance
+from repro.mitigation import (
+    TensoredReadoutMitigator,
+    calibration_circuits,
+    mitigate_counts,
+    richardson_extrapolate,
+    scale_noise_model,
+    zne_expectation,
+)
+from repro.noise import NoiseModel, PauliError, ReadoutError, depolarizing_error
+from repro.sim import Counts, simulate_counts
+
+
+class TestCalibrationCircuits:
+    def test_two_circuits(self):
+        zeros, ones = calibration_circuits(3)
+        assert zeros.num_qubits == ones.num_qubits == 3
+        assert all(i.gate.name == "id" for i in zeros)
+        assert all(i.gate.name == "x" for i in ones)
+
+
+class TestReadoutMitigation:
+    def _noisy_counts(self, n, ro_p, shots=20_000, seed=0):
+        noise = NoiseModel().add_readout_error(ReadoutError(*ro_p))
+        qc = QuantumCircuit(n)
+        qc.x(0)  # true state |0...01>
+        rng = np.random.default_rng(seed)
+        zeros_c, ones_c = calibration_circuits(n)
+        return (
+            simulate_counts(qc, noise, shots=shots, rng=rng,
+                            method="trajectory", trajectories=1),
+            simulate_counts(zeros_c, noise, shots=shots, rng=rng,
+                            method="trajectory", trajectories=1),
+            simulate_counts(ones_c, noise, shots=shots, rng=rng,
+                            method="trajectory", trajectories=1),
+        )
+
+    def test_recovers_true_distribution(self):
+        n = 3
+        counts, cal0, cal1 = self._noisy_counts(n, (0.08, 0.05))
+        mit = TensoredReadoutMitigator(cal0, cal1)
+        corrected = mit.mitigate(counts)
+        # Raw distribution is visibly off; the corrected one puts almost
+        # everything back on outcome 1.
+        raw_p1 = counts[1] / counts.shots
+        assert corrected.probs[1] > raw_p1
+        assert corrected.probs[1] > 0.97
+
+    def test_mitigation_reduces_tvd(self):
+        n = 2
+        counts, cal0, cal1 = self._noisy_counts(n, (0.1, 0.1))
+        mit = TensoredReadoutMitigator(cal0, cal1)
+        ideal = np.zeros(1 << n)
+        ideal[1] = 1.0
+        raw_tvd = total_variation_distance(counts.to_distribution().probs, ideal)
+        fix_tvd = total_variation_distance(mit.mitigate(counts).probs, ideal)
+        assert fix_tvd < raw_tvd
+
+    def test_from_probabilities_identity(self):
+        mit = TensoredReadoutMitigator.from_probabilities([0.0, 0.0])
+        counts = Counts({2: 10, 1: 30}, 2)
+        out = mit.mitigate(counts)
+        np.testing.assert_allclose(out.probs, [0, 0.75, 0.25, 0])
+
+    def test_width_mismatch(self):
+        mit = TensoredReadoutMitigator.from_probabilities([0.01])
+        with pytest.raises(ValueError):
+            mit.mitigate(Counts({0: 1}, 2))
+
+    def test_singular_assignment_rejected(self):
+        # p01 = p10 = 0.5 makes A singular.
+        cal0 = Counts({0: 1, 1: 1}, 1)
+        cal1 = Counts({0: 1, 1: 1}, 1)
+        with pytest.raises(ValueError):
+            TensoredReadoutMitigator(cal0, cal1)
+
+    def test_convenience_wrapper(self):
+        mit = TensoredReadoutMitigator.from_probabilities([0.02, 0.02])
+        counts = Counts({3: 100}, 2)
+        assert mitigate_counts(counts, mit).probs[3] > 0.99
+
+
+class TestScaleNoise:
+    def test_scales_error_probability(self):
+        model = NoiseModel.depolarizing(p1q=0.01)
+        scaled = scale_noise_model(model, 3.0)
+        from repro.circuits import gates as G
+        from repro.circuits.circuit import Instruction
+
+        err = scaled.gate_errors(Instruction(G.SXGate(), [0]))[0]
+        base = model.gate_errors(Instruction(G.SXGate(), [0]))[0]
+        assert err.identity_prob == pytest.approx(
+            1 - 3 * (1 - base.identity_prob)
+        )
+
+    def test_scale_one_is_identity(self):
+        model = NoiseModel.depolarizing(p1q=0.01, p2q=0.02)
+        scaled = scale_noise_model(model, 1.0)
+        from repro.circuits import gates as G
+        from repro.circuits.circuit import Instruction
+
+        for name, qubits in (("sx", [0]), ("cx", [0, 1])):
+            a = model.gate_errors(Instruction(G.make_gate(name), qubits))[0]
+            b = scaled.gate_errors(Instruction(G.make_gate(name), qubits))[0]
+            np.testing.assert_allclose(a.probs, b.probs)
+
+    def test_saturation_capped(self):
+        err = PauliError(["I", "X"], [0.5, 0.5])
+        model = NoiseModel().add_all_qubit_quantum_error(err, ["x"])
+        scaled = scale_noise_model(model, 10.0)
+        from repro.circuits import gates as G
+        from repro.circuits.circuit import Instruction
+
+        e = scaled.gate_errors(Instruction(G.XGate(), [0]))[0]
+        assert e.probs.sum() == pytest.approx(1.0)
+        assert e.identity_prob == pytest.approx(0.0)
+
+    def test_kraus_rejected(self):
+        from repro.noise import amplitude_damping_error
+
+        model = NoiseModel().add_all_qubit_quantum_error(
+            amplitude_damping_error(0.1), ["x"]
+        )
+        with pytest.raises(ValueError):
+            scale_noise_model(model, 2.0)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scale_noise_model(NoiseModel.depolarizing(p1q=0.01), -1.0)
+
+
+class TestRichardson:
+    def test_linear_exact(self):
+        # y = 3 - 2x -> y(0) = 3.
+        assert richardson_extrapolate([1, 2], [1, -1]) == pytest.approx(3.0)
+
+    def test_quadratic_exact(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [5 - 2 * x + 0.5 * x * x for x in xs]
+        assert richardson_extrapolate(xs, ys) == pytest.approx(5.0)
+
+    def test_order_reduction(self):
+        xs = [1, 2, 3, 4]
+        ys = [10 - x for x in xs]
+        assert richardson_extrapolate(xs, ys, order=1) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            richardson_extrapolate([1], [1])
+        with pytest.raises(ValueError):
+            richardson_extrapolate([1, 1], [1, 2])
+        with pytest.raises(ValueError):
+            richardson_extrapolate([1, 2], [1, 2], order=5)
+
+
+class TestZNEEndToEnd:
+    def test_zne_improves_ghz_fidelity_estimate(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).cx(1, 2)
+        noise = NoiseModel.depolarizing(p1q=0.01, p2q=0.03, gates_1q=("h",))
+
+        def p_ghz(counts):
+            return (counts[0] + counts[7]) / counts.shots
+
+        est, values = zne_expectation(
+            qc, noise, p_ghz, scales=(1.0, 1.5, 2.0), shots=20_000,
+            seed=4, method="density",
+        )
+        noisy = values[0]
+        # Ideal value is 1.0; ZNE must land closer than the raw noisy value.
+        assert abs(est - 1.0) < abs(noisy - 1.0)
+        # Monotone degradation with scale.
+        assert values[0] > values[1] > values[2]

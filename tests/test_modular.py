@@ -1,0 +1,134 @@
+"""Tests for modular arithmetic (Beauregard constant adder)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import (
+    QInteger,
+    modular_constant_adder,
+    phase_add_constant,
+    qft_on,
+)
+from repro.sim import StatevectorEngine
+
+from conftest import register_value
+
+ENG = StatevectorEngine()
+
+
+def run_b(circ, b_val):
+    vec = np.zeros(1 << circ.num_qubits, dtype=complex)
+    vec[b_val] = 1.0
+    top, p = ENG.run(circ, vec).probabilities().top(1)[0]
+    assert p > 1 - 1e-9, f"non-classical output (p={p})"
+    return top
+
+
+class TestPhaseAddConstant:
+    @pytest.mark.parametrize("c", [0, 1, 5, 12, -3])
+    def test_adds_constant_mod_2n(self, c):
+        m = 4
+        qc = QuantumCircuit(m)
+        qft_on(qc, list(range(m)))
+        phase_add_constant(qc, list(range(m)), c)
+        qft_on(qc, list(range(m)), inverse=True)
+        for b in (0, 7, 15):
+            vec = np.zeros(1 << m, dtype=complex)
+            vec[b] = 1.0
+            top, p = ENG.run(qc, vec).probabilities().top(1)[0]
+            assert p > 1 - 1e-9
+            assert top == (b + c) % 16
+
+    def test_controlled_variant(self):
+        m = 3
+        qc = QuantumCircuit(m + 1)
+        qft_on(qc, list(range(m)))
+        phase_add_constant(qc, list(range(m)), 3, control=m)
+        qft_on(qc, list(range(m)), inverse=True)
+        # Control off: unchanged.
+        vec = np.zeros(1 << (m + 1), dtype=complex)
+        vec[5] = 1.0
+        assert ENG.run(qc, vec).probabilities().top(1)[0][0] == 5
+        # Control on: +3 mod 8.
+        vec = np.zeros(1 << (m + 1), dtype=complex)
+        vec[5 | (1 << m)] = 1.0
+        out = ENG.run(qc, vec).probabilities().top(1)[0][0]
+        assert out & 7 == 0  # (5+3) mod 8
+
+
+class TestModularConstantAdder:
+    @pytest.mark.parametrize("N", [3, 5, 7])
+    def test_exhaustive_small(self, N):
+        n = 3
+        for a in range(N):
+            circ = modular_constant_adder(n, a, N)
+            breg = circ.get_qreg("b")
+            anc = circ.get_qreg("anc")
+            for b in range(N):
+                out = run_b(circ, b)
+                assert register_value(out, breg) == (a + b) % N, (a, b)
+                assert register_value(out, anc) == 0, "ancilla not restored"
+
+    def test_larger_modulus(self):
+        n, N, a = 4, 13, 9
+        circ = modular_constant_adder(n, a, N)
+        for b in (0, 6, 12):
+            out = run_b(circ, b)
+            assert register_value(out, circ.get_qreg("b")) == (a + b) % N
+
+    def test_superposition_branches(self):
+        n, N, a = 3, 5, 2
+        circ = modular_constant_adder(n, a, N)
+        qb = QInteger.uniform([1, 4], n + 1)
+        init = np.zeros(1 << circ.num_qubits, dtype=complex)
+        init[: 1 << (n + 1)] = qb.statevector()
+        dist = ENG.run(circ, init).probabilities()
+        outs = sorted(
+            register_value(o, circ.get_qreg("b"))
+            for o, p in dist.top(2)
+            if p > 1e-9
+        )
+        assert outs == sorted(((v + a) % N) for v in (1, 4))
+
+    def test_ancilla_disentangled_in_superposition(self):
+        """The ancilla must return to |0> in *every* branch, including
+        when one branch overflows and the other does not."""
+        n, N, a = 3, 5, 3
+        circ = modular_constant_adder(n, a, N)
+        # b=1 (no overflow: 4 < 5) and b=4 (overflow: 7 -> 2).
+        qb = QInteger.uniform([1, 4], n + 1)
+        init = np.zeros(1 << circ.num_qubits, dtype=complex)
+        init[: 1 << (n + 1)] = qb.statevector()
+        dist = ENG.run(circ, init).probabilities()
+        anc = circ.get_qreg("anc")
+        anc_one_prob = sum(
+            p for o, p in enumerate(dist.probs)
+            if (o >> anc.offset) & 1
+        )
+        assert anc_one_prob == pytest.approx(0.0, abs=1e-9)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            modular_constant_adder(3, 2, 9)  # N > 2**n - 1
+        with pytest.raises(ValueError):
+            modular_constant_adder(3, 7, 5)  # a >= N
+
+    def test_composability(self):
+        """Two modular adders compose: (+a) then (+c) == +(a+c) mod N."""
+        n, N = 3, 7
+        c1 = modular_constant_adder(n, 3, N)
+        c2 = modular_constant_adder(n, 5, N)
+        combined = c1.copy()
+        combined.compose(c2)
+        for b in range(N):
+            out = run_b(combined, b)
+            assert register_value(out, combined.get_qreg("b")) == (b + 8) % N
+
+    def test_aqft_depth_variant(self):
+        """A generous AQFT depth still computes exactly for small n."""
+        n, N, a = 3, 5, 2
+        circ = modular_constant_adder(n, a, N, depth=4)
+        for b in range(N):
+            out = run_b(circ, b)
+            assert register_value(out, circ.get_qreg("b")) == (a + b) % N

@@ -1,0 +1,163 @@
+"""Tests for QFM multipliers (repro.core.multipliers)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import QInteger, constant_multiplier_circuit, qfm_circuit
+from repro.experiments.instances import product_statevector
+from repro.sim import StatevectorEngine
+
+from conftest import assert_circuit_equiv, basis_input, register_value
+
+ENG = StatevectorEngine()
+
+
+def run_mul(circ, x, y, z=0):
+    sv = ENG.run(circ, basis_input(circ, {"x": x, "y": y, "z": z}))
+    top, p = sv.probabilities().top(1)[0]
+    assert p > 1 - 1e-9
+    return register_value(top, circ.get_qreg("z"))
+
+
+class TestQFMCorrectness:
+    @pytest.mark.parametrize("strategy", ["cqfa", "fused"])
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_exhaustive_square(self, strategy, n):
+        circ = qfm_circuit(n, strategy=strategy)
+        for x, y in itertools.product(range(1 << n), repeat=2):
+            assert run_mul(circ, x, y) == x * y, (x, y, strategy)
+
+    @pytest.mark.parametrize("strategy", ["cqfa", "fused"])
+    def test_rectangular(self, strategy):
+        circ = qfm_circuit(3, 2, strategy=strategy)
+        for x in range(8):
+            for y in range(4):
+                assert run_mul(circ, x, y) == x * y
+
+    def test_strategies_agree_on_zero_z_subspace(self):
+        """cqfa and fused agree wherever z starts at 0 (the paper's
+        setting); as full unitaries they differ, because the slice-wise
+        cqfa adder wraps within each (m+1)-qubit slice for initial z
+        values whose partial sums overflow the slice."""
+        a = qfm_circuit(2, strategy="cqfa").to_matrix()
+        b = qfm_circuit(2, strategy="fused").to_matrix()
+        for x in range(4):
+            for y in range(4):
+                col = x | (y << 2)  # z = 0
+                np.testing.assert_allclose(
+                    a[:, col], b[:, col], atol=1e-9
+                )
+
+    def test_accumulates_into_nonzero_z(self):
+        # Small z: no slice overflow, both strategies accumulate.
+        assert run_mul(qfm_circuit(2, strategy="cqfa"), 3, 2, z=5) == 11
+        # The fused form is the true mod-2**(n+m) accumulator for any z:
+        # 13 + 3*3 = 22 = 6 mod 16.
+        assert run_mul(qfm_circuit(2, strategy="fused"), 3, 3, z=13) == 6
+
+    def test_operands_preserved(self):
+        circ = qfm_circuit(2)
+        sv = ENG.run(circ, basis_input(circ, {"x": 3, "y": 2, "z": 0}))
+        top = sv.probabilities().top(1)[0][0]
+        assert register_value(top, circ.get_qreg("x")) == 3
+        assert register_value(top, circ.get_qreg("y")) == 2
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            qfm_circuit(2, strategy="bogus")
+
+    def test_register_widths(self):
+        circ = qfm_circuit(3, 2)
+        assert circ.get_qreg("x").size == 3
+        assert circ.get_qreg("y").size == 2
+        assert circ.get_qreg("z").size == 5
+
+
+class TestQFMSuperposition:
+    def test_superposed_multiplicand(self):
+        circ = qfm_circuit(2)
+        x = QInteger.uniform([1, 3], 2)
+        y = QInteger.basis(2, 2)
+        z = np.zeros(16, dtype=complex)
+        z[0] = 1
+        init = product_statevector([x.statevector(), y.statevector(), z])
+        dist = ENG.run(circ, init).probabilities()
+        outs = {
+            (
+                register_value(o, circ.get_qreg("x")),
+                register_value(o, circ.get_qreg("z")),
+            )
+            for o, p in dist.top(4)
+            if p > 1e-9
+        }
+        assert outs == {(1, 2), (3, 6)}
+
+    def test_2x2_superposition(self):
+        circ = qfm_circuit(2)
+        x = QInteger.uniform([0, 1], 2)
+        y = QInteger.uniform([2, 3], 2)
+        z = np.zeros(16, dtype=complex)
+        z[0] = 1
+        init = product_statevector([x.statevector(), y.statevector(), z])
+        dist = ENG.run(circ, init).probabilities()
+        pairs = {
+            (
+                register_value(o, circ.get_qreg("x")),
+                register_value(o, circ.get_qreg("y")),
+                register_value(o, circ.get_qreg("z")),
+            )
+            for o, p in dist.top(8)
+            if p > 1e-9
+        }
+        assert pairs == {(0, 2, 0), (0, 3, 0), (1, 2, 2), (1, 3, 3)}
+
+
+class TestApproximateQFM:
+    def test_depth_reduces_gate_count(self):
+        full = qfm_circuit(3).size()
+        d2 = qfm_circuit(3, depth=2).size()
+        assert d2 < full
+
+    def test_full_depth_exact(self):
+        circ = qfm_circuit(2, depth=3)
+        assert run_mul(circ, 3, 3) == 9
+
+    def test_low_depth_inexact_somewhere(self):
+        circ = qfm_circuit(3, depth=1)
+        dist = ENG.run(
+            circ, basis_input(circ, {"x": 7, "y": 7, "z": 0})
+        ).probabilities()
+        expected = 7 | (7 << 3) | (49 << 6)
+        assert dist.probs[expected] < 0.99
+
+
+class TestConstantMultiplier:
+    @pytest.mark.parametrize("const", [0, 1, 3, 7])
+    def test_values(self, const):
+        n = 3
+        circ = constant_multiplier_circuit(n, const)
+        for x in (0, 3, 7):
+            sv = ENG.run(circ, basis_input(circ, {"x": x, "z": 0}))
+            top, p = sv.probabilities().top(1)[0]
+            assert p > 1 - 1e-9
+            assert register_value(top, circ.get_qreg("z")) == const * x
+
+    def test_no_doubly_controlled_gates(self):
+        ops = constant_multiplier_circuit(3, 5).count_ops()
+        assert "ccp" not in ops
+
+    def test_superposition_uniform_scaling(self):
+        circ = constant_multiplier_circuit(2, 3)
+        x = QInteger.uniform([1, 2], 2)
+        z = np.zeros(16, dtype=complex)
+        z[0] = 1
+        init = product_statevector([x.statevector(), z])
+        dist = ENG.run(circ, init).probabilities()
+        outs = {
+            register_value(o, circ.get_qreg("z"))
+            for o, p in dist.top(2)
+            if p > 1e-9
+        }
+        assert outs == {3, 6}

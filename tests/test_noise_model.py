@@ -1,0 +1,113 @@
+"""Tests for NoiseModel and the IBM presets."""
+
+import pytest
+
+from repro.circuits import gates as G
+from repro.circuits.circuit import Instruction
+from repro.noise import (
+    GATES_1Q_DEFAULT,
+    GATES_2Q_DEFAULT,
+    IBM_P1Q_REFERENCE,
+    IBM_P2Q_REFERENCE,
+    NoiseError,
+    NoiseModel,
+    P1Q_SWEEP,
+    P2Q_SWEEP,
+    ReadoutError,
+    depolarizing_error,
+    ibm_reference_model,
+    sweep_1q_models,
+    sweep_2q_models,
+)
+
+
+def instr(name, qubits, *params):
+    return Instruction(G.make_gate(name, *params), qubits)
+
+
+class TestNoiseModel:
+    def test_ideal_model_is_ideal(self):
+        assert NoiseModel.ideal().is_ideal
+        assert NoiseModel.ideal().gate_errors(instr("x", [0])) == []
+
+    def test_all_qubit_error_applies_to_named_gates(self):
+        err = depolarizing_error(0.01, 1)
+        m = NoiseModel().add_all_qubit_quantum_error(err, ["x", "sx"])
+        assert m.gate_errors(instr("x", [3])) == [err]
+        assert m.gate_errors(instr("sx", [0])) == [err]
+        assert m.gate_errors(instr("h", [0])) == []
+
+    def test_local_error_overrides_global(self):
+        glob = depolarizing_error(0.01, 1)
+        loc = depolarizing_error(0.2, 1)
+        m = (
+            NoiseModel()
+            .add_all_qubit_quantum_error(glob, ["x"])
+            .add_quantum_error(loc, "x", [2])
+        )
+        assert m.gate_errors(instr("x", [2])) == [loc]
+        assert m.gate_errors(instr("x", [0])) == [glob]
+
+    def test_structural_ops_never_noisy(self):
+        m = NoiseModel()
+        with pytest.raises(NoiseError):
+            m.add_all_qubit_quantum_error(depolarizing_error(0.1), ["measure"])
+        with pytest.raises(NoiseError):
+            m.add_quantum_error(depolarizing_error(0.1), "barrier", [0])
+
+    def test_readout_global_and_local(self):
+        ro_all = ReadoutError(0.01)
+        ro_q1 = ReadoutError(0.1)
+        m = (
+            NoiseModel()
+            .add_readout_error(ro_all)
+            .add_readout_error(ro_q1, qubit=1)
+        )
+        assert m.readout_error(0) is ro_all
+        assert m.readout_error(1) is ro_q1
+        assert not m.is_ideal
+
+    def test_noisy_gate_names(self):
+        m = NoiseModel.depolarizing(p1q=0.01, p2q=0.02)
+        assert set(m.noisy_gate_names) == set(GATES_1Q_DEFAULT) | set(
+            GATES_2Q_DEFAULT
+        )
+
+    def test_depolarizing_zero_rates_are_ideal(self):
+        assert NoiseModel.depolarizing().is_ideal
+
+    def test_depolarizing_defaults_match_paper_basis(self):
+        m = NoiseModel.depolarizing(p1q=0.002)
+        for g in ("id", "x", "sx", "rz"):
+            assert m.gate_errors(instr(g, [0], *( [0.1] if g == "rz" else []))), g
+
+    def test_thermal_model_covers_both_arities(self):
+        m = NoiseModel.thermal(50e3, 50e3, 35, 300)
+        assert m.gate_errors(instr("sx", [0]))
+        assert m.gate_errors(instr("cx", [0, 1]))
+
+
+class TestIBMPresets:
+    def test_reference_rates(self):
+        assert IBM_P1Q_REFERENCE == pytest.approx(0.002)
+        assert IBM_P2Q_REFERENCE == pytest.approx(0.010)
+
+    def test_sweeps_include_noise_free_origin(self):
+        assert P1Q_SWEEP[0] == 0.0
+        assert P2Q_SWEEP[0] == 0.0
+
+    def test_sweeps_include_reference_point(self):
+        assert IBM_P1Q_REFERENCE in P1Q_SWEEP
+        assert IBM_P2Q_REFERENCE in P2Q_SWEEP
+
+    def test_sweep_models(self):
+        models = sweep_1q_models()
+        assert models[0][1].is_ideal
+        assert all(not m.is_ideal for _, m in models[1:])
+        models2 = sweep_2q_models()
+        assert len(models2) == len(P2Q_SWEEP)
+
+    def test_reference_model_has_both(self):
+        m = ibm_reference_model()
+        assert m.gate_errors(instr("sx", [0]))
+        assert m.gate_errors(instr("cx", [0, 1]))

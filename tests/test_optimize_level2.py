@@ -1,0 +1,88 @@
+"""Tests for the commutation-aware phase optimisation (level 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import qfa_circuit
+from repro.transpile import gate_counts, transpile
+from repro.transpile.optimize import commute_phases
+
+from conftest import assert_circuit_equiv
+
+
+class TestCommutePhases:
+    def test_rz_slides_through_cx_control(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.3, 0).cx(0, 1).rz(0.4, 0)
+        out = commute_phases(qc)
+        names = [i.gate.name for i in out]
+        # Both rz merge into one, emitted after the cx at flush time.
+        assert names == ["cx", "rz"]
+        assert out[1].gate.params[0] == pytest.approx(0.7)
+        assert_circuit_equiv(out, qc)
+
+    def test_rz_blocked_by_cx_target(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.3, 1).cx(0, 1).rz(0.4, 1)
+        out = commute_phases(qc)
+        names = [i.gate.name for i in out]
+        assert names == ["rz", "cx", "rz"]
+        assert_circuit_equiv(out, qc)
+
+    def test_rz_slides_through_cp(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.2, 0).cp(0.9, 0, 1).rz(0.5, 0)
+        out = commute_phases(qc)
+        assert [i.gate.name for i in out] == ["cp", "rz"]
+        assert_circuit_equiv(out, qc)
+
+    def test_rz_blocked_by_sx(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.2, 0).sx(0).rz(0.3, 0)
+        out = commute_phases(qc)
+        assert [i.gate.name for i in out] == ["rz", "sx", "rz"]
+        assert_circuit_equiv(out, qc)
+
+    def test_named_phase_gates_absorbed(self):
+        qc = QuantumCircuit(1)
+        qc.s(0).t(0).z(0)
+        out = commute_phases(qc)
+        assert len(out) == 1
+        assert out[0].gate.params[0] == pytest.approx(
+            math.remainder(math.pi / 2 + math.pi / 4 + math.pi, 2 * math.pi)
+        )
+
+    def test_cancelling_phases_vanish(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.4, 0).cx(0, 1).rz(-0.4, 0)
+        out = commute_phases(qc)
+        assert [i.gate.name for i in out] == ["cx"]
+
+    def test_measure_flushes(self):
+        qc = QuantumCircuit(1, 1)
+        qc.rz(0.3, 0).measure(0, 0)
+        out = commute_phases(qc)
+        assert [i.gate.name for i in out] == ["rz", "measure"]
+
+
+class TestLevel2Pipeline:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_preserves_unitary(self, n):
+        c = qfa_circuit(n)
+        assert_circuit_equiv(transpile(c, optimization_level=2), c)
+
+    def test_reduces_1q_below_level1(self):
+        c = qfa_circuit(6, 6)
+        g1 = gate_counts(transpile(c, optimization_level=1))
+        g2 = gate_counts(transpile(c, optimization_level=2))
+        assert g2.one_qubit < g1.one_qubit
+        assert g2.two_qubit == g1.two_qubit
+
+    def test_invalid_level_rejected(self):
+        from repro.transpile import TranspileError
+
+        with pytest.raises(TranspileError):
+            transpile(QuantumCircuit(1), optimization_level=3)

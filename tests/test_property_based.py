@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property pins an algebraic fact the whole stack depends on:
+arithmetic circuits implement modular arithmetic for *every* operand,
+transpilation preserves unitaries, channels preserve trace, encodings
+round-trip, and the success metric is monotone in the evidence.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.circuits import gates as G
+from repro.core import (
+    QInteger,
+    constant_adder_circuit,
+    decode_twos_complement,
+    encode_twos_complement,
+    prepare_state,
+    qfa_circuit,
+    qfs_circuit,
+)
+from repro.metrics import evaluate_instance
+from repro.noise import PauliError, depolarizing_error
+from repro.sim import Counts, StatevectorEngine
+from repro.transpile import decompose_to_basis, optimize_circuit, zsx_sequence
+
+ENG = StatevectorEngine()
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _basis_vec(circ, x, y):
+    n = circ.get_qreg("x").size
+    idx = x | (y << n)
+    vec = np.zeros(1 << circ.num_qubits, dtype=complex)
+    vec[idx] = 1.0
+    return vec
+
+
+@_SETTINGS
+@given(
+    n=st.integers(2, 4),
+    x=st.integers(0, 1000),
+    y=st.integers(0, 1000),
+)
+def test_qfa_modular_addition_for_all_operands(n, x, y):
+    mod = 1 << n
+    x, y = x % mod, y % mod
+    circ = qfa_circuit(n, n)
+    dist = ENG.run(circ, _basis_vec(circ, x, y)).probabilities()
+    top, p = dist.top(1)[0]
+    assert p > 1 - 1e-9
+    assert top == x | (((x + y) % mod) << n)
+
+
+@_SETTINGS
+@given(
+    n=st.integers(2, 4),
+    x=st.integers(0, 1000),
+    y=st.integers(0, 1000),
+)
+def test_qfs_is_inverse_of_qfa(n, x, y):
+    """Subtracting after adding returns the original y, for any x, y."""
+    mod = 1 << n
+    x, y = x % mod, y % mod
+    circ = qfa_circuit(n, n)
+    circ.compose(qfs_circuit(n, n))
+    dist = ENG.run(circ, _basis_vec(circ, x, y)).probabilities()
+    top, p = dist.top(1)[0]
+    assert p > 1 - 1e-9
+    assert top == x | (y << n)
+
+
+@_SETTINGS
+@given(
+    n=st.integers(2, 4),
+    const=st.integers(0, 1000),
+    y=st.integers(0, 1000),
+)
+def test_constant_adder_for_all_constants(n, const, y):
+    mod = 1 << n
+    y = y % mod
+    circ = constant_adder_circuit(n, const)
+    vec = np.zeros(1 << n, dtype=complex)
+    vec[y] = 1.0
+    dist = ENG.run(circ, vec).probabilities()
+    top, p = dist.top(1)[0]
+    assert p > 1 - 1e-9
+    assert top == (y + const) % mod
+
+
+@_SETTINGS
+@given(v=st.integers(-128, 127), n=st.integers(2, 8))
+def test_twos_complement_roundtrip(v, n):
+    lo, hi = -(1 << (n - 1)), (1 << (n - 1)) - 1
+    if not lo <= v <= hi:
+        with pytest.raises(Exception):
+            encode_twos_complement(v, n)
+    else:
+        assert decode_twos_complement(encode_twos_complement(v, n), n) == v
+
+
+@_SETTINGS
+@given(
+    angles=st.lists(
+        st.floats(-math.pi, math.pi, allow_nan=False), min_size=3, max_size=3
+    )
+)
+def test_zsx_synthesis_equivalence(angles):
+    """Every U(theta, phi, lam) resynthesises exactly (up to phase)."""
+    t, p, l = angles
+    U = G.UGate(t, p, l).matrix
+    m = np.eye(2, dtype=complex)
+    for name, params in zsx_sequence(U):
+        m = G.make_gate(name, *params).matrix @ m
+    fid = abs(np.trace(m.conj().T @ U)) / 2
+    assert fid == pytest.approx(1.0, abs=1e-8)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 3),
+)
+def test_transpile_preserves_random_circuits(seed, n):
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(max(n, 2))
+    gates_pool = ["h", "x", "s", "t", "sx", "rz", "cp", "cx"]
+    for _ in range(6):
+        name = gates_pool[rng.integers(len(gates_pool))]
+        g = (
+            G.make_gate(name, float(rng.uniform(-3, 3)))
+            if name in ("rz", "cp")
+            else G.make_gate(name)
+        )
+        qs = rng.choice(qc.num_qubits, size=g.num_qubits, replace=False)
+        qc.append(g, [int(q) for q in qs])
+    low = decompose_to_basis(qc)
+    opt = optimize_circuit(low)
+    a, b, c = qc.to_matrix(), low.to_matrix(), opt.to_matrix()
+    for m in (b, c):
+        fid = abs(np.trace(m.conj().T @ a)) / a.shape[0]
+        assert fid == pytest.approx(1.0, abs=1e-8)
+
+
+@_SETTINGS
+@given(
+    amps=st.lists(
+        st.tuples(
+            st.floats(-1, 1, allow_nan=False),
+            st.floats(-1, 1, allow_nan=False),
+        ),
+        min_size=4,
+        max_size=4,
+    )
+)
+def test_prepare_state_fidelity_for_arbitrary_states(amps):
+    vec = np.array([complex(a, b) for a, b in amps])
+    norm = np.linalg.norm(vec)
+    if norm < 1e-3:
+        return
+    vec = vec / norm
+    circ = prepare_state(vec)
+    got = ENG.run(circ).data
+    assert abs(np.vdot(got, vec)) ** 2 == pytest.approx(1.0, abs=1e-8)
+
+
+@_SETTINGS
+@given(p=st.floats(0.0, 1.0, allow_nan=False), k=st.integers(1, 2))
+def test_depolarizing_channel_trace_preserving(p, k):
+    depolarizing_error(p, k).validate()
+
+
+@_SETTINGS
+@given(
+    probs=st.lists(st.floats(0.01, 1.0), min_size=2, max_size=4),
+)
+def test_pauli_error_normalisation(probs):
+    labels = ["I", "X", "Y", "Z"][: len(probs)]
+    total = sum(probs)
+    err = PauliError(labels, [q / total for q in probs])
+    assert err.probs.sum() == pytest.approx(1.0)
+    err.validate()
+
+
+@_SETTINGS
+@given(
+    correct_count=st.integers(0, 100),
+    incorrect_count=st.integers(0, 100),
+)
+def test_success_metric_definition(correct_count, incorrect_count):
+    total = correct_count + incorrect_count
+    if total == 0:
+        return
+    counts = Counts({0: correct_count, 1: incorrect_count}, 1)
+    out = evaluate_instance(counts, frozenset({0}))
+    assert out.success == (incorrect_count <= correct_count)
+    assert out.min_diff == correct_count - incorrect_count
+
+
+@_SETTINGS
+@given(
+    values=st.sets(st.integers(0, 15), min_size=1, max_size=4),
+)
+def test_qinteger_statevector_norm(values):
+    q = QInteger.uniform(sorted(values), 4)
+    assert np.linalg.norm(q.statevector()) == pytest.approx(1.0)
+    assert q.order == len(values)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 1_000_000))
+def test_trajectory_engine_counts_conserve_shots(seed):
+    from repro.noise import NoiseModel
+    from repro.sim import TrajectoryEngine
+
+    qc = QuantumCircuit(2)
+    qc.h(0).cx(0, 1)
+    noise = NoiseModel.depolarizing(p1q=0.05, p2q=0.05)
+    counts = TrajectoryEngine(trajectories=7, seed=seed).run(
+        qc, noise, shots=123
+    )
+    assert counts.shots == 123

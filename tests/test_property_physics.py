@@ -1,0 +1,100 @@
+"""Property-based tests of physics invariants (hypothesis).
+
+Entanglement symmetry, channel contraction, mitigation inversion — the
+invariants that must hold for *any* input, not just the examples the
+unit tests pick.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    partial_trace,
+    renyi2_entropy,
+    von_neumann_entropy,
+)
+from repro.mitigation import TensoredReadoutMitigator
+from repro.noise import depolarizing_error
+from repro.sim import Counts
+from repro.sim.density import _apply_kraus_rho
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_pure(rng, n):
+    v = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    return v / np.linalg.norm(v)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 4))
+def test_pure_state_entropy_symmetry(seed, n):
+    """For a pure global state, S(A) == S(B) for any bipartition."""
+    rng = np.random.default_rng(seed)
+    v = _random_pure(rng, n)
+    cut = rng.integers(1, n)
+    keep = sorted(rng.choice(n, size=cut, replace=False).tolist())
+    rest = [q for q in range(n) if q not in keep]
+    sa = von_neumann_entropy(partial_trace(v, keep, n))
+    sb = von_neumann_entropy(partial_trace(v, rest, n))
+    assert sa == pytest.approx(sb, abs=1e-8)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 3))
+def test_entropy_bounds(seed, n):
+    """0 <= S2 <= S_VN <= k for any k-qubit reduction."""
+    rng = np.random.default_rng(seed)
+    v = _random_pure(rng, n + 1)
+    keep = list(range(n))
+    rho = partial_trace(v, keep, n + 1)
+    s2 = renyi2_entropy(rho)
+    svn = von_neumann_entropy(rho)
+    assert -1e-9 <= s2 <= svn + 1e-8
+    assert svn <= n + 1e-8
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    p=st.floats(0.01, 0.9, allow_nan=False),
+)
+def test_depolarizing_contracts_purity(seed, p):
+    """Applying a depolarizing channel never increases purity."""
+    rng = np.random.default_rng(seed)
+    v = _random_pure(rng, 2)
+    rho = np.outer(v, v.conj())
+    err = depolarizing_error(p, 1)
+    out = _apply_kraus_rho(rho, err.kraus_operators(), (0,), 2)
+    purity_in = float(np.real(np.trace(rho @ rho)))
+    purity_out = float(np.real(np.trace(out @ out)))
+    assert purity_out <= purity_in + 1e-9
+    assert np.trace(out) == pytest.approx(1.0)
+
+
+@_SETTINGS
+@given(
+    p01=st.floats(0.0, 0.2),
+    p10=st.floats(0.0, 0.2),
+    true_p=st.floats(0.05, 0.95),
+)
+def test_readout_mitigation_exactly_inverts_exact_statistics(p01, p10, true_p):
+    """On *exact* (infinite-shot) statistics the tensored inversion
+    recovers the true distribution to numerical precision."""
+    A = np.array([[1 - p01, p10], [p01, 1 - p10]])
+    true = np.array([1 - true_p, true_p])
+    measured = A @ true
+    # Scale to integer-ish counts with high resolution.
+    counts = Counts(
+        {0: int(round(measured[0] * 10**9)), 1: int(round(measured[1] * 10**9))},
+        1,
+    )
+    mit = TensoredReadoutMitigator.from_probabilities([p01], [p10])
+    out = mit.mitigate(counts)
+    np.testing.assert_allclose(out.probs, true, atol=1e-6)

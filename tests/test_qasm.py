@@ -1,0 +1,122 @@
+"""Tests for OpenQASM 2.0 export/import."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, QuantumRegister
+from repro.circuits.qasm import QasmError, from_qasm, to_qasm
+from repro.core import qfa_circuit, qfm_circuit, qft_circuit
+from repro.transpile import transpile
+
+from conftest import assert_circuit_equiv
+
+
+class TestExport:
+    def test_header_and_registers(self):
+        qc = QuantumCircuit(QuantumRegister(2, "x"), QuantumRegister(3, "y"))
+        qc.h(0)
+        text = to_qasm(qc)
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg x[2];" in text and "qreg y[3];" in text
+
+    def test_angle_formatting(self):
+        qc = QuantumCircuit(2)
+        qc.cp(math.pi / 4, 0, 1).rz(-math.pi, 0).p(0.1234, 1)
+        text = to_qasm(qc)
+        assert "cp(pi/4) q[0], q[1];" in text
+        assert "rz(-pi) q[0];" in text
+        assert "p(0.1234) q[1];" in text
+
+    def test_measure_and_barrier(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).barrier().measure_all()
+        text = to_qasm(qc)
+        assert "barrier" in text
+        assert "measure q[0] -> meas0[0];" in text
+
+    def test_ccp_definition_included(self):
+        qc = QuantumCircuit(3)
+        qc.ccp(0.5, 0, 1, 2)
+        text = to_qasm(qc)
+        assert "gate ccp(lambda)" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: qft_circuit(3),
+            lambda: qfa_circuit(2),
+            lambda: transpile(qfa_circuit(2, 2)),
+            lambda: qfm_circuit(2),  # contains cch + ccp
+            lambda: qfa_circuit(2).controlled(1),
+        ],
+    )
+    def test_unitary_preserved(self, factory):
+        circ = factory()
+        back = from_qasm(to_qasm(circ))
+        assert back.num_qubits == circ.num_qubits
+        assert_circuit_equiv(back, circ)
+
+    def test_register_structure_preserved(self):
+        circ = qfa_circuit(3)
+        back = from_qasm(to_qasm(circ))
+        assert [r.name for r in back.qregs] == ["x", "y"]
+        assert [r.size for r in back.qregs] == [3, 4]
+
+    def test_gate_sequence_preserved(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).rz(0.25, 1)
+        back = from_qasm(to_qasm(qc))
+        assert [i.gate.name for i in back] == ["h", "cx", "rz"]
+
+
+class TestImport:
+    def test_qiskit_style_u_gates(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[1];
+        u1(pi/2) q[0];
+        u2(0, pi) q[0];
+        u3(pi, 0, pi) q[0];
+        """
+        circ = from_qasm(text)
+        assert [i.gate.name for i in circ] == ["p", "u", "u"]
+        # u2(0, pi) is the Hadamard.
+        from repro.circuits.gates import HGate
+
+        from conftest import assert_matrix_equiv
+
+        assert_matrix_equiv(circ[1].gate.matrix, HGate().matrix)
+
+    def test_comments_stripped(self):
+        text = "OPENQASM 2.0;\nqreg q[1];\nh q[0]; // comment\n"
+        assert len(from_qasm(text)) == 1
+
+    def test_missing_qreg(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nh q[0];\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nwarp q[0];\n")
+
+    def test_if_rejected(self):
+        text = "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nif (c==1) x q[0];\n"
+        with pytest.raises(QasmError):
+            from_qasm(text)
+
+    def test_angle_expression_eval(self):
+        circ = from_qasm(
+            "OPENQASM 2.0;\nqreg q[1];\nrz(3*pi/8) q[0];\n"
+        )
+        assert circ[0].gate.params[0] == pytest.approx(3 * math.pi / 8)
+
+    def test_malicious_angle_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm(
+                'OPENQASM 2.0;\nqreg q[1];\nrz(__import__("os")) q[0];\n'
+            )

@@ -1,0 +1,157 @@
+"""Tests for the QFT/AQFT circuits (repro.core.qft)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import (
+    controlled_qft_circuit,
+    effective_depth,
+    iqft_circuit,
+    qft_circuit,
+    qft_gate_counts,
+    rotation_angle,
+)
+from repro.sim import StatevectorEngine
+
+from conftest import assert_matrix_equiv
+
+
+def dft_matrix(n):
+    N = 1 << n
+    k, y = np.meshgrid(np.arange(N), np.arange(N), indexing="ij")
+    return np.exp(2j * np.pi * k * y / N) / math.sqrt(N)
+
+
+class TestRotationAngle:
+    def test_values(self):
+        assert rotation_angle(1) == pytest.approx(math.pi)
+        assert rotation_angle(2) == pytest.approx(math.pi / 2)
+        assert rotation_angle(3) == pytest.approx(math.pi / 4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            rotation_angle(0)
+
+
+class TestEffectiveDepth:
+    def test_none_is_full(self):
+        assert effective_depth(5, None) == 5
+
+    def test_clamps_high(self):
+        assert effective_depth(5, 99) == 5
+
+    def test_rejects_low(self):
+        with pytest.raises(ValueError):
+            effective_depth(5, 0)
+
+
+class TestFullQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_with_swaps(self, n):
+        m = qft_circuit(n, swaps=True).to_matrix()
+        assert_matrix_equiv(m, dft_matrix(n))
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_no_swap_convention_is_bit_reversed_dft(self, n):
+        m = qft_circuit(n).to_matrix()
+        N = 1 << n
+        rev = np.zeros((N, N))
+        for i in range(N):
+            r = int(format(i, f"0{n}b")[::-1], 2)
+            rev[r, i] = 1
+        assert_matrix_equiv(rev @ m, dft_matrix(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_inverse_cancels(self, n):
+        qc = qft_circuit(n)
+        qc.compose(iqft_circuit(n))
+        assert_matrix_equiv(qc.to_matrix(), np.eye(1 << n))
+
+    def test_gate_counts_full(self):
+        c = qft_circuit(8)
+        ops = c.count_ops()
+        assert ops["h"] == 8
+        assert ops["cp"] == 28  # n(n-1)/2
+
+    def test_depth_ge_n_equals_full(self):
+        assert (
+            qft_circuit(4, depth=4).instructions
+            == qft_circuit(4).instructions
+        )
+
+
+class TestAQFT:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_depth_limits_rotations_per_qubit(self, d):
+        n = 5
+        c = qft_circuit(n, depth=d)
+        per_target = {}
+        for instr in c:
+            if instr.gate.name == "cp":
+                t = instr.qubits[1]
+                per_target[t] = per_target.get(t, 0) + 1
+        assert all(v <= d - 1 for v in per_target.values())
+
+    def test_depth1_is_hadamards_only(self):
+        c = qft_circuit(4, depth=1)
+        assert c.count_ops() == {"h": 4}
+
+    def test_counts_formula(self):
+        for n in (4, 6, 8):
+            for d in (1, 2, 3, None):
+                c = qft_circuit(n, depth=d)
+                expected = qft_gate_counts(n, d)
+                ops = c.count_ops()
+                assert ops.get("cp", 0) == expected["cp"]
+                assert ops["h"] == expected["h"]
+
+    def test_paper_rotation_count_formula(self):
+        # Paper §2: AQFT at depth d uses (2n - d)(d - 1)/2 rotations.
+        n = 8
+        for d in (2, 3, 4, 5):
+            assert qft_gate_counts(n, d)["cp"] == (2 * n - d) * (d - 1) // 2
+
+    def test_aqft_keeps_largest_angles(self):
+        c = qft_circuit(4, depth=2)
+        angles = {i.gate.params[0] for i in c if i.gate.name == "cp"}
+        assert angles == {rotation_angle(2)}
+
+    def test_aqft_fidelity_decreases_with_depth(self):
+        """AQFT approaches the QFT monotonically in depth."""
+        n = 5
+        rng = np.random.default_rng(3)
+        vec = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        vec /= np.linalg.norm(vec)
+        eng = StatevectorEngine()
+        exact = eng.run(qft_circuit(n), vec)
+        fids = []
+        for d in (1, 2, 3, 4, 5):
+            approx = eng.run(qft_circuit(n, depth=d), vec)
+            fids.append(exact.fidelity(approx))
+        assert all(b >= a - 1e-12 for a, b in zip(fids, fids[1:]))
+        assert fids[-1] == pytest.approx(1.0)
+
+
+class TestControlledQFT:
+    def test_control_off_is_identity(self):
+        c = controlled_qft_circuit(2)
+        m = c.to_matrix()
+        for basis in (0b000, 0b010, 0b100, 0b110):  # control (q0) = 0
+            vec = np.zeros(8)
+            vec[basis] = 1
+            np.testing.assert_allclose(m @ vec, vec, atol=1e-12)
+
+    def test_control_on_applies_qft(self):
+        from repro.circuits.gates import controlled_matrix
+
+        c = controlled_qft_circuit(2)
+        expected = controlled_matrix(qft_circuit(2).to_matrix(), 1)
+        assert_matrix_equiv(c.to_matrix(), expected)
+
+    def test_uses_controlled_gates(self):
+        ops = controlled_qft_circuit(3).count_ops()
+        assert "ch" in ops and "ccp" in ops
+        assert "h" not in ops

@@ -1,0 +1,127 @@
+"""Tests for qintegers (repro.core.qint)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QInteger,
+    QIntegerError,
+    decode_twos_complement,
+    encode_twos_complement,
+    signed_range,
+    unsigned_range,
+)
+
+
+class TestEncoding:
+    def test_unsigned_range(self):
+        assert unsigned_range(4) == (0, 15)
+
+    def test_signed_range(self):
+        assert signed_range(4) == (-8, 7)
+
+    @pytest.mark.parametrize("v,pattern", [(0, 0), (7, 7), (-1, 15), (-8, 8)])
+    def test_twos_complement_encode(self, v, pattern):
+        assert encode_twos_complement(v, 4) == pattern
+
+    @pytest.mark.parametrize("v", [-8, -1, 0, 3, 7])
+    def test_roundtrip(self, v):
+        assert decode_twos_complement(encode_twos_complement(v, 4), 4) == v
+
+    def test_encode_out_of_range(self):
+        with pytest.raises(QIntegerError):
+            encode_twos_complement(8, 4)
+        with pytest.raises(QIntegerError):
+            encode_twos_complement(-9, 4)
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(QIntegerError):
+            decode_twos_complement(16, 4)
+
+
+class TestQInteger:
+    def test_basis_state(self):
+        q = QInteger.basis(5, 4)
+        assert q.order == 1
+        assert q.values == (5,)
+        vec = q.statevector()
+        assert vec[5] == pytest.approx(1.0)
+
+    def test_uniform_superposition(self):
+        q = QInteger.uniform([1, 3, 6], 3)
+        assert q.order == 3
+        amp = 1 / math.sqrt(3)
+        for v in (1, 3, 6):
+            assert abs(q.amplitudes[v] - amp) < 1e-12
+
+    def test_uniform_duplicates_rejected(self):
+        with pytest.raises(QIntegerError):
+            QInteger.uniform([1, 1], 3)
+
+    def test_normalisation(self):
+        q = QInteger({0: 3.0, 1: 4.0}, 2)
+        assert abs(q.amplitudes[0]) == pytest.approx(0.6)
+        assert abs(q.amplitudes[1]) == pytest.approx(0.8)
+
+    def test_zero_amplitudes_dropped(self):
+        q = QInteger({0: 1.0, 1: 0.0}, 2)
+        assert q.order == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(QIntegerError):
+            QInteger({}, 2)
+        with pytest.raises(QIntegerError):
+            QInteger({0: 0.0}, 2)
+
+    def test_unsigned_range_enforced(self):
+        with pytest.raises(QIntegerError):
+            QInteger.basis(16, 4)
+
+    def test_signed_values(self):
+        q = QInteger.uniform([-3, 2], 4, signed=True)
+        vec = q.statevector()
+        assert abs(vec[encode_twos_complement(-3, 4)]) > 0
+        assert q.decode(q.encode(-3)) == -3
+
+    def test_signed_range_enforced(self):
+        with pytest.raises(QIntegerError):
+            QInteger.basis(8, 4, signed=True)
+
+    def test_statevector_norm(self):
+        q = QInteger({0: 1.0, 2: 1j, 3: -0.5}, 2)
+        assert np.linalg.norm(q.statevector()) == pytest.approx(1.0)
+
+    def test_probabilities(self):
+        q = QInteger.uniform([0, 1], 1)
+        p = q.probabilities()
+        assert p[0] == pytest.approx(0.5)
+
+    def test_map_values(self):
+        q = QInteger.uniform([1, 2], 3)
+        shifted = q.map_values(lambda v: (v + 3) % 8)
+        assert shifted.values == (4, 5)
+
+    def test_map_values_coherent_addition(self):
+        q = QInteger({0: 1.0, 1: 1.0}, 2)
+        merged = q.map_values(lambda v: 3)
+        assert merged.values == (3,)
+        assert abs(merged.amplitudes[3]) == pytest.approx(1.0)
+
+    def test_map_values_coherent_cancellation_fails_loudly(self):
+        # Amplitudes 1 and -1 mapped to the same value cancel exactly;
+        # construction must fail rather than emit an unnormalisable state.
+        with pytest.raises(QIntegerError):
+            QInteger({0: 1.0, 1: -1.0}, 2).map_values(lambda v: 5)
+
+    def test_equality_and_hash(self):
+        a = QInteger.uniform([1, 2], 3)
+        b = QInteger.uniform([1, 2], 3)
+        c = QInteger.uniform([1, 3], 3)
+        assert a == b and a != c
+        assert hash(a) == hash(b)
+
+    def test_repr_shows_values(self):
+        r = repr(QInteger.uniform([2, 5], 3))
+        assert "|2>" in r and "|5>" in r

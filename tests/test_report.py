@@ -1,0 +1,53 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.experiments import SweepConfig, run_sweep, save_sweep
+from repro.experiments.report import ClaimCheck, build_report, check_claims
+
+
+@pytest.fixture(scope="module")
+def tiny_results(tmp_path_factory):
+    """A miniature fig3b-style panel saved to disk."""
+    outdir = tmp_path_factory.mktemp("results")
+    cfg = SweepConfig(
+        operation="add", n=3, m=3, orders=(1, 1), error_axis="2q",
+        error_rates=(0.0, 0.01), depths=(2, None), instances=3,
+        shots=128, trajectories=8, seed=5, label="fig3b",
+    )
+    res = run_sweep(cfg, workers=1)
+    save_sweep(res, outdir / "fig3b.json")
+    return outdir, {"fig3b": res}
+
+
+class TestClaimCheck:
+    def test_render_marks(self):
+        assert "[HOLDS]" in ClaimCheck("c", True, "e").render()
+        assert "[DEVIATES]" in ClaimCheck("c", False, "e").render()
+        assert "[N/A]" in ClaimCheck("c", None, "e").render()
+
+
+class TestCheckClaims:
+    def test_insensitivity_claim_evaluated(self, tiny_results):
+        _, results = tiny_results
+        checks = check_claims(results)
+        claims = [c.claim for c in checks]
+        assert any("insensitive" in c for c in claims)
+
+    def test_missing_panels_skip_claims(self):
+        assert check_claims({}) == []
+
+
+class TestBuildReport:
+    def test_contains_table1_and_panel(self, tiny_results):
+        outdir, _ = tiny_results
+        text = build_report(outdir, scale_note="NOTE: tiny test scale")
+        assert "Table I" in text
+        assert "fig3b" in text
+        assert "NOTE: tiny test scale" in text
+
+    def test_report_is_markdown(self, tiny_results):
+        outdir, _ = tiny_results
+        text = build_report(outdir)
+        assert text.count("```") % 2 == 0
+        assert "## " in text

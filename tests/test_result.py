@@ -1,0 +1,102 @@
+"""Tests for repro.sim.result: Distribution, Counts, register extraction."""
+
+import numpy as np
+import pytest
+
+from repro.sim.result import Counts, Distribution, extract_register_values
+
+
+class TestExtract:
+    def test_single_register(self):
+        # Outcome 0b1101 with register qubits [0, 2, 3] -> bits 1,1,1 = 7.
+        vals = extract_register_values(np.array([0b1101]), [0, 2, 3])
+        assert vals[0] == 0b111
+
+    def test_order_defines_bit_positions(self):
+        vals = extract_register_values(np.array([0b10]), [1, 0])
+        assert vals[0] == 0b01
+
+    def test_vectorized(self):
+        outs = np.arange(8)
+        vals = extract_register_values(outs, [1, 2])
+        np.testing.assert_array_equal(vals, outs >> 1)
+
+
+class TestDistribution:
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            Distribution(np.array([0.5, 0.5]), 2)
+
+    def test_validates_sum(self):
+        with pytest.raises(ValueError):
+            Distribution(np.array([0.5, 0.4]), 1)
+
+    def test_validates_negative(self):
+        with pytest.raises(ValueError):
+            Distribution(np.array([1.5, -0.5]), 1)
+
+    def test_sample_total(self, rng):
+        d = Distribution(np.array([0.25, 0.75]), 1)
+        c = d.sample(1000, rng)
+        assert c.shots == 1000
+        assert abs(c[1] - 750) < 100
+
+    def test_marginal(self):
+        # Perfectly correlated 2-qubit distribution.
+        d = Distribution(np.array([0.5, 0, 0, 0.5]), 2)
+        m = d.marginal([0])
+        np.testing.assert_allclose(m.probs, [0.5, 0.5])
+
+    def test_marginal_reorders_bits(self):
+        d = Distribution(np.array([0, 1.0, 0, 0]), 2)  # outcome q0=1,q1=0
+        m = d.marginal([1, 0])
+        # q1 -> bit0 (0), q0 -> bit1 (1): outcome 0b10 = 2.
+        assert m.top(1)[0][0] == 2
+
+    def test_top(self):
+        d = Distribution(np.array([0.1, 0.2, 0.3, 0.4]), 2)
+        assert [o for o, _ in d.top(2)] == [3, 2]
+
+
+class TestCounts:
+    def test_from_array_roundtrip(self):
+        arr = np.array([5, 0, 3, 2])
+        c = Counts.from_array(arr, 2)
+        np.testing.assert_array_equal(c.to_array(), arr)
+
+    def test_from_outcome_list(self):
+        c = Counts.from_outcome_list(np.array([1, 1, 3, 0]), 2)
+        assert c[1] == 2 and c[3] == 1 and c[0] == 1 and c[2] == 0
+
+    def test_shots(self):
+        c = Counts({0: 3, 2: 7}, 2)
+        assert c.shots == 10
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Counts({4: 1}, 2)
+
+    def test_most_common_deterministic_tie_break(self):
+        c = Counts({2: 5, 1: 5, 0: 9}, 2)
+        assert c.most_common() == [(0, 9), (1, 5), (2, 5)]
+
+    def test_bitstring_counts_msb_first(self):
+        c = Counts({0b110: 4}, 3)
+        assert c.bitstring_counts() == {"110": 4}
+
+    def test_marginal(self):
+        c = Counts({0b00: 10, 0b11: 10}, 2)
+        m = c.marginal([1])
+        assert m[0] == 10 and m[1] == 10
+
+    def test_to_distribution(self):
+        c = Counts({0: 1, 1: 3}, 1)
+        np.testing.assert_allclose(c.to_distribution().probs, [0.25, 0.75])
+
+    def test_zero_counts_dropped(self):
+        c = Counts({0: 0, 1: 5}, 1)
+        assert len(c) == 1
+
+    def test_equality(self):
+        assert Counts({1: 2}, 2) == Counts({1: 2}, 2)
+        assert Counts({1: 2}, 2) != Counts({1: 3}, 2)

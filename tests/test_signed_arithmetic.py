@@ -1,0 +1,150 @@
+"""Signed (two's complement) arithmetic: paper §5's future-work cases."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QInteger,
+    decode_twos_complement,
+    encode_twos_complement,
+    qfa_circuit,
+    qfm_circuit,
+    qfs_circuit,
+)
+from repro.sim import StatevectorEngine
+
+from conftest import register_value
+
+ENG = StatevectorEngine()
+
+
+def run_basis(circ, reg_vals):
+    idx = 0
+    for name, pattern in reg_vals.items():
+        idx |= pattern << circ.get_qreg(name).offset
+    vec = np.zeros(1 << circ.num_qubits, dtype=complex)
+    vec[idx] = 1.0
+    top, p = ENG.run(circ, vec).probabilities().top(1)[0]
+    assert p > 1 - 1e-9
+    return top
+
+
+class TestSignedAddition:
+    """The mod-2**n QFA *is* signed addition in two's complement."""
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_exhaustive_representable(self, n):
+        circ = qfa_circuit(n, n)
+        lo, hi = -(1 << (n - 1)), (1 << (n - 1)) - 1
+        for a, b in itertools.product(range(lo, hi + 1), repeat=2):
+            if not lo <= a + b <= hi:
+                continue  # overflow wraps by design
+            out = run_basis(
+                circ,
+                {
+                    "x": encode_twos_complement(a, n),
+                    "y": encode_twos_complement(b, n),
+                },
+            )
+            got = decode_twos_complement(
+                register_value(out, circ.get_qreg("y")), n
+            )
+            assert got == a + b, (a, b)
+
+    def test_overflow_wraps(self):
+        n = 3
+        circ = qfa_circuit(n, n)
+        out = run_basis(
+            circ,
+            {
+                "x": encode_twos_complement(3, n),
+                "y": encode_twos_complement(2, n),
+            },
+        )
+        got = decode_twos_complement(
+            register_value(out, circ.get_qreg("y")), n
+        )
+        assert got == -3  # 5 wraps mod 8 -> -3
+
+    def test_signed_subtraction(self):
+        n = 4
+        circ = qfs_circuit(n, n)
+        out = run_basis(
+            circ,
+            {
+                "x": encode_twos_complement(5, n),
+                "y": encode_twos_complement(-2, n),
+            },
+        )
+        got = decode_twos_complement(
+            register_value(out, circ.get_qreg("y")), n
+        )
+        assert got == -7
+
+
+class TestSignedQFM:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_exhaustive(self, n):
+        circ = qfm_circuit(n, strategy="fused", signed=True)
+        lo, hi = -(1 << (n - 1)), (1 << (n - 1)) - 1
+        for a, b in itertools.product(range(lo, hi + 1), repeat=2):
+            out = run_basis(
+                circ,
+                {
+                    "x": encode_twos_complement(a, n),
+                    "y": encode_twos_complement(b, n),
+                    "z": 0,
+                },
+            )
+            got = decode_twos_complement(
+                register_value(out, circ.get_qreg("z")), 2 * n
+            )
+            assert got == a * b, (a, b)
+
+    def test_rectangular_signed(self):
+        circ = qfm_circuit(3, 2, strategy="fused", signed=True)
+        out = run_basis(
+            circ,
+            {
+                "x": encode_twos_complement(-4, 3),
+                "y": encode_twos_complement(-2, 2),
+                "z": 0,
+            },
+        )
+        got = decode_twos_complement(
+            register_value(out, circ.get_qreg("z")), 5
+        )
+        assert got == 8
+
+    def test_signed_requires_fused(self):
+        with pytest.raises(ValueError):
+            qfm_circuit(2, strategy="cqfa", signed=True)
+
+    def test_signed_superposition(self):
+        circ = qfm_circuit(2, strategy="fused", signed=True)
+        x = QInteger.uniform([-2, 1], 2, signed=True)
+        vec = np.zeros(1 << circ.num_qubits, dtype=complex)
+        for v, a in x.amplitudes.items():
+            idx = x.encode(v) | (encode_twos_complement(-1, 2) << 2)
+            vec[idx] = a
+        dist = ENG.run(circ, vec).probabilities()
+        outs = {
+            decode_twos_complement(
+                register_value(o, circ.get_qreg("z")), 4
+            )
+            for o, p in dist.top(2)
+            if p > 1e-9
+        }
+        assert outs == {2, -1}
+
+    def test_signed_unsigned_agree_on_nonneg(self):
+        """For non-negative operands without top bits, signed == unsigned."""
+        u = qfm_circuit(3, strategy="fused")
+        s = qfm_circuit(3, strategy="fused", signed=True)
+        for a, b in [(1, 2), (3, 3), (0, 2)]:
+            out_u = run_basis(u, {"x": a, "y": b, "z": 0})
+            out_s = run_basis(s, {"x": a, "y": b, "z": 0})
+            assert register_value(out_u, u.get_qreg("z")) == a * b
+            assert register_value(out_s, s.get_qreg("z")) == a * b

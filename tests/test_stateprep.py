@@ -1,0 +1,114 @@
+"""Tests for state preparation synthesis (repro.core.stateprep)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import QInteger, initialize_qinteger, mux_rotation_on, prepare_state
+from repro.sim import StatevectorEngine
+
+ENG = StatevectorEngine()
+
+
+def fidelity_of_prep(target):
+    circ = prepare_state(target)
+    got = ENG.run(circ).data
+    return abs(np.vdot(got, target)) ** 2
+
+
+class TestMuxRotation:
+    @pytest.mark.parametrize("kind", ["ry", "rz"])
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_matches_block_diagonal(self, rng, kind, k):
+        from repro.circuits.gates import make_gate
+
+        angles = rng.uniform(-np.pi, np.pi, size=1 << k)
+        n = k + 1
+        qc = QuantumCircuit(n)
+        controls = list(range(1, n))
+        mux_rotation_on(qc, kind, angles, controls, 0)
+        got = qc.to_matrix()
+        dim = 1 << n
+        expected = np.zeros((dim, dim), dtype=complex)
+        for sel in range(1 << k):
+            rot = make_gate(kind, angles[sel]).matrix
+            for a in range(2):
+                for b in range(2):
+                    expected[(sel << 1) | a, (sel << 1) | b] = rot[a, b]
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_zero_angles_emit_nothing(self):
+        qc = QuantumCircuit(3)
+        mux_rotation_on(qc, "ry", np.zeros(4), [1, 2], 0)
+        assert len(qc) == 0
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            mux_rotation_on(QuantumCircuit(2), "rx", np.zeros(2), [1], 0)
+
+    def test_bad_angle_count(self):
+        with pytest.raises(ValueError):
+            mux_rotation_on(QuantumCircuit(2), "ry", np.zeros(3), [1], 0)
+
+
+class TestPrepareState:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_random_states(self, rng, n):
+        v = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        v /= np.linalg.norm(v)
+        assert fidelity_of_prep(v) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_basis_states(self, n):
+        for k in range(1 << n):
+            v = np.zeros(1 << n, dtype=complex)
+            v[k] = 1.0
+            assert fidelity_of_prep(v) == pytest.approx(1.0, abs=1e-9)
+
+    def test_real_positive_state_uses_no_rz(self, rng):
+        v = np.abs(rng.normal(size=8)) + 0.01
+        v /= np.linalg.norm(v)
+        circ = prepare_state(v)
+        assert "rz" not in circ.count_ops()
+
+    def test_sparse_superposition(self):
+        v = np.zeros(16, dtype=complex)
+        v[3] = 1 / np.sqrt(2)
+        v[12] = 1j / np.sqrt(2)
+        assert fidelity_of_prep(v) == pytest.approx(1.0, abs=1e-9)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            prepare_state(np.ones(3) / np.sqrt(3))
+
+    def test_unnormalised_rejected(self):
+        with pytest.raises(ValueError):
+            prepare_state(np.array([1.0, 1.0]))
+
+    def test_gate_count_scales(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=32) + 1j * rng.normal(size=32)
+        v /= np.linalg.norm(v)
+        circ = prepare_state(v)
+        # Full 5-qubit init: 2 * sum_k 2^k muxes, each 2^k rotations +
+        # 2^k CXs; just sanity-bound it.
+        assert circ.size() < 200
+
+
+class TestInitializeQInteger:
+    @pytest.mark.parametrize(
+        "values,n", [([3], 3), ([1, 6], 3), ([0, 5, 9, 14], 4)]
+    )
+    def test_qinteger_round_trip(self, values, n):
+        qi = QInteger.uniform(values, n)
+        circ = initialize_qinteger(qi)
+        got = ENG.run(circ).data
+        assert abs(np.vdot(got, qi.statevector())) ** 2 == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_measurement_distribution(self):
+        qi = QInteger.uniform([2, 5], 3)
+        dist = ENG.distribution(initialize_qinteger(qi))
+        assert dist.probs[2] == pytest.approx(0.5, abs=1e-9)
+        assert dist.probs[5] == pytest.approx(0.5, abs=1e-9)

@@ -1,0 +1,248 @@
+"""Tests for the transpiler: Euler synthesis, decomposition, optimisation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits import gates as G
+from repro.circuits.circuit import Instruction
+from repro.transpile import (
+    IBM_BASIS,
+    TranspileError,
+    cancel_adjacent_cx,
+    decompose_instruction,
+    decompose_to_basis,
+    drop_identities,
+    euler_zyz_angles,
+    gate_counts,
+    is_in_basis,
+    merge_1q_runs,
+    optimize_circuit,
+    transpile,
+    zsx_sequence,
+)
+
+from conftest import assert_circuit_equiv, assert_matrix_equiv
+
+
+def seq_matrix(seq):
+    m = np.eye(2, dtype=complex)
+    for name, params in seq:
+        m = G.make_gate(name, *params).matrix @ m
+    return m
+
+
+class TestEuler:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_unitary_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        z = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        q, _ = np.linalg.qr(z)
+        theta, phi, lam, gamma = euler_zyz_angles(q)
+        from repro.circuits.gates import _u_matrix
+
+        rebuilt = np.exp(1j * gamma) * _u_matrix(theta, phi, lam)
+        np.testing.assert_allclose(rebuilt, q, atol=1e-9)
+
+    @pytest.mark.parametrize(
+        "name,params,expected_len",
+        [
+            ("h", (), 3),
+            ("s", (), 1),
+            ("t", (), 1),
+            ("z", (), 1),
+            ("sx", (), 1),
+            ("x", (), 1),
+            ("y", (), 2),  # x then rz(pi), since ZX = -iY
+            ("ry", (0.4,), 4),
+            ("id", (), 0),
+        ],
+    )
+    def test_sequence_lengths(self, name, params, expected_len):
+        g = G.make_gate(name, *params)
+        seq = zsx_sequence(g.matrix)
+        assert len(seq) == expected_len
+        if seq:
+            assert_matrix_equiv(seq_matrix(seq), g.matrix)
+
+    def test_h_canonical_form(self):
+        seq = zsx_sequence(G.HGate().matrix)
+        assert [s[0] for s in seq] == ["rz", "sx", "rz"]
+        assert seq[0][1][0] == pytest.approx(math.pi / 2)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_sequence_equivalence(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        z = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        q, _ = np.linalg.qr(z)
+        assert_matrix_equiv(seq_matrix(zsx_sequence(q)), q)
+
+    def test_keep_zeros_canonical_3(self):
+        seq = zsx_sequence(G.SXGate().matrix, keep_zeros=True)
+        assert [s[0] for s in seq] == ["rz", "sx", "rz"]
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            euler_zyz_angles(np.eye(3))
+
+
+class TestDecompose:
+    ALL_GATES = [
+        ("h", ()), ("x", ()), ("y", ()), ("z", ()), ("s", ()), ("sdg", ()),
+        ("t", ()), ("tdg", ()), ("sx", ()), ("sxdg", ()), ("p", (0.7,)),
+        ("ry", (0.3,)), ("rx", (-0.4,)), ("u", (0.2, 0.4, 0.6)),
+        ("cx", ()), ("cz", ()), ("cy", ()), ("ch", ()), ("cp", (0.9,)),
+        ("crz", (1.1,)), ("swap", ()), ("ccx", ()), ("ccp", (0.5,)),
+        ("cch", ()), ("cswap", ()),
+    ]
+
+    @pytest.mark.parametrize("name,params", ALL_GATES)
+    def test_every_gate_decomposes_correctly(self, name, params):
+        g = G.make_gate(name, *params)
+        qc = QuantumCircuit(g.num_qubits)
+        qc.append(g, list(range(g.num_qubits)))
+        basis_qc = decompose_to_basis(qc)
+        assert is_in_basis(basis_qc)
+        assert_circuit_equiv(qc, basis_qc)
+
+    def test_cp_counts(self):
+        qc = QuantumCircuit(2)
+        qc.cp(0.5, 0, 1)
+        counts = gate_counts(decompose_to_basis(qc))
+        assert counts.by_name == {"rz": 3, "cx": 2}
+
+    def test_ccp_counts(self):
+        qc = QuantumCircuit(3)
+        qc.ccp(0.5, 0, 1, 2)
+        counts = gate_counts(decompose_to_basis(qc))
+        assert counts.by_name == {"rz": 9, "cx": 8}
+
+    def test_ch_counts(self):
+        qc = QuantumCircuit(2)
+        qc.ch(0, 1)
+        counts = gate_counts(decompose_to_basis(qc))
+        assert counts.one_qubit == 6 and counts.two_qubit == 1
+
+    def test_h_counts(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        counts = gate_counts(decompose_to_basis(qc))
+        assert counts.by_name == {"rz": 2, "sx": 1}
+
+    def test_basis_gates_pass_through(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).rz(0.3, 1).sx(0).cx(0, 1).id(1)
+        out = decompose_to_basis(qc)
+        assert out.instructions == qc.instructions
+
+    def test_structural_ops_pass_through(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).barrier().measure(0, 0)
+        out = decompose_to_basis(qc)
+        names = [i.gate.name for i in out]
+        assert "barrier" in names and "measure" in names
+
+    def test_generic_unknown_gate_rejected(self):
+        bad = G.Gate("mystery3q", 3, (), lambda: np.eye(8, dtype=complex))
+        qc = QuantumCircuit(3)
+        qc.append(bad, [0, 1, 2])
+        with pytest.raises(TranspileError):
+            decompose_to_basis(qc)
+
+    def test_generated_controlled_gate_via_matrix(self):
+        # Generic 1q gates decompose through Euler synthesis.
+        g = G.RYGate(0.123)
+        out = decompose_instruction(Instruction(g, [0]))
+        assert all(i.gate.name in IBM_BASIS for i in out)
+
+
+class TestOptimize:
+    def test_drop_identities(self):
+        qc = QuantumCircuit(1)
+        qc.id(0).rz(0.0, 0).rz(2 * math.pi, 0).x(0)
+        out = drop_identities(qc)
+        assert [i.gate.name for i in out] == ["x"]
+
+    def test_cancel_adjacent_cx(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1).cx(0, 1).h(0)
+        out = cancel_adjacent_cx(qc)
+        assert [i.gate.name for i in out] == ["h"]
+
+    def test_cx_not_cancelled_across_blocker(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1).rz(0.1, 1).cx(0, 1)
+        out = cancel_adjacent_cx(qc)
+        assert len(out) == 3
+
+    def test_cx_reversed_not_cancelled(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1).cx(1, 0)
+        assert len(cancel_adjacent_cx(qc)) == 2
+
+    def test_cancellation_cascades(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1).cx(0, 1).cx(0, 1).cx(0, 1)
+        assert len(cancel_adjacent_cx(qc)) == 0
+
+    def test_merge_1q_runs(self):
+        qc = QuantumCircuit(1)
+        qc.h(0).h(0)
+        out = merge_1q_runs(qc)
+        assert len(out) == 0  # H H = I
+
+    def test_merge_respects_2q_boundaries(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.2, 0).cx(0, 1).rz(0.3, 0)
+        out = merge_1q_runs(qc)
+        assert len(out) == 3
+
+    def test_merge_preserves_unitary(self, rng):
+        qc = QuantumCircuit(2)
+        qc.h(0).t(0).sx(0).rz(0.7, 1).s(1).cx(0, 1).h(1).tdg(1)
+        assert_circuit_equiv(merge_1q_runs(qc), qc)
+
+    def test_optimize_pipeline_preserves_unitary(self):
+        from repro.core import qfa_circuit
+
+        qc = decompose_to_basis(qfa_circuit(2))
+        opt = optimize_circuit(qc)
+        assert_circuit_equiv(opt, qc)
+        assert opt.size() <= qc.size()
+
+
+class TestPipeline:
+    def test_transpile_level0(self):
+        from repro.core import qft_circuit
+
+        out = transpile(qft_circuit(3))
+        assert is_in_basis(out)
+
+    def test_transpile_level1_smaller(self):
+        from repro.core import qfa_circuit
+
+        c = qfa_circuit(3)
+        t0 = transpile(c, optimization_level=0)
+        t1 = transpile(c, optimization_level=1)
+        assert t1.size() <= t0.size()
+        assert_circuit_equiv(t0, t1)
+
+    def test_invalid_level(self):
+        with pytest.raises(TranspileError):
+            transpile(QuantumCircuit(1), optimization_level=7)
+
+
+class TestGateCounts:
+    def test_excludes_structural(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1).barrier().measure(0, 0)
+        c = gate_counts(qc)
+        assert c.one_qubit == 1 and c.two_qubit == 1
+        assert c.total == 2
+
+    def test_str_contains_names(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        assert "x:1" in str(gate_counts(qc))

@@ -1,0 +1,92 @@
+"""Tests for the text drawer and the command-line interface."""
+
+import math
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.circuits import QuantumCircuit, QuantumRegister, draw_text
+from repro.core import qfa_circuit
+
+
+class TestDrawText:
+    def test_register_labels(self):
+        qc = QuantumCircuit(QuantumRegister(2, "x"), QuantumRegister(1, "out"))
+        qc.h(0)
+        text = draw_text(qc)
+        assert "x[0]" in text and "x[1]" in text and "out[0]" in text
+
+    def test_one_line_per_qubit(self):
+        qc = QuantumCircuit(4)
+        qc.h(0)
+        assert len(draw_text(qc).splitlines()) == 4
+
+    def test_control_marker(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        lines = draw_text(qc).splitlines()
+        assert "*" in lines[0]
+        assert "[cx]" in lines[1]
+
+    def test_angle_formatting_in_pi(self):
+        qc = QuantumCircuit(2)
+        qc.cp(math.pi / 2, 0, 1)
+        assert "0.5pi" in draw_text(qc)
+
+    def test_barrier_column(self):
+        qc = QuantumCircuit(2)
+        qc.barrier()
+        text = draw_text(qc)
+        assert text.splitlines()[0].rstrip().endswith("|")
+
+    def test_measure_box(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        assert "[M]" in draw_text(qc)
+
+    def test_long_circuit_truncated(self):
+        qc = QuantumCircuit(1)
+        for _ in range(300):
+            qc.h(0)
+        lines = draw_text(qc).splitlines()
+        assert all(len(ln) <= 400 for ln in lines)
+
+    def test_qfa_draw_smoke(self):
+        assert draw_text(qfa_circuit(2))
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert cli_main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "scale" in out
+
+    def test_table1(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "QFM" in out and "1128" in out
+
+    def test_depth_profile(self, capsys):
+        assert cli_main(["depth-profile", "-n", "4", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "full" in out
+
+    def test_fig_with_unknown_panel(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert cli_main(["fig3", "--panel", "nope"]) == 2
+
+    def test_fig_smoke_panel(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert (
+            cli_main(
+                ["fig3", "--panel", "fig3a", "--out", str(tmp_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "QFA" in out
+        assert (tmp_path / "fig3a.json").exists()
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli_main([])
