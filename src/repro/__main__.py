@@ -44,6 +44,7 @@ def _cmd_figure(args, which: str) -> int:
         save_sweep,
     )
     from repro.experiments.paper import fig3_configs, fig4_configs
+    from repro.runtime import RetryPolicy
 
     scale = current_scale()
     configs = (fig3_configs if which == "fig3" else fig4_configs)(scale)
@@ -52,15 +53,40 @@ def _cmd_figure(args, which: str) -> int:
         if not configs:
             print(f"no panel matches {args.panel}", file=sys.stderr)
             return 2
-    results = run_figure(configs, progress=print if args.verbose else None)
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and args.resume:
+        # --resume with no explicit dir uses the conventional location,
+        # so `python -m repro fig3 --resume` continues an interrupted run.
+        checkpoint_dir = "checkpoints"
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        timeout=args.timeout,
+    )
+    results = run_figure(
+        configs,
+        workers=args.workers,
+        progress=print if args.verbose else None,
+        checkpoint_dir=checkpoint_dir,
+        resume=args.resume,
+        retry=retry,
+    )
+    failed_cells = 0
     for label, res in results.items():
         print()
         print(render_panel(res))
+        failed_cells += len(res.failures)
         if args.out:
             out = Path(args.out)
             out.mkdir(parents=True, exist_ok=True)
             save_sweep(res, out / f"{label}.json")
             print(f"[saved {out / (label + '.json')}]")
+    if failed_cells:
+        print(
+            f"[warning] {failed_cells} cell(s) failed permanently; "
+            f"partial results above (re-run with --resume to retry them)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -91,6 +117,30 @@ def main(argv=None) -> int:
         p.add_argument("--panel", nargs="*", help="labels, e.g. fig3a fig3b")
         p.add_argument("--out", help="directory for JSON results")
         p.add_argument("-v", "--verbose", action="store_true")
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume from the checkpoint journal of an interrupted run",
+        )
+        p.add_argument(
+            "--checkpoint-dir",
+            help="cell-level journal directory (default: 'checkpoints' "
+            "when --resume is given, else no checkpointing)",
+        )
+        p.add_argument(
+            "--workers", type=int, help="worker processes (default: cores-1)"
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            help="per-cell timeout in seconds (default: unlimited)",
+        )
+        p.add_argument(
+            "--max-attempts",
+            type=int,
+            default=3,
+            help="attempts per cell before recording it as failed",
+        )
     p = sub.add_parser("depth-profile", help="AQFT fidelity per depth")
     p.add_argument("-n", type=int, default=8)
     p.add_argument("--trials", type=int, default=8)

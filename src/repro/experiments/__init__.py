@@ -30,7 +30,13 @@ from .runner import (
     run_instance,
     run_point,
 )
-from .sweep import SweepResult, default_workers, run_sweep
+from .sweep import (
+    FailedCell,
+    SweepResult,
+    default_workers,
+    run_sweep,
+    sweep_fingerprint,
+)
 from .tables import PAPER_TABLE1, Table1Row, render_table1, table1_counts
 
 __all__ = [
@@ -49,6 +55,8 @@ __all__ = [
     "PointResult",
     "run_sweep",
     "SweepResult",
+    "FailedCell",
+    "sweep_fingerprint",
     "default_workers",
     "save_sweep",
     "load_sweep",

@@ -19,8 +19,14 @@ _MARKERS = "ox+*#@%&"
 
 
 def render_series_table(result: SweepResult) -> str:
-    """Numeric table: rows = error rates, columns = depths."""
+    """Numeric table: rows = error rates, columns = depths.
+
+    Cells whose computation failed (see ``SweepResult.failures``) render
+    as ``FAILED``; cells simply absent from a partial sweep render as
+    ``—``.
+    """
     cfg = result.config
+    failed = result.failed_keys
     head = f"{'rate':>8} |" + "".join(
         f" {('d=' + cfg.depth_label(d)):>16}" for d in cfg.depths
     )
@@ -30,7 +36,8 @@ def render_series_table(result: SweepResult) -> str:
         for d in cfg.depths:
             pr = result.points.get((rate, d))
             if pr is None:
-                cells.append(f" {'—':>16}")
+                mark = "FAILED" if (rate, d) in failed else "—"
+                cells.append(f" {mark:>16}")
                 continue
             s = pr.summary
             cells.append(
@@ -89,6 +96,11 @@ def render_panel(result: SweepResult, title: str = "") -> str:
     )
     lines.append("")
     lines.append(render_series_table(result))
+    if result.failures:
+        lines.append("")
+        lines.append(f"incomplete panel — {len(result.failures)} failed cell(s):")
+        for f in result.failures:
+            lines.append(f"  ! {f}")
     return "\n".join(lines)
 
 

@@ -13,6 +13,7 @@ n=4.  Depth series: paper d in {1, 2, 3, 4, full} for QFA and
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..noise.ibm import P1Q_SWEEP, P2Q_SWEEP
@@ -116,14 +117,25 @@ def run_figure(
     workers: Optional[int] = None,
     progress=None,
     on_panel=None,
+    checkpoint_dir=None,
+    resume: bool = True,
+    retry=None,
 ) -> Dict[str, SweepResult]:
     """Run a figure's panels, sharing instances across each row's axes.
 
     Returns panel label -> result.  ``on_panel(label, result)`` fires
     as each panel completes, so long runs can checkpoint to disk.
+
+    ``checkpoint_dir`` enables the runtime's cell-level journal: each
+    panel writes ``<dir>/<label>.jsonl`` as cells finish, and a re-run
+    with ``resume=True`` restores completed cells instead of
+    re-simulating (see ``docs/reliability.md``).  ``retry`` is a
+    :class:`repro.runtime.RetryPolicy` forwarded to every sweep.
     """
     results: Dict[str, SweepResult] = {}
     row_instances: Dict[Tuple, list] = {}
+    if checkpoint_dir is not None:
+        checkpoint_dir = Path(checkpoint_dir)
     for cfg in configs:
         key = (cfg.operation, cfg.n, cfg.m, cfg.orders, cfg.seed)
         if key not in row_instances:
@@ -133,11 +145,19 @@ def run_figure(
             )
         if progress:
             progress(f"panel {cfg.label}: {cfg.describe()}")
+        checkpoint = (
+            checkpoint_dir / f"{cfg.label}.jsonl"
+            if checkpoint_dir is not None
+            else None
+        )
         results[cfg.label] = run_sweep(
             cfg,
             workers=workers,
             progress=progress,
             instances=row_instances[key],
+            checkpoint=checkpoint,
+            resume=resume,
+            retry=retry,
         )
         if on_panel is not None:
             on_panel(cfg.label, results[cfg.label])

@@ -253,6 +253,14 @@ def build_report(
             lines.append(render_series_table(res))
             lines.append("```")
             lines.append("")
+            if res.failures:
+                lines.append(
+                    f"> **WARNING:** {len(res.failures)} cell(s) of this "
+                    f"panel failed and are excluded from the table:"
+                )
+                for f in res.failures:
+                    lines.append(f"> - {f}")
+                lines.append("")
 
     checks = check_claims(results)
     if checks:

@@ -2,6 +2,11 @@
 
 The JSON schema is flat and stable so stored runs (EXPERIMENTS.md's
 source data under ``results/``) can be re-rendered without re-simulating.
+Schema 2 adds the ``failures`` list (partial-result semantics — see
+``docs/reliability.md``); schema-1 files load unchanged with an empty
+failure list.  Loaders raise descriptive :class:`ValueError`\\ s on
+unknown schema versions, truncated/corrupt JSON, and missing fields
+rather than leaking ``KeyError`` from deep inside the decoder.
 """
 
 from __future__ import annotations
@@ -12,9 +17,16 @@ import json
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
-from ..metrics.success import InstanceOutcome, SuccessSummary
 from .config import SweepConfig
 from .runner import PointResult
+from .serialize import (
+    depth_from_json,
+    depth_to_json,
+    failed_cell_from_dict,
+    failed_cell_to_dict,
+    point_from_dict,
+    point_to_dict,
+)
 from .sweep import SweepResult
 
 __all__ = [
@@ -25,7 +37,9 @@ __all__ = [
     "sweep_to_csv",
 ]
 
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
+#: Versions ``sweep_from_dict`` can decode (1 = pre-failure-records).
+_SUPPORTED_SCHEMAS = (1, 2)
 
 
 def sweep_to_dict(result: SweepResult) -> dict:
@@ -40,7 +54,7 @@ def sweep_to_dict(result: SweepResult) -> dict:
             "orders": list(cfg.orders),
             "error_axis": cfg.error_axis,
             "error_rates": list(cfg.error_rates),
-            "depths": [d if d is not None else "full" for d in cfg.depths],
+            "depths": [depth_to_json(d) for d in cfg.depths],
             "instances": cfg.instances,
             "shots": cfg.shots,
             "trajectories": cfg.trajectories,
@@ -57,93 +71,72 @@ def sweep_to_dict(result: SweepResult) -> dict:
             }
             for inst in result.instances
         ],
-        "points": [
-            {
-                "error_rate": pr.error_rate,
-                "depth": pr.depth if pr.depth is not None else "full",
-                "depth_label": pr.depth_label,
-                "success_rate": pr.summary.success_rate,
-                "num_instances": pr.summary.num_instances,
-                "num_success": pr.summary.num_success,
-                "sigma": pr.summary.sigma,
-                "lower_flip": pr.summary.lower_flip,
-                "upper_flip": pr.summary.upper_flip,
-                "mean_min_diff": pr.summary.mean_min_diff,
-                "outcomes": [
-                    [int(o.success), o.min_diff, o.shots]
-                    for o in pr.outcomes
-                ],
-            }
-            for pr in result.points.values()
-        ],
+        "points": [point_to_dict(pr) for pr in result.points.values()],
+        "failures": [failed_cell_to_dict(f) for f in result.failures],
     }
-
-
-def _depth_from_json(v) -> Optional[int]:
-    return None if v == "full" else int(v)
 
 
 def sweep_from_dict(data: dict) -> SweepResult:
     """Rebuild a :class:`SweepResult` (instances as value lists only)."""
-    if data.get("schema") != _SCHEMA_VERSION:
-        raise ValueError(f"unsupported schema {data.get('schema')!r}")
-    c = data["config"]
-    config = SweepConfig(
-        operation=c["operation"],
-        n=c["n"],
-        m=c["m"],
-        orders=tuple(c["orders"]),
-        error_axis=c["error_axis"],
-        error_rates=tuple(c["error_rates"]),
-        depths=tuple(_depth_from_json(d) for d in c["depths"]),
-        instances=c["instances"],
-        shots=c["shots"],
-        trajectories=c["trajectories"],
-        seed=c["seed"],
-        method=c["method"],
-        convention=c["convention"],
-        label=c.get("label", ""),
-    )
-    from ..core.qint import QInteger
-    from .instances import ArithmeticInstance
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"sweep JSON must decode to an object, got {type(data).__name__}"
+        )
+    schema = data.get("schema")
+    if schema not in _SUPPORTED_SCHEMAS:
+        raise ValueError(
+            f"unsupported sweep schema {schema!r}; this version reads "
+            f"schemas {list(_SUPPORTED_SCHEMAS)}"
+        )
+    try:
+        c = data["config"]
+        config = SweepConfig(
+            operation=c["operation"],
+            n=c["n"],
+            m=c["m"],
+            orders=tuple(c["orders"]),
+            error_axis=c["error_axis"],
+            error_rates=tuple(c["error_rates"]),
+            depths=tuple(depth_from_json(d) for d in c["depths"]),
+            instances=c["instances"],
+            shots=c["shots"],
+            trajectories=c["trajectories"],
+            seed=c["seed"],
+            method=c["method"],
+            convention=c["convention"],
+            label=c.get("label", ""),
+        )
+        from ..core.qint import QInteger
+        from .instances import ArithmeticInstance
 
-    instances = [
-        ArithmeticInstance(
-            config.operation,
-            config.n,
-            config.m,
-            QInteger.uniform(i["x"], config.n),
-            QInteger.uniform(i["y"], config.m),
-        )
-        for i in data["instances"]
-    ]
-    points: Dict[Tuple[float, Optional[int]], PointResult] = {}
-    for p in data["points"]:
-        depth = _depth_from_json(p["depth"])
-        outcomes = tuple(
-            InstanceOutcome(bool(s), int(d), int(sh))
-            for s, d, sh in p["outcomes"]
-        )
-        summary = SuccessSummary(
-            num_instances=p["num_instances"],
-            num_success=p["num_success"],
-            sigma=p["sigma"],
-            lower_flip=p["lower_flip"],
-            upper_flip=p["upper_flip"],
-            mean_min_diff=p["mean_min_diff"],
-        )
-        points[(p["error_rate"], depth)] = PointResult(
-            error_rate=p["error_rate"],
-            depth=depth,
-            depth_label=p["depth_label"],
-            summary=summary,
-            outcomes=outcomes,
-        )
+        instances = [
+            ArithmeticInstance(
+                config.operation,
+                config.n,
+                config.m,
+                QInteger.uniform(i["x"], config.n),
+                QInteger.uniform(i["y"], config.m),
+            )
+            for i in data["instances"]
+        ]
+        points: Dict[Tuple[float, Optional[int]], PointResult] = {}
+        for p in data["points"]:
+            pr = point_from_dict(p)
+            points[(pr.error_rate, pr.depth)] = pr
+        failures = [
+            failed_cell_from_dict(f) for f in data.get("failures", [])
+        ]
+    except (KeyError, IndexError, TypeError) as exc:
+        raise ValueError(
+            f"truncated or malformed sweep JSON: missing/bad field "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
     return SweepResult(
         config=config,
         points=points,
         instances=instances,
         elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        failures=failures,
     )
 
 
@@ -156,8 +149,23 @@ def save_sweep(result: SweepResult, path: Union[str, Path]) -> Path:
 
 
 def load_sweep(path: Union[str, Path]) -> SweepResult:
-    """Read a sweep result saved by :func:`save_sweep`."""
-    return sweep_from_dict(json.loads(Path(path).read_text()))
+    """Read a sweep result saved by :func:`save_sweep`.
+
+    Raises a descriptive :class:`ValueError` when the file is not valid
+    JSON (e.g. truncated by an interrupted write) or violates the
+    schema.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"corrupt or truncated sweep JSON at {path}: {exc}"
+        ) from exc
+    try:
+        return sweep_from_dict(data)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
 
 
 def sweep_to_csv(result: SweepResult) -> str:

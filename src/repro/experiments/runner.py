@@ -61,8 +61,15 @@ def build_arithmetic_circuit(
 def noise_model_for(
     error_axis: str, rate: float, convention: str = "qiskit"
 ) -> NoiseModel:
-    """The paper's isolated 1q- or 2q-depolarizing model at ``rate``."""
-    if rate == 0.0:
+    """The paper's isolated 1q- or 2q-depolarizing model at ``rate``.
+
+    ``rate <= 0`` is the ideal (noise-free) model, but a *negative*
+    rate is always a caller bug — rejected loudly rather than silently
+    building a depolarizing channel with a nonsense parameter.
+    """
+    if rate < 0:
+        raise ValueError(f"error rate must be >= 0, got {rate}")
+    if rate <= 0.0:
         return NoiseModel.ideal()
     if error_axis == "1q":
         return NoiseModel.depolarizing(p1q=rate, convention=convention)

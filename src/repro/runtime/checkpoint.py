@@ -1,0 +1,97 @@
+"""Append-only JSONL checkpoint journal for long-running sweeps.
+
+Each completed cell is one line, written and flushed the moment the
+cell finishes, so a crash (or SIGINT) loses at most the in-flight
+cells.  Every line carries the sweep's *config fingerprint*; on resume
+the journal only yields entries whose fingerprint matches, so a stale
+journal from a different configuration can never poison a run.
+
+The format is deliberately dumb:
+
+    {"v": 1, "fp": "<hex>", "key": [0.003, "full"], "cell": {...}}
+
+Corrupt or truncated trailing lines (the typical artifact of a hard
+kill mid-write) are skipped, not fatal — the cells they would have
+recorded are simply re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+__all__ = ["CheckpointJournal", "config_fingerprint", "JOURNAL_VERSION"]
+
+JOURNAL_VERSION = 1
+
+
+def config_fingerprint(payload: Any) -> str:
+    """A stable hex digest of a JSON-serialisable config description.
+
+    Tuples serialise as lists, so dataclass ``asdict`` output works
+    directly.  Two sweeps share a fingerprint iff their canonical JSON
+    matches — the journal's compatibility criterion.
+    """
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:20]
+
+
+class CheckpointJournal:
+    """One sweep's journal file (see module docs for the line format)."""
+
+    def __init__(self, path: Union[str, Path], fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = str(fingerprint)
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[Tuple, dict]:
+        """Completed cells recorded for this fingerprint.
+
+        Returns ``{key tuple: cell payload dict}``.  Foreign-fingerprint
+        and undecodable lines are skipped silently; a later record for
+        the same key wins (re-runs overwrite).
+        """
+        out: Dict[Tuple, dict] = {}
+        if not self.path.exists():
+            return out
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail from an interrupted write
+                if (
+                    not isinstance(rec, dict)
+                    or rec.get("v") != JOURNAL_VERSION
+                    or rec.get("fp") != self.fingerprint
+                    or "key" not in rec
+                    or "cell" not in rec
+                ):
+                    continue
+                out[tuple(rec["key"])] = rec["cell"]
+        return out
+
+    def record(self, key: Tuple, cell: dict) -> None:
+        """Append one completed cell and flush it to disk durably."""
+        rec = {
+            "v": JOURNAL_VERSION,
+            "fp": self.fingerprint,
+            "key": list(key),
+            "cell": cell,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def reset(self) -> None:
+        """Discard any existing journal (fresh, non-resumed run)."""
+        if self.path.exists():
+            self.path.unlink()

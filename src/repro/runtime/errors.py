@@ -1,0 +1,72 @@
+"""Typed failure taxonomy and retry classification.
+
+The supervisor distinguishes *transient* failures — worth retrying with
+backoff (a worker segfault, an OS hiccup, a hung process) — from
+*deterministic* ones, where re-running the same cell with the same seed
+can only fail the same way (bad arguments, numerical blow-ups).  The
+classification lives here so the sweep layer, the fault-injection
+harness and the tests all agree on it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
+
+__all__ = [
+    "NumericalHealthError",
+    "CellTimeoutError",
+    "classify_retryable",
+]
+
+
+class NumericalHealthError(RuntimeError):
+    """A simulation produced NaN/Inf values or drifted off norm.
+
+    Raised by the engine health guards (:mod:`repro.runtime.health`).
+    Deterministic per-cell seeding means re-running the cell reproduces
+    the blow-up, so the supervisor treats this as non-retryable.
+    """
+
+
+class CellTimeoutError(RuntimeError):
+    """A cell exceeded its per-cell wall-clock budget.
+
+    Hangs are usually environmental (a stuck worker, CPU contention),
+    so the supervisor classifies them as retryable and recycles the
+    process pool to reclaim the stuck worker.
+    """
+
+
+#: Exception types whose re-execution is pointless: the same inputs
+#: deterministically produce the same failure.
+_NON_RETRYABLE = (
+    NumericalHealthError,
+    ValueError,
+    TypeError,
+    KeyError,
+    AttributeError,
+    NotImplementedError,
+    ZeroDivisionError,
+)
+
+#: Exception types that are always worth another attempt.
+_RETRYABLE = (
+    CellTimeoutError,
+    BrokenProcessPool,
+    OSError,
+    MemoryError,
+)
+
+
+def classify_retryable(exc: BaseException) -> bool:
+    """True when ``exc`` is plausibly transient and worth retrying.
+
+    Explicitly-transient types win over the deterministic set (e.g.
+    ``TimeoutError`` is an ``OSError``); unknown exception types default
+    to retryable — a wasted retry is cheaper than a lost sweep.
+    """
+    if isinstance(exc, _RETRYABLE):
+        return True
+    if isinstance(exc, _NON_RETRYABLE):
+        return False
+    return True

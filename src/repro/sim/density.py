@@ -22,6 +22,7 @@ from ..noise.channels import (
 )
 from ..noise.model import NoiseModel
 from ..noise.pauli import PAULI_MATRICES
+from ..runtime.health import check_trace
 from .ops import apply_gate_matrix
 from .result import Distribution
 
@@ -135,6 +136,7 @@ class DensityMatrixEngine:
             rho = _apply_unitary_rho(rho, instr.gate.matrix, instr.qubits, n)
             for err in noise.gate_errors(instr):
                 rho = self._apply_error(rho, err, instr, n)
+        check_trace(rho, "density engine")
         return DensityMatrix(rho, n)
 
     def distribution(

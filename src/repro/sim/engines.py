@@ -96,6 +96,10 @@ def simulate_counts(
     ``split_clean`` toggles the trajectory engine's exact ideal/erred
     ensemble split (see :mod:`repro.sim.trajectories`).
     """
+    if shots < 1:
+        raise ValueError(f"shots must be >= 1, got {shots}")
+    if trajectories < 1:
+        raise ValueError(f"trajectories must be >= 1, got {trajectories}")
     if rng is None:
         rng = np.random.default_rng(seed)
     if method == "auto":

@@ -31,11 +31,25 @@ import numpy as np
 from ..circuits.circuit import Instruction, QuantumCircuit
 from ..noise.channels import PauliError
 from ..noise.model import NoiseModel
+from ..runtime.health import NumericalHealthError, check_finite
 from .ops import apply_instruction, apply_pauli_rows, probabilities, BitCache
 from .result import Distribution
 from .statevector import zero_state
 
 __all__ = ["PerturbativeEngine"]
+
+
+def _healthy_distribution(
+    accum: np.ndarray, total_weight: float, n: int
+) -> Distribution:
+    """Validate the truncated mixture before renormalising it."""
+    check_finite(accum, "perturbative engine")
+    if not math.isfinite(total_weight) or total_weight <= 0:
+        raise NumericalHealthError(
+            f"perturbative engine: degenerate truncation weight "
+            f"{total_weight!r}"
+        )
+    return Distribution(accum / total_weight, n)
 
 
 class _ErrorSite:
@@ -119,7 +133,7 @@ class PerturbativeEngine:
                 final = apply_instruction(final, instr, n)
             accum += w0 * probabilities(final)[0]
             total_weight += w0
-            return Distribution(accum / total_weight, n)
+            return _healthy_distribution(accum, total_weight, n)
 
         # Forward sweep: ``base`` holds the ideal state after prefix k.
         # ``site_ptr`` walks sites in instruction order.
@@ -140,7 +154,7 @@ class PerturbativeEngine:
 
         accum += w0 * probabilities(base)[0]
         total_weight += w0
-        return Distribution(accum / total_weight, n)
+        return _healthy_distribution(accum, total_weight, n)
 
     # ------------------------------------------------------------------
     def _order1_terms(

@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..runtime.health import check_norms
 from .ops import apply_instruction, probabilities
 from .result import Distribution
 
@@ -104,6 +105,7 @@ class StatevectorEngine:
                     f"expected {1 << n}"
                 )
         state = evolve_batch(state, circuit)
+        check_norms(state, "statevector engine")
         return Statevector(state[0], n)
 
     def distribution(

@@ -50,6 +50,7 @@ from ..noise.channels import (
     ResetError,
 )
 from ..noise.model import NoiseModel
+from ..runtime.health import check_norms, norm_tolerance
 from .ops import (
     BitCache,
     apply_gate_matrix,
@@ -128,6 +129,9 @@ class TrajectoryEngine:
             for err in noise.gate_errors(instr):
                 state = self._apply_error(state, err, instr, n)
 
+        check_norms(
+            state, "trajectory engine", atol=norm_tolerance(self.dtype)
+        )
         probs = probabilities(state)
         outcomes = self._sample(probs, shots)
         outcomes = self._apply_readout(outcomes, noise, n)
@@ -221,6 +225,11 @@ class TrajectoryEngine:
                     )
                     continue
                 ideal = apply_instruction(ideal, instr, n)
+            check_norms(
+                ideal,
+                "trajectory engine (clean split)",
+                atol=norm_tolerance(self.dtype),
+            )
             pieces.append(self._sample(probabilities(ideal), n_clean))
 
         if n_err:
@@ -261,6 +270,11 @@ class TrajectoryEngine:
                                     )
                         has_error[rows] = True
                     s += 1
+            check_norms(
+                state,
+                "trajectory engine (erred split)",
+                atol=norm_tolerance(self.dtype),
+            )
             pieces.append(self._sample(probabilities(state), n_err))
 
         outcomes = (

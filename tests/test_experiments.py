@@ -217,8 +217,43 @@ class TestSweepAndResults:
     def test_dict_schema_guard(self, small_sweep):
         data = sweep_to_dict(small_sweep)
         data["schema"] = 99
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unsupported sweep schema"):
             sweep_from_dict(data)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ValueError, match="must decode to an object"):
+            sweep_from_dict([1, 2, 3])
+
+    def test_truncated_payload_rejected(self, small_sweep):
+        data = sweep_to_dict(small_sweep)
+        del data["points"]
+        with pytest.raises(ValueError, match="truncated or malformed"):
+            sweep_from_dict(data)
+
+    def test_corrupt_json_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"schema": 2, "config": {')
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_sweep(path)
+
+    def test_full_depth_sentinel_roundtrip(self, small_sweep, tmp_path):
+        """depth=None serialises as the "full" sentinel and comes back."""
+        path = save_sweep(small_sweep, tmp_path / "s.json")
+        raw = json.loads(path.read_text())
+        stored_depths = {p["depth"] for p in raw["points"]}
+        assert "full" in stored_depths
+        loaded = load_sweep(path)
+        assert (0.0, None) in loaded.points
+        assert loaded.config.depths == small_sweep.config.depths
+
+    def test_schema_v1_payload_still_loads(self, small_sweep):
+        """Pre-failure-records payloads (schema 1, no "failures") load."""
+        data = sweep_to_dict(small_sweep)
+        data["schema"] = 1
+        data.pop("failures", None)
+        loaded = sweep_from_dict(data)
+        assert loaded.failures == []
+        assert len(loaded.points) == 4
 
     def test_csv_rows(self, small_sweep):
         csv_text = sweep_to_csv(small_sweep)

@@ -1,0 +1,78 @@
+"""Tests for the JSONL checkpoint journal and config fingerprinting."""
+
+import json
+
+from repro.runtime import CheckpointJournal, config_fingerprint
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        a = config_fingerprint({"x": 1, "y": [1, 2]})
+        b = config_fingerprint({"y": [1, 2], "x": 1})
+        assert a == b
+
+    def test_sensitive_to_values(self):
+        assert config_fingerprint({"x": 1}) != config_fingerprint({"x": 2})
+
+    def test_tuples_equal_lists(self):
+        assert config_fingerprint({"d": (1, None)}) == config_fingerprint(
+            {"d": [1, None]}
+        )
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        j = CheckpointJournal(tmp_path / "j.jsonl", "fp1")
+        j.record((0.05, "full"), {"success": 1})
+        j.record((0.05, 2), {"success": 0})
+        loaded = j.load()
+        assert loaded == {
+            (0.05, "full"): {"success": 1},
+            (0.05, 2): {"success": 0},
+        }
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        j = CheckpointJournal(tmp_path / "absent.jsonl", "fp1")
+        assert j.load() == {}
+
+    def test_foreign_fingerprint_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal(path, "fp-old").record((0.0, 2), {"stale": True})
+        CheckpointJournal(path, "fp-new").record((0.0, 2), {"fresh": True})
+        assert CheckpointJournal(path, "fp-new").load() == {
+            (0.0, 2): {"fresh": True}
+        }
+        assert CheckpointJournal(path, "fp-old").load() == {
+            (0.0, 2): {"stale": True}
+        }
+
+    def test_truncated_tail_line_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal(path, "fp")
+        j.record((0.1, 3), {"ok": 1})
+        with path.open("a") as fh:
+            fh.write('{"v": 1, "fp": "fp", "key": [0.2, 3], "cel')
+        assert j.load() == {(0.1, 3): {"ok": 1}}
+
+    def test_rerecorded_key_wins(self, tmp_path):
+        j = CheckpointJournal(tmp_path / "j.jsonl", "fp")
+        j.record((0.1, 3), {"run": 1})
+        j.record((0.1, 3), {"run": 2})
+        assert j.load() == {(0.1, 3): {"run": 2}}
+
+    def test_reset_discards(self, tmp_path):
+        j = CheckpointJournal(tmp_path / "j.jsonl", "fp")
+        j.record((0.1, 3), {"ok": 1})
+        j.reset()
+        assert j.load() == {}
+        j.reset()  # idempotent on a missing file
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal(path, "fp")
+        j.record((0.1, "full"), {"a": [1, 2]})
+        (line,) = path.read_text().splitlines()
+        rec = json.loads(line)
+        assert rec["v"] == 1
+        assert rec["fp"] == "fp"
+        assert rec["key"] == [0.1, "full"]

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import SweepConfig, default_workers, run_sweep
+from repro.sim import simulate_distribution
 
 
 def _cfg(**over):
@@ -53,3 +54,81 @@ class TestParallelSweep:
     def test_elapsed_recorded(self):
         res = run_sweep(_cfg(error_rates=(0.0,), depths=(None,)), workers=1)
         assert res.elapsed_seconds > 0
+
+
+class TestSweepEdges:
+    def test_workers_zero_clamps_to_serial(self):
+        """workers=0 must clamp to 1, not blow up pool construction."""
+        res = run_sweep(_cfg(error_rates=(0.05,), depths=(2, None)), workers=0)
+        assert res.complete
+        assert len(res.points) == 2
+
+    def test_negative_workers_clamp(self):
+        res = run_sweep(_cfg(error_rates=(0.05,), depths=(None,)), workers=-3)
+        assert res.complete
+
+    def test_single_cell_sweep_skips_pool(self, monkeypatch):
+        """One cell must run in-process even when many workers are asked."""
+        import repro.runtime.supervisor as sup_mod
+
+        def forbidden(*a, **k):
+            raise AssertionError("ProcessPoolExecutor built for 1 cell")
+
+        monkeypatch.setattr(sup_mod, "ProcessPoolExecutor", forbidden)
+        res = run_sweep(
+            _cfg(error_rates=(0.05,), depths=(None,)), workers=8
+        )
+        assert res.complete
+        assert len(res.points) == 1
+
+    def test_progress_callback_ordering_serial(self):
+        """Serial sweeps report cells in grid order with 1-based indices."""
+        cfg = _cfg(error_rates=(0.0, 0.05), depths=(2, None))
+        msgs = []
+        run_sweep(cfg, workers=1, progress=msgs.append)
+        cell_msgs = [m for m in msgs if m.startswith("[")]
+        assert len(cell_msgs) == 4
+        expected = [
+            (rate, depth)
+            for rate in cfg.error_rates
+            for depth in cfg.depths
+        ]
+        for i, (m, (rate, depth)) in enumerate(zip(cell_msgs, expected)):
+            assert m.startswith(f"[{i + 1}/4] rate={rate:.4f}")
+            assert f"depth={cfg.depth_label(depth)}" in m
+
+    def test_progress_counts_complete_in_pool_path(self):
+        """Pooled completion order is arbitrary, but every index appears."""
+        msgs = []
+        run_sweep(_cfg(), workers=2, progress=msgs.append)
+        prefixes = sorted(m.split("]")[0] for m in msgs)
+        assert prefixes == sorted(f"[{i}/4" for i in range(1, 5))
+
+    def test_trajectory_method_rejected_by_simulate_distribution(self):
+        from repro.experiments.runner import build_arithmetic_circuit
+
+        circuit = build_arithmetic_circuit("add", 2, 2, None)
+        with pytest.raises(ValueError, match="unknown method"):
+            simulate_distribution(circuit, method="trajectory")
+
+    def test_simulate_counts_validates_shots_and_trajectories(self):
+        from repro.experiments.runner import build_arithmetic_circuit
+        from repro.sim import simulate_counts
+
+        circuit = build_arithmetic_circuit("add", 2, 2, None)
+        with pytest.raises(ValueError, match="shots must be >= 1"):
+            simulate_counts(circuit, shots=0)
+        with pytest.raises(ValueError, match="trajectories must be >= 1"):
+            simulate_counts(circuit, shots=8, trajectories=0)
+
+    def test_noise_model_for_rejects_negative_rate(self):
+        from repro.experiments.runner import noise_model_for
+
+        with pytest.raises(ValueError, match=">= 0"):
+            noise_model_for("2q", -0.01)
+
+    def test_noise_model_for_zero_rate_is_ideal(self):
+        from repro.experiments.runner import noise_model_for
+
+        assert noise_model_for("1q", 0.0).is_ideal
+        assert noise_model_for("2q", 0.0).is_ideal
