@@ -24,6 +24,24 @@ from repro.experiments import SweepConfig, run_sweep
 from repro.runtime import FaultPlan, FaultSpec, RetryPolicy
 
 
+def lint_preflight(config: SweepConfig) -> bool:
+    """Lint the transpiled circuits this sweep will run; False on errors."""
+    from repro.core.adders import qfa_circuit
+    from repro.lint import LintContext, lint_circuit
+    from repro.transpile.basis import IBM_BASIS
+    from repro.transpile.decompose import decompose_to_basis
+
+    context = LintContext(basis=IBM_BASIS)
+    ok = True
+    for depth in config.depths:
+        circuit = qfa_circuit(config.n, config.m, depth=depth)
+        report = lint_circuit(decompose_to_basis(circuit, IBM_BASIS), context)
+        for diag in report:
+            print(f"  lint: {diag.render()}")
+        ok = ok and report.ok()
+    return ok
+
+
 def _config() -> SweepConfig:
     return SweepConfig(
         operation="add", n=3, m=3, orders=(1, 1), error_axis="2q",
@@ -144,6 +162,11 @@ def main(argv=None) -> int:
     parser.add_argument("--verbose", action="store_true",
                         help="print per-scenario timing")
     args = parser.parse_args(argv)
+
+    print("chaos_check: lint pre-flight over the sweep circuits ...")
+    if not lint_preflight(_config()):
+        print("chaos_check: lint pre-flight FAILED")
+        return 1
 
     print("chaos_check: establishing fault-free reference ...")
     reference = run_sweep(_config(), workers=1)

@@ -5,6 +5,9 @@ Runs Table I plus all twelve figure panels (Figs. 3 and 4) at the
 paper's n=8 / n=4 with a reduced instance/trajectory budget (documented
 in EXPERIMENTS.md), saving JSON + rendered text under ``results/``.
 
+A lint pre-flight checks the circuit corpus at the experiment scale
+before any compute is spent; disable with ``--skip-lint``.
+
 Usage: python scripts/run_paper_experiments.py [--instances-add N]
        [--instances-mul N] [--trajectories B] [--shots S]
 """
@@ -17,7 +20,6 @@ import time
 from pathlib import Path
 
 from repro.experiments import (
-    SweepConfig,
     fig3_configs,
     fig4_configs,
     render_panel,
@@ -30,6 +32,22 @@ from repro.experiments import (
 from repro.experiments.config import Scale
 
 
+def lint_preflight(scale: Scale) -> bool:
+    """Lint the circuit corpus at ``scale``; False on lint errors.
+
+    Catches corrupted circuit constructions (bad operands, basis leaks,
+    sub-cutoff rotations, dirty ancillas) before hours of sweeps run on
+    them.  Warnings are printed but do not block.
+    """
+    from repro.lint import corpus_cases, lint_corpus
+
+    report = lint_corpus(list(corpus_cases(scale=scale)))
+    if len(report):
+        for diag in report:
+            print(f"  lint: {diag.render()}", flush=True)
+    return report.ok()
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--instances-add", type=int, default=12)
@@ -39,6 +57,8 @@ def main() -> int:
     ap.add_argument("--outdir", default="results")
     ap.add_argument("--skip-fig3", action="store_true")
     ap.add_argument("--skip-fig4", action="store_true")
+    ap.add_argument("--skip-lint", action="store_true",
+                    help="skip the corpus lint pre-flight")
     args = ap.parse_args()
 
     out = Path(args.outdir)
@@ -57,6 +77,13 @@ def main() -> int:
         print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
 
     log(f"scale: {scale}")
+
+    if not args.skip_lint:
+        log("lint pre-flight over the circuit corpus ...")
+        if not lint_preflight(scale):
+            log("lint pre-flight FAILED — aborting (--skip-lint overrides)")
+            return 1
+        log("lint pre-flight clean")
 
     table = render_table1(table1_counts())
     (out / "table1.txt").write_text(table + "\n")

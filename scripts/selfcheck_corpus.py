@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Static-analysis self-check over the full paper circuit corpus.
+
+Enumerates every QFA / QFM / modular-adder circuit the paper sweeps
+(operand sizes x approximation depths x transpile levels 0/1 x
+with/without a linear coupling map) at the requested ``REPRO_SCALE``,
+then:
+
+1. lints each transpiled circuit with the full rule set (basis,
+   coupling, rotation-cutoff, ancilla clean-return, ...), and
+2. symbolically verifies each transpiled circuit implements its logical
+   source via the phase-polynomial equivalence checker — no unitary is
+   ever constructed for circuits wider than the fallback threshold.
+
+Exit status 0 means the corpus is lint-clean (no errors; warnings fail
+too under ``--strict``) and every case verified ``equivalent``.
+
+Usage: python scripts/selfcheck_corpus.py [--scale smoke|default|paper]
+       [--strict] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import SCALES, current_scale
+from repro.lint import Severity, corpus_cases, lint_corpus, verify_corpus
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        help="corpus scale (default: the REPRO_SCALE environment)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="lint warnings also fail the check",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print each equivalence verdict, not only failures",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    print(f"selfcheck_corpus: scale {scale}")
+
+    start = time.perf_counter()
+    cases = list(corpus_cases(scale=scale))
+    print(f"  enumerated {len(cases)} corpus cases "
+          f"({time.perf_counter() - start:.1f}s)")
+
+    start = time.perf_counter()
+    report = lint_corpus(cases)
+    print(f"  lint: {report.summary()} ({time.perf_counter() - start:.1f}s)")
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    findings = [d for d in report if d.severity >= threshold]
+    for diag in findings:
+        print(f"    {diag.render()}")
+
+    start = time.perf_counter()
+    verify_failures = 0
+    for case, result in verify_corpus(cases):
+        if result.verdict != "equivalent":
+            verify_failures += 1
+            print(f"  FAIL  {case.name}: [{result.verdict}/{result.method}] "
+                  f"{result.detail}")
+        elif args.verbose:
+            print(f"  ok    {case.name} ({result.method})")
+    print(f"  equivalence: {len(cases) - verify_failures}/{len(cases)} "
+          f"verified ({time.perf_counter() - start:.1f}s)")
+
+    if findings or verify_failures:
+        print("selfcheck_corpus: FAILED")
+        return 1
+    print("selfcheck_corpus: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

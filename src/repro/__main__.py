@@ -7,6 +7,10 @@ Commands
 ``fig3`` / ``fig4`` — run the figure panels at the current REPRO_SCALE
                     and print each ASCII panel (optionally save JSON).
 ``depth-profile`` — AQFT-vs-QFT fidelity per depth (paper §2).
+``lint``          — static analysis: lint QASM files or the paper
+                    corpus, optionally verifying transpiled circuits
+                    symbolically against their logical sources
+                    (exit 1 on findings at/above the threshold).
 """
 
 from __future__ import annotations
@@ -101,6 +105,63 @@ def _cmd_depth_profile(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.circuits.qasm import from_qasm
+    from repro.lint import LintContext, lint_circuit, merge_reports
+    from repro.lint.corpus import corpus_cases, lint_corpus, verify_corpus
+    from repro.lint.rules import rule_catalog
+    from repro.transpile.basis import IBM_BASIS
+
+    if args.list_rules:
+        for r in rule_catalog():
+            print(f"{r.rule_id}  {r.name:<24} {r.severity}  {r.description}")
+        return 0
+    if not args.files and not args.corpus:
+        print("nothing to lint: pass QASM files or --corpus", file=sys.stderr)
+        return 2
+
+    reports = []
+    verify_failures = 0
+    context = LintContext(
+        basis=IBM_BASIS if args.basis else None,
+        aqft_depth=args.aqft_depth,
+        expect_optimized=args.expect_optimized,
+    )
+    for path in args.files or ():
+        try:
+            circuit = from_qasm(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"{path}: cannot load: {exc}", file=sys.stderr)
+            return 2
+        circuit.name = path
+        reports.append(lint_circuit(circuit, context))
+    if args.corpus:
+        cases = list(corpus_cases())
+        reports.append(lint_corpus(cases))
+        if args.verify:
+            for case, result in verify_corpus(cases):
+                if result.verdict != "equivalent":
+                    verify_failures += 1
+                    print(
+                        f"equivalence FAILED [{result.verdict}/"
+                        f"{result.method}] {case.name}: {result.detail}",
+                        file=sys.stderr,
+                    )
+            if not verify_failures:
+                print(
+                    f"equivalence: {len(cases)} corpus circuits verified "
+                    f"(symbolic)",
+                    file=sys.stderr,
+                )
+    report = merge_reports(reports)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    ok = report.ok(strict=args.strict) and verify_failures == 0
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     """Parse arguments and dispatch to a subcommand."""
     parser = argparse.ArgumentParser(
@@ -145,6 +206,49 @@ def main(argv=None) -> int:
     p.add_argument("-n", type=int, default=8)
     p.add_argument("--trials", type=int, default=8)
 
+    p = sub.add_parser(
+        "lint",
+        help="static analysis over QASM files or the paper corpus",
+        description="Run the circuit linter (rules REP001..) and, with "
+        "--verify, the symbolic phase-polynomial equivalence checker. "
+        "Exits 1 when errors (or, with --strict, warnings) are found.",
+    )
+    p.add_argument("files", nargs="*", help="OpenQASM 2.0 files to lint")
+    p.add_argument(
+        "--corpus",
+        action="store_true",
+        help="lint every transpiled paper circuit at the current REPRO_SCALE",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="with --corpus: also verify transpiled == logical symbolically",
+    )
+    p.add_argument(
+        "--basis",
+        action="store_true",
+        help="for file inputs: enforce the IBM basis {id,x,rz,sx,cx}",
+    )
+    p.add_argument(
+        "--aqft-depth",
+        type=int,
+        help="for file inputs: flag rotations below pi/2^d",
+    )
+    p.add_argument(
+        "--expect-optimized",
+        action="store_true",
+        help="for file inputs: enable the missed-optimization rules",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="SARIF-ish JSON instead of text"
+    )
+    p.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+
     args = parser.parse_args(argv)
     if args.command == "info":
         return _cmd_info(args)
@@ -154,6 +258,8 @@ def main(argv=None) -> int:
         return _cmd_figure(args, args.command)
     if args.command == "depth-profile":
         return _cmd_depth_profile(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

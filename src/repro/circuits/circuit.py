@@ -164,6 +164,11 @@ class QuantumCircuit:
                 raise CircuitError(
                     f"qubit {q} out of range (circuit has {self.num_qubits})"
                 )
+        # Instruction.__init__ rejects duplicates too; re-checking here
+        # guards callers that build operand lists programmatically and
+        # hit append() with an already-constructed instruction.
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubits {tuple(qubits)}")
 
     def append(
         self,

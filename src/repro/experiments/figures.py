@@ -7,7 +7,7 @@ annotated with the -/+ error bars of the min-count-difference statistic.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from .sweep import SweepResult
 

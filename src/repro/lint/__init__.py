@@ -1,0 +1,58 @@
+"""Static analysis for the circuit IR.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.lint.rules` — a registry of lint rules (``REP001``...)
+  over :class:`~repro.circuits.circuit.QuantumCircuit`, reported
+  through the :class:`~repro.lint.diagnostics.Diagnostic` model with
+  text and SARIF-ish JSON rendering.
+* :mod:`repro.lint.dataflow` — qubit liveness and ANF-based wire value
+  tracking, including the ancilla clean-return check.
+* :mod:`repro.lint.phasepoly` / :mod:`repro.lint.equivalence` — a
+  phase-polynomial path-sum engine and the
+  :func:`~repro.lint.equivalence.check_equivalence` verdict layer that
+  symbolically verifies transpiler output against the logical circuit
+  without building unitaries.
+
+Entry points: ``repro-arith lint`` (CLI), the transpiler's checked mode
+(:func:`repro.transpile.passes.transpile` with ``checked=True``), and
+:mod:`repro.lint.corpus` for bulk runs over the paper corpus.
+"""
+
+from .corpus import CorpusCase, corpus_cases, lint_corpus, verify_corpus
+from .dataflow import (
+    AncillaVerdict,
+    QubitLiveness,
+    analyze_liveness,
+    ancilla_clean_return,
+    trace_wire_values,
+)
+from .diagnostics import Diagnostic, LintReport, Severity, merge_reports
+from .equivalence import EquivalenceResult, check_equivalence
+from .phasepoly import PathSum, UnsupportedGateError
+from .rules import LintContext, LintRule, RULES, lint_circuit, rule_catalog
+
+__all__ = [
+    "AncillaVerdict",
+    "CorpusCase",
+    "Diagnostic",
+    "EquivalenceResult",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "PathSum",
+    "QubitLiveness",
+    "RULES",
+    "Severity",
+    "UnsupportedGateError",
+    "analyze_liveness",
+    "ancilla_clean_return",
+    "check_equivalence",
+    "corpus_cases",
+    "lint_circuit",
+    "lint_corpus",
+    "merge_reports",
+    "rule_catalog",
+    "trace_wire_values",
+    "verify_corpus",
+]

@@ -1,0 +1,134 @@
+"""Algebraic normal forms over GF(2) — the shared symbolic substrate.
+
+A boolean function is represented as a ``frozenset`` of monomials; a
+monomial is a ``frozenset`` of variable ids whose AND it denotes, and
+the empty monomial is the constant 1.  XOR is symmetric difference,
+AND distributes monomial-by-monomial.  The representation is canonical,
+so equality of functions is set equality.
+
+Variables are plain integers.  The path-sum engine allocates circuit
+input variables first and Hadamard path variables after them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+__all__ = [
+    "Monomial",
+    "ANF",
+    "anf_zero",
+    "anf_one",
+    "anf_var",
+    "anf_xor",
+    "anf_and",
+    "anf_const",
+    "anf_vars",
+    "anf_substitute",
+    "anf_is_const",
+    "anf_split",
+    "anf_eval",
+    "anf_render",
+]
+
+Monomial = FrozenSet[int]
+ANF = FrozenSet[Monomial]
+
+_ZERO: ANF = frozenset()
+_ONE: ANF = frozenset({frozenset()})
+
+
+def anf_zero() -> ANF:
+    """The constant-0 function."""
+    return _ZERO
+
+
+def anf_one() -> ANF:
+    """The constant-1 function."""
+    return _ONE
+
+
+def anf_const(bit: int) -> ANF:
+    """The constant function for ``bit`` in {0, 1}."""
+    return _ONE if bit & 1 else _ZERO
+
+
+def anf_var(i: int) -> ANF:
+    """The projection function ``x_i``."""
+    return frozenset({frozenset({i})})
+
+
+def anf_xor(*fs: ANF) -> ANF:
+    """GF(2) sum (XOR) of any number of functions."""
+    acc: set = set()
+    for f in fs:
+        acc.symmetric_difference_update(f)
+    return frozenset(acc)
+
+
+def anf_and(a: ANF, b: ANF) -> ANF:
+    """GF(2) product (AND): monomials multiply pairwise, XOR-accumulated."""
+    acc: set = set()
+    for m1 in a:
+        for m2 in b:
+            acc.symmetric_difference_update((m1 | m2,))
+    return frozenset(acc)
+
+
+def anf_vars(f: ANF) -> FrozenSet[int]:
+    """Every variable appearing in ``f``."""
+    out: set = set()
+    for m in f:
+        out.update(m)
+    return frozenset(out)
+
+
+def anf_is_const(f: ANF) -> bool:
+    """Whether ``f`` is 0 or 1."""
+    return f == _ZERO or f == _ONE
+
+
+def anf_split(f: ANF, var: int) -> Tuple[ANF, ANF]:
+    """Cofactor split ``f = var*A xor B`` with ``A``, ``B`` free of ``var``.
+
+    Returns ``(A, B)``.
+    """
+    a: set = set()
+    b: set = set()
+    for m in f:
+        if var in m:
+            a.symmetric_difference_update((m - {var},))
+        else:
+            b.symmetric_difference_update((m,))
+    return frozenset(a), frozenset(b)
+
+
+def anf_substitute(f: ANF, var: int, replacement: ANF) -> ANF:
+    """Substitute ``var := replacement`` inside ``f``."""
+    a, b = anf_split(f, var)
+    if not a:
+        return f
+    return anf_xor(anf_and(a, replacement), b)
+
+
+def anf_eval(f: ANF, assignment: Dict[int, int]) -> int:
+    """Evaluate ``f`` on a full truth assignment (testing aid)."""
+    total = 0
+    for m in f:
+        prod = 1
+        for v in m:
+            prod &= assignment.get(v, 0)
+            if not prod:
+                break
+        total ^= prod
+    return total
+
+
+def anf_render(f: ANF) -> str:
+    """Readable rendering, e.g. ``x0 ^ x1&x3 ^ 1``."""
+    if not f:
+        return "0"
+    parts = []
+    for m in sorted(f, key=lambda m: (len(m), sorted(m))):
+        parts.append("&".join(f"x{v}" for v in sorted(m)) if m else "1")
+    return " ^ ".join(parts)

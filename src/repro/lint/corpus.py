@@ -1,0 +1,230 @@
+"""The paper circuit corpus, and bulk lint / verification over it.
+
+One :class:`CorpusCase` bundles a logical QFA/QFM/modular circuit with
+one transpiled variant (optimization level x coupling map) plus the
+metadata the lint rules and the equivalence checker need: the AQFT
+depth that governs the rotation-cutoff rule, the declared ancilla
+wires, and — for routed cases — the final layout's logical-to-physical
+output map.
+
+:func:`corpus_cases` enumerates the cross product the paper sweeps
+(operand sizes x approximation depths x transpile levels 0/1 x
+with/without a linear coupling map) at the current ``REPRO_SCALE``;
+:func:`lint_corpus` and :func:`verify_corpus` run the linter and the
+symbolic equivalence checker over every case.  This backs both the
+``repro-arith lint --corpus`` CLI path and
+``scripts/selfcheck_corpus.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..core.adders import qfa_circuit
+from ..core.modular import modular_constant_adder
+from ..core.multipliers import qfm_circuit
+from ..experiments.config import Scale, current_scale
+from ..experiments.paper import qfa_depths_for, qfm_depths_for
+from ..transpile.basis import IBM_BASIS
+from ..transpile.decompose import decompose_to_basis
+from ..transpile.layout import CouplingMap, linear_coupling
+from ..transpile.optimize import optimize_circuit
+from ..transpile.routing import route_circuit
+from .diagnostics import LintReport, merge_reports
+from .equivalence import EquivalenceResult, check_equivalence
+from .rules import LintContext, lint_circuit
+
+__all__ = ["CorpusCase", "corpus_cases", "lint_corpus", "verify_corpus"]
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One (logical, transpiled) circuit pair plus checking metadata."""
+
+    name: str
+    kind: str  # "qfa" | "qfm" | "modular"
+    logical: QuantumCircuit
+    transpiled: QuantumCircuit
+    level: int
+    coupling: Optional[CouplingMap]
+    #: logical qubit -> physical wire at the circuit's end (routed only).
+    output_map: Optional[Dict[int, int]]
+    #: The library AQFT depth the logical circuit was built with.
+    aqft_depth: Optional[int]
+    #: Depth bound for the REP009 rotation-cutoff rule: ``pi /
+    #: 2**cutoff_depth`` is the finest rotation any stage of this
+    #: circuit may legitimately emit (the add/mul steps are *not*
+    #: depth-truncated, so this is set by register width, not by
+    #: ``aqft_depth``).
+    cutoff_depth: Optional[int] = None
+    ancillas: Tuple[int, ...] = ()
+    #: Input-domain predicate for the ancilla check (basis int -> bool).
+    input_predicate: Optional[Callable[[int], bool]] = None
+
+    def lint_context(self) -> LintContext:
+        """The context the transpiled side should be linted under."""
+        return LintContext(
+            basis=IBM_BASIS,
+            coupling=self.coupling,
+            aqft_depth=self.cutoff_depth,
+            ancillas=self.ancillas,
+            expect_optimized=self.level >= 1,
+            input_predicate=self.input_predicate,
+        )
+
+
+def _variants(
+    logical: QuantumCircuit,
+    levels: Sequence[int],
+    couplings: Sequence[str],
+) -> Iterator[Tuple[QuantumCircuit, int, Optional[CouplingMap], Optional[Dict[int, int]]]]:
+    """Transpile ``logical`` for each (level, coupling) combination.
+
+    Replicates the :func:`repro.transpile.passes.transpile` pipeline
+    stage by stage so the routing result's final layout survives.
+    """
+    for coupling_name in couplings:
+        if coupling_name == "none":
+            base = decompose_to_basis(logical, IBM_BASIS)
+            coupling = None
+            output_map: Optional[Dict[int, int]] = None
+        else:
+            pre = decompose_to_basis(logical, IBM_BASIS)
+            coupling = linear_coupling(pre.num_qubits)
+            routed = route_circuit(pre, coupling)
+            base = decompose_to_basis(routed.circuit, IBM_BASIS)
+            output_map = {
+                l: routed.final_layout.l2p[l]
+                for l in range(logical.num_qubits)
+            }
+        for level in levels:
+            circuit = optimize_circuit(base) if level >= 1 else base
+            yield circuit, level, coupling, output_map
+
+
+def corpus_cases(
+    scale: Optional[Scale] = None,
+    levels: Sequence[int] = (0, 1),
+    couplings: Sequence[str] = ("none", "linear"),
+    include_modular: bool = True,
+) -> Iterator[CorpusCase]:
+    """Enumerate the paper corpus at ``scale`` (default: REPRO_SCALE).
+
+    QFA cases cover operand sizes up to the scale's ``qfa_n`` with both
+    the modular (``m = n``) and carry (``m = n + 1``) targets, QFM cases
+    cover both construction strategies, and every case iterates the
+    paper's approximation-depth series for its width.
+    """
+    sc = scale or current_scale()
+    qfa_sizes = sorted({2, max(2, sc.qfa_n // 2), sc.qfa_n})
+    qfm_sizes = sorted({2, sc.qfm_n})
+    for n in qfa_sizes:
+        for m in (n, n + 1):
+            for depth in qfa_depths_for(m):
+                logical = qfa_circuit(n, m, depth=depth)
+                for circuit, level, coupling, omap in _variants(
+                    logical, levels, couplings
+                ):
+                    tag = "linear" if coupling is not None else "none"
+                    yield CorpusCase(
+                        name=f"{logical.name}/L{level}/{tag}",
+                        kind="qfa",
+                        logical=logical,
+                        transpiled=circuit,
+                        level=level,
+                        coupling=coupling,
+                        output_map=omap,
+                        aqft_depth=depth,
+                        # Finest legit angle: the untruncated add step's
+                        # 2*pi/2**m, halved by the cp -> rz decomposition.
+                        cutoff_depth=m,
+                    )
+    for n in qfm_sizes:
+        for strategy in ("cqfa", "fused"):
+            for depth in qfm_depths_for(n):
+                logical = qfm_circuit(n, n, depth=depth, strategy=strategy)
+                for circuit, level, coupling, omap in _variants(
+                    logical, levels, couplings
+                ):
+                    tag = "linear" if coupling is not None else "none"
+                    # Widest Fourier register: the cqfa slice adder acts
+                    # on m+1 qubits, the fused form on all n+m of z; ccp
+                    # decomposition quarters angles (cp(l/2) -> rz(l/4)).
+                    widest = (n + 1) if strategy == "cqfa" else (n + n)
+                    yield CorpusCase(
+                        name=f"{logical.name}/{strategy}/L{level}/{tag}",
+                        kind="qfm",
+                        logical=logical,
+                        transpiled=circuit,
+                        level=level,
+                        coupling=coupling,
+                        output_map=omap,
+                        aqft_depth=depth,
+                        cutoff_depth=widest + 1,
+                    )
+    if include_modular:
+        mod_n, mod_a, mod_nmod = 3, 2, 5
+        logical = modular_constant_adder(mod_n, mod_a, mod_nmod)
+        anc = (logical.num_qubits - 1,)
+        # The Beauregard adder is only specified for b < N with the
+        # overflow sentinel clear.
+        b_mask = (1 << (mod_n + 1)) - 1
+        predicate = lambda basis: (basis & b_mask) < mod_nmod  # noqa: E731
+        for circuit, level, coupling, omap in _variants(
+            logical, levels, couplings
+        ):
+            tag = "linear" if coupling is not None else "none"
+            yield CorpusCase(
+                name=f"{logical.name}/L{level}/{tag}",
+                kind="modular",
+                logical=logical,
+                transpiled=circuit,
+                level=level,
+                coupling=coupling,
+                output_map=omap,
+                aqft_depth=None,
+                # Constant phase adds can emit angles down to
+                # 2*pi/2**(n+1), halved again by cp -> rz.
+                cutoff_depth=mod_n + 2,
+                # The clean-return check compares a wire to itself, so
+                # it only applies when routing has not relocated the
+                # ancilla.
+                ancillas=anc if omap is None else (),
+                input_predicate=predicate,
+            )
+
+
+def lint_corpus(
+    cases: Optional[Sequence[CorpusCase]] = None,
+    scale: Optional[Scale] = None,
+) -> LintReport:
+    """Lint the transpiled side of every corpus case."""
+    if cases is None:
+        cases = list(corpus_cases(scale=scale))
+    reports = []
+    for case in cases:
+        circuit = case.transpiled.copy(name=case.name)
+        reports.append(lint_circuit(circuit, case.lint_context()))
+    return merge_reports(reports)
+
+
+def verify_corpus(
+    cases: Optional[Sequence[CorpusCase]] = None,
+    scale: Optional[Scale] = None,
+    unitary_qubit_threshold: int = 5,
+) -> List[Tuple[CorpusCase, EquivalenceResult]]:
+    """Symbolically verify transpiled == logical for every case."""
+    if cases is None:
+        cases = list(corpus_cases(scale=scale))
+    out = []
+    for case in cases:
+        result = check_equivalence(
+            case.logical,
+            case.transpiled,
+            output_map=case.output_map,
+            unitary_qubit_threshold=unitary_qubit_threshold,
+        )
+        out.append((case, result))
+    return out

@@ -1,0 +1,279 @@
+"""Dataflow analyses over the circuit IR.
+
+Two families of facts feed the lint rules and the equivalence checker:
+
+* **liveness** — first/last use per qubit and clbit, dead (never-used)
+  qubits, and the measured-then-reused ordering facts.
+* **value tracking** — a symbolic forward execution over the
+  permutation + diagonal fragment of the gate set.  Wire values are
+  algebraic normal forms (ANF) over GF(2): X/CX/SWAP keep values
+  linear, CCX/CSWAP introduce products, diagonal gates leave values
+  untouched, and anything else (H, SX, measure, ...) poisons the wires
+  it touches to ``UNKNOWN``.  This is enough to *statically* prove
+  ancilla clean-return for reversible-logic circuits; for Fourier-space
+  constructions (whose ancilla interacts with Hadamard-mixed wires) the
+  analysis reports "unverifiable" rather than guessing, and callers may
+  fall back to a small-register simulation check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from .anf import ANF, anf_and, anf_one, anf_var, anf_xor
+
+__all__ = [
+    "QubitLiveness",
+    "analyze_liveness",
+    "trace_wire_values",
+    "UNKNOWN",
+    "ancilla_clean_return",
+    "AncillaVerdict",
+]
+
+
+@dataclass
+class QubitLiveness:
+    """Per-wire usage facts for one circuit."""
+
+    num_qubits: int
+    num_clbits: int
+    #: qubit -> (first op index, last op index), barriers excluded.
+    qubit_range: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: clbit -> indices of measure ops writing it.
+    clbit_writes: Dict[int, List[int]] = field(default_factory=dict)
+    #: qubit -> index of each measure op on it.
+    measure_sites: Dict[int, List[int]] = field(default_factory=dict)
+    #: qubit -> index of each reset op on it.
+    reset_sites: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def dead_qubits(self) -> List[int]:
+        """Qubits never touched by a non-barrier op."""
+        return [q for q in range(self.num_qubits) if q not in self.qubit_range]
+
+
+def analyze_liveness(circuit: QuantumCircuit) -> QubitLiveness:
+    """Single forward sweep computing :class:`QubitLiveness`."""
+    live = QubitLiveness(circuit.num_qubits, circuit.num_clbits)
+    for idx, instr in enumerate(circuit):
+        name = instr.gate.name
+        if name == "barrier":
+            continue
+        for q in instr.qubits:
+            first, _ = live.qubit_range.get(q, (idx, idx))
+            live.qubit_range[q] = (first, idx)
+        if name == "measure":
+            live.measure_sites.setdefault(instr.qubits[0], []).append(idx)
+            for c in instr.clbits:
+                live.clbit_writes.setdefault(c, []).append(idx)
+        elif name == "reset":
+            live.reset_sites.setdefault(instr.qubits[0], []).append(idx)
+    return live
+
+
+#: Sentinel for a wire whose value left the trackable fragment.
+UNKNOWN: Optional[ANF] = None
+
+#: Gates that permute computational basis states (trackable updates).
+_PERMUTATION_GATES = frozenset({"x", "cx", "swap", "ccx", "cswap"})
+
+
+def trace_wire_values(
+    circuit: QuantumCircuit,
+    stop_index: Optional[int] = None,
+) -> List[Optional[ANF]]:
+    """Forward symbolic execution of the permutation+diagonal fragment.
+
+    Returns one entry per qubit: the ANF of that wire's final value as
+    a function of the circuit's input bits, or :data:`UNKNOWN` when a
+    non-trackable gate touched the wire.  Diagonal gates never change
+    values; ``reset`` forces a wire to the constant 0; ``measure``
+    leaves the value in place (a computational-basis readout does not
+    disturb a basis-state-valued wire) but any later *conditioned* use
+    is outside this model, so measure poisons nothing here.
+    """
+    values: List[Optional[ANF]] = [anf_var(i) for i in range(circuit.num_qubits)]
+    for idx, instr in enumerate(circuit):
+        if stop_index is not None and idx >= stop_index:
+            break
+        g = instr.gate
+        name = g.name
+        q = instr.qubits
+        if name in ("barrier", "measure", "id"):
+            continue
+        if name == "reset":
+            values[q[0]] = frozenset()  # constant 0
+            continue
+        if g.is_unitary and g.is_diagonal:
+            continue
+        if name == "x":
+            v = values[q[0]]
+            values[q[0]] = anf_xor(v, anf_one()) if v is not UNKNOWN else UNKNOWN
+        elif name == "cx":
+            c, t = values[q[0]], values[q[1]]
+            values[q[1]] = (
+                anf_xor(t, c) if c is not UNKNOWN and t is not UNKNOWN else UNKNOWN
+            )
+        elif name == "swap":
+            values[q[0]], values[q[1]] = values[q[1]], values[q[0]]
+        elif name == "ccx":
+            a, b, t = (values[w] for w in q)
+            if UNKNOWN in (a, b, t):
+                values[q[2]] = UNKNOWN
+            else:
+                values[q[2]] = anf_xor(t, anf_and(a, b))
+        elif name == "cswap":
+            c, a, b = (values[w] for w in q)
+            if UNKNOWN in (c, a, b):
+                values[q[1]] = values[q[2]] = UNKNOWN
+            else:
+                delta = anf_and(c, anf_xor(a, b))
+                values[q[1]] = anf_xor(a, delta)
+                values[q[2]] = anf_xor(b, delta)
+        else:
+            # Outside the permutation+diagonal fragment (h, sx, u, ...):
+            # every touched wire becomes untrackable.
+            for w in q:
+                values[w] = UNKNOWN
+    return values
+
+
+@dataclass(frozen=True)
+class AncillaVerdict:
+    """Result of an ancilla clean-return check for one qubit."""
+
+    qubit: int
+    status: str  # "clean" | "dirty" | "unverifiable"
+    detail: str = ""
+
+
+def ancilla_clean_return(
+    circuit: QuantumCircuit,
+    ancillas: Sequence[int],
+    simulate_threshold: int = 10,
+    trials: int = 4,
+    atol: float = 1e-9,
+    valid_inputs: Optional[Callable[[int], bool]] = None,
+) -> List[AncillaVerdict]:
+    """Check that each ancilla wire ends where it started.
+
+    Strategy: prove it statically with :func:`trace_wire_values` when
+    the wire stays inside the trackable fragment; otherwise, for
+    circuits of at most ``simulate_threshold`` qubits, fall back to
+    simulating a few computational-basis inputs (ancillas in |0>) and
+    checking the ancilla marginal returns to |0>.  Wires that are
+    neither trackable nor small enough to simulate come back
+    ``"unverifiable"``.
+
+    ``valid_inputs`` restricts the simulated basis inputs to a declared
+    input domain (e.g. the Beauregard adder's ``b < N`` precondition):
+    it receives the candidate basis integer (ancilla bits already
+    cleared) and returns whether the circuit is specified on it.
+    """
+    values = trace_wire_values(circuit)
+    out: List[AncillaVerdict] = []
+    needs_sim: List[int] = []
+    for q in ancillas:
+        if not 0 <= q < circuit.num_qubits:
+            raise ValueError(f"ancilla index {q} out of range")
+        v = values[q]
+        if v is UNKNOWN:
+            needs_sim.append(q)
+            continue
+        if v == anf_var(q):
+            out.append(AncillaVerdict(q, "clean", "proved by ANF tracking"))
+        else:
+            out.append(
+                AncillaVerdict(
+                    q,
+                    "dirty",
+                    f"wire ends as a different function of the inputs ({len(v)} terms)",
+                )
+            )
+    if needs_sim:
+        if circuit.num_qubits > simulate_threshold or circuit.has_measurements():
+            for q in needs_sim:
+                out.append(
+                    AncillaVerdict(
+                        q,
+                        "unverifiable",
+                        "wire leaves the permutation+diagonal fragment and the "
+                        "circuit is too wide to simulate",
+                    )
+                )
+        else:
+            out.extend(
+                _simulated_clean_return(
+                    circuit, needs_sim, trials, atol, valid_inputs
+                )
+            )
+    out.sort(key=lambda v: v.qubit)
+    return out
+
+
+def _simulated_clean_return(
+    circuit: QuantumCircuit,
+    ancillas: List[int],
+    trials: int,
+    atol: float,
+    valid_inputs: Optional[Callable[[int], bool]] = None,
+) -> List[AncillaVerdict]:
+    """Basis-state simulation fallback for the clean-return check."""
+    import numpy as np
+
+    from ..sim.ops import apply_gate_matrix
+
+    n = circuit.num_qubits
+    anc_mask = 0
+    for q in ancillas:
+        anc_mask |= 1 << q
+    rng = np.random.default_rng(20220817)
+    dirty: Dict[int, str] = {}
+    inputs = {0} if valid_inputs is None or valid_inputs(0) else set()
+    attempts = 0
+    while len(inputs) < trials and attempts < 64 * trials:
+        attempts += 1
+        candidate = int(rng.integers(0, 1 << n)) & ~anc_mask
+        if valid_inputs is not None and not valid_inputs(candidate):
+            continue
+        inputs.add(candidate)
+    if not inputs:
+        return [
+            AncillaVerdict(
+                q, "unverifiable", "no valid basis inputs found to simulate"
+            )
+            for q in ancillas
+        ]
+    for basis_in in sorted(inputs):
+        state = np.zeros((1, 1 << n), dtype=complex)  # batch of one
+        state[0, basis_in] = 1.0
+        for instr in circuit:
+            if instr.gate.name == "barrier":
+                continue
+            if not instr.gate.is_unitary:
+                return [
+                    AncillaVerdict(q, "unverifiable", "non-unitary op present")
+                    for q in ancillas
+                ]
+            state = apply_gate_matrix(
+                state, instr.gate.matrix, instr.qubits, n
+            )
+        probs = np.abs(state[0]) ** 2
+        for q in ancillas:
+            if q in dirty:
+                continue
+            p_one = float(probs[(np.arange(1 << n) >> q) & 1 == 1].sum())
+            if p_one > atol:
+                dirty[q] = (
+                    f"P(ancilla={q} ends |1>) = {p_one:.3g} "
+                    f"on basis input {basis_in}"
+                )
+    return [
+        AncillaVerdict(q, "dirty", dirty[q])
+        if q in dirty
+        else AncillaVerdict(q, "clean", "verified on sampled basis inputs")
+        for q in ancillas
+    ]

@@ -1,0 +1,207 @@
+"""The diagnostic model of the circuit static-analysis framework.
+
+A :class:`Diagnostic` pins one finding to a rule id, a severity, and
+(usually) an instruction index; a :class:`LintReport` aggregates the
+findings of one lint run and renders them as human-readable text or as
+a SARIF-flavoured JSON document for CI consumption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+class Severity(IntEnum):
+    """Finding severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF ``level`` string for this severity."""
+        return {"INFO": "note", "WARNING": "warning", "ERROR": "error"}[self.name]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Parameters
+    ----------
+    rule_id:
+        Stable rule identifier (``"REP002"``).
+    rule_name:
+        Human-readable rule slug (``"duplicate-operands"``).
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        What is wrong, with concrete indices/values.
+    instruction_index:
+        Index into ``circuit.instructions`` the finding anchors to, or
+        ``None`` for circuit-level findings (e.g. a dead qubit).
+    circuit_name:
+        Name of the linted circuit.
+    fix_hint:
+        Optional short suggestion for resolving the finding.
+    """
+
+    rule_id: str
+    rule_name: str
+    severity: Severity
+    message: str
+    instruction_index: Optional[int] = None
+    circuit_name: str = ""
+    fix_hint: Optional[str] = None
+
+    def render(self) -> str:
+        """One-line text rendering, grep- and editor-friendly."""
+        loc = (
+            f"op {self.instruction_index}"
+            if self.instruction_index is not None
+            else "circuit"
+        )
+        out = (
+            f"{self.circuit_name or '<circuit>'}:{loc}: "
+            f"{self.severity}: {self.message} [{self.rule_id}:{self.rule_name}]"
+        )
+        if self.fix_hint:
+            out += f"\n    hint: {self.fix_hint}"
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (used by the SARIF-ish export)."""
+        out: Dict[str, Any] = {
+            "ruleId": self.rule_id,
+            "ruleName": self.rule_name,
+            "level": self.severity.sarif_level,
+            "message": {"text": self.message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "name": self.circuit_name,
+                            "instructionIndex": self.instruction_index,
+                        }
+                    ]
+                }
+            ],
+        }
+        if self.fix_hint:
+            out["fixes"] = [{"description": {"text": self.fix_hint}}]
+        return out
+
+
+@dataclass
+class LintReport:
+    """All findings from linting one or more circuits."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        """Record one finding."""
+        self.diagnostics.append(diag)
+
+    def extend(self, other: "LintReport") -> None:
+        """Merge another report's findings into this one."""
+        self.diagnostics.extend(other.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        """The findings at exactly ``severity``."""
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """Error-level findings."""
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """Warning-level findings."""
+        return self.by_severity(Severity.WARNING)
+
+    def worst(self) -> Optional[Severity]:
+        """The highest severity present, or ``None`` when clean."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def ok(self, strict: bool = False) -> bool:
+        """Whether the lint run passes.
+
+        Errors always fail; ``strict=True`` also fails on warnings.
+        """
+        worst = self.worst()
+        if worst is None:
+            return True
+        threshold = Severity.WARNING if strict else Severity.ERROR
+        return worst < threshold
+
+    def summary(self) -> str:
+        """A one-line count summary, e.g. ``2 errors, 1 warning``."""
+        counts = [
+            (len(self.errors), "error"),
+            (len(self.warnings), "warning"),
+            (len(self.by_severity(Severity.INFO)), "info"),
+        ]
+        parts = [
+            f"{n} {label}{'s' if n != 1 and label != 'info' else ''}"
+            for n, label in counts
+            if n
+        ]
+        return ", ".join(parts) if parts else "clean"
+
+    def to_text(self) -> str:
+        """Full human-readable rendering, one finding per line."""
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self, tool_version: str = "0") -> str:
+        """A SARIF-flavoured JSON document (single run, logical locations)."""
+        rules_seen: Dict[str, Dict[str, Any]] = {}
+        for d in self.diagnostics:
+            rules_seen.setdefault(
+                d.rule_id, {"id": d.rule_id, "name": d.rule_name}
+            )
+        doc = {
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-arith lint",
+                            "version": tool_version,
+                            "rules": sorted(
+                                rules_seen.values(), key=lambda r: r["id"]
+                            ),
+                        }
+                    },
+                    "results": [d.to_dict() for d in self.diagnostics],
+                }
+            ],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def merge_reports(reports: Sequence[LintReport]) -> LintReport:
+    """Concatenate several reports into one."""
+    out = LintReport()
+    for r in reports:
+        out.extend(r)
+    return out

@@ -1,0 +1,677 @@
+"""Phase-polynomial path sums: the symbolic circuit semantics.
+
+A circuit over the QFT-arithmetic gate set is represented exactly as a
+*path sum*
+
+.. math::
+
+    U = 2^{-h/2} \\sum_{y_1..y_k} e^{i\\varphi(x, y)}\\,
+        |f_1(x,y), ..., f_n(x,y)\\rangle\\langle x|
+
+where each wire function :math:`f_j` is an algebraic normal form over
+GF(2) (:mod:`repro.lint.anf`), and the phase polynomial
+:math:`\\varphi` is a real combination :math:`\\sum_P \\theta_P\\,
+\\mathrm{val}(P)` of boolean-valued ANF terms.
+
+* permutation gates (X, CX, SWAP, CCX, CSWAP) update wire functions;
+* diagonal gates (RZ, P, Z, S, T, CZ, CP, CRZ, CCP, ...) add phase
+  terms — products of boolean functions are expanded into XOR terms
+  with the identity ``ab = (a + b - (a xor b)) / 2``;
+* a Hadamard introduces a fresh *path variable* ``y`` with phase
+  :math:`\\pi\\, y\\, f` and amplitude :math:`1/\\sqrt2`;
+* every other 1q unitary is factored as
+  :math:`e^{i\\alpha} P(a)\\, H\\, P(b)\\, H\\, P(c)` and replayed
+  through the rules above, so SX, U, RX, RY all reduce to the same
+  substrate.
+
+``reduce()`` eliminates path variables with the sum-over-y identity
+:math:`\\sum_y e^{i\\pi y g} = 2\\,[g = 0]` (the Elim/HH rules of the
+path-sum verification literature): when the phase difference
+:math:`\\varphi|_{y=1} - \\varphi|_{y=0}` normalises to
+:math:`\\pi\\,\\mathrm{val}(h)`, the constraint ``h = 0`` is solved by
+substituting a path variable that occurs linearly in ``h``.  A circuit
+composed with the inverse of an equivalent circuit reduces to the
+identity: no path variables, identity wire functions, empty phase
+polynomial.  See :mod:`repro.lint.equivalence` for the verdict layer.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from .anf import (
+    ANF,
+    anf_and,
+    anf_one,
+    anf_render,
+    anf_split,
+    anf_substitute,
+    anf_var,
+    anf_vars,
+    anf_xor,
+    anf_zero,
+)
+
+__all__ = ["PathSum", "UnsupportedGateError", "ReductionOutcome", "php_factor"]
+
+_TWO_PI = 2.0 * math.pi
+_PI = math.pi
+
+#: Fixed 1q diagonal gates as phase angles.
+_DIAG_1Q = {
+    "z": _PI,
+    "s": _PI / 2,
+    "sdg": -_PI / 2,
+    "t": _PI / 4,
+    "tdg": -_PI / 4,
+}
+
+#: Exact primitive expansions for controlled non-diagonal gates
+#: (verified against the gate matrices in the test suite).
+_CH_SEQ: Tuple[Tuple[str, ...], ...] = (
+    ("s", "t"),
+    ("h", "t"),
+    ("t", "t"),
+    ("cx", "c", "t"),
+    ("tdg", "t"),
+    ("h", "t"),
+    ("sdg", "t"),
+)
+_CY_SEQ: Tuple[Tuple[str, ...], ...] = (
+    ("sdg", "t"),
+    ("cx", "c", "t"),
+    ("s", "t"),
+)
+
+
+class UnsupportedGateError(ValueError):
+    """Raised when a gate has no path-sum semantics here."""
+
+
+class ReductionOutcome:
+    """What ``reduce()`` left behind (see :meth:`PathSum.finish`)."""
+
+    __slots__ = ("status", "detail")
+
+    def __init__(self, status: str, detail: str = "") -> None:
+        self.status = status  # "identity" | "not_identity" | "unknown"
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"ReductionOutcome({self.status!r}, {self.detail!r})"
+
+
+class PathSum:
+    """Symbolic state of a circuit prefix (see module docs)."""
+
+    def __init__(self, num_wires: int, atol: float = 1e-8) -> None:
+        if num_wires < 1:
+            raise ValueError("need at least one wire")
+        self.num_wires = num_wires
+        self.atol = float(atol)
+        self.wires: List[ANF] = [anf_var(i) for i in range(num_wires)]
+        #: phase polynomial: pure ANF (no constant monomial) -> angle.
+        self.phase: Dict[ANF, float] = {}
+        self.global_phase = 0.0
+        self.half_power = 0  # power of 1/sqrt(2) in the prefactor
+        self.path_vars: Set[int] = set()
+        self._next_var = num_wires
+        #: variable -> phase keys mentioning it (elimination index).
+        self._var_terms: Dict[int, Set[ANF]] = {}
+
+    # ------------------------------------------------------------------
+    # Phase bookkeeping
+    # ------------------------------------------------------------------
+    def _wrap(self, theta: float) -> float:
+        theta = math.fmod(theta, _TWO_PI)
+        if theta < 0.0:
+            theta += _TWO_PI
+        if theta < self.atol or _TWO_PI - theta < self.atol:
+            return 0.0
+        return theta
+
+    def _index_add(self, key: ANF) -> None:
+        for v in anf_vars(key):
+            self._var_terms.setdefault(v, set()).add(key)
+
+    def _index_remove(self, key: ANF) -> None:
+        for v in anf_vars(key):
+            terms = self._var_terms.get(v)
+            if terms is not None:
+                terms.discard(key)
+                if not terms:
+                    del self._var_terms[v]
+
+    def add_phase(self, theta: float, f: ANF) -> None:
+        """Accumulate ``theta * val(f)`` into the phase polynomial."""
+        if not f:  # constant 0
+            return
+        if frozenset() in f:  # f = 1 xor g  ->  theta - theta*val(g)
+            self.global_phase = math.fmod(self.global_phase + theta, _TWO_PI)
+            g = anf_xor(f, anf_one())
+            if not g:
+                return
+            theta, f = -theta, g
+        theta = self._wrap(theta)
+        if theta == 0.0:
+            return
+        old = self.phase.get(f)
+        if old is None:
+            self.phase[f] = theta
+            self._index_add(f)
+            return
+        new = self._wrap(old + theta)
+        if new == 0.0:
+            del self.phase[f]
+            self._index_remove(f)
+        else:
+            self.phase[f] = new
+
+    def add_product_phase(self, theta: float, f: ANF, g: ANF) -> None:
+        """Accumulate ``theta * val(f) * val(g)`` (XOR-expanded)."""
+        half = theta / 2.0
+        self.add_phase(half, f)
+        self.add_phase(half, g)
+        self.add_phase(-half, anf_xor(f, g))
+
+    def add_triple_phase(self, theta: float, a: ANF, b: ANF, c: ANF) -> None:
+        """Accumulate ``theta * val(a) * val(b) * val(c)``."""
+        quarter = theta / 4.0
+        for f in (a, b, c):
+            self.add_phase(quarter, f)
+        for f, g in ((a, b), (a, c), (b, c)):
+            self.add_phase(-quarter, anf_xor(f, g))
+        self.add_phase(quarter, anf_xor(a, b, c))
+
+    # ------------------------------------------------------------------
+    # Gate application
+    # ------------------------------------------------------------------
+    def _fresh_path_var(self) -> int:
+        y = self._next_var
+        self._next_var += 1
+        self.path_vars.add(y)
+        return y
+
+    def _apply_h(self, wire: int) -> None:
+        y = self._fresh_path_var()
+        self.add_product_phase(_PI, self.wires[wire], anf_var(y))
+        self.wires[wire] = anf_var(y)
+        self.half_power += 1
+
+    def _apply_seq(self, seq, binding: Dict[str, int]) -> None:
+        for step in seq:
+            name, wires = step[0], [binding[s] for s in step[1:]]
+            if name == "cx":
+                self._apply_cx(wires[0], wires[1])
+            elif name == "h":
+                self._apply_h(wires[0])
+            else:
+                self.add_phase(_DIAG_1Q[name], self.wires[wires[0]])
+
+    def _apply_cx(self, c: int, t: int) -> None:
+        self.wires[t] = anf_xor(self.wires[t], self.wires[c])
+
+    def _apply_generic_1q(self, gate: Gate, wire: int) -> None:
+        alpha, ops = php_factor(gate.matrix, self.atol)
+        self.global_phase = math.fmod(self.global_phase + alpha, _TWO_PI)
+        for kind, angle in ops:
+            if kind == "p":
+                self.add_phase(angle, self.wires[wire])
+            elif kind == "h":
+                self._apply_h(wire)
+            else:  # "x"
+                self.wires[wire] = anf_xor(self.wires[wire], anf_one())
+
+    def _apply_generic_diagonal(self, gate: Gate, qubits: Sequence[int]) -> None:
+        """Möbius-expand a diagonal matrix into monomial phase terms."""
+        k = gate.num_qubits
+        if k > 3:
+            raise UnsupportedGateError(
+                f"diagonal gate {gate.name!r} too wide ({k} qubits)"
+            )
+        diag = gate.matrix.diagonal()
+        angles = [cmath.phase(d) for d in diag]
+        # Unweighted Möbius transform: coefficient for each bit subset.
+        coeff: Dict[int, float] = {}
+        for s in range(1 << k):
+            total = angles[s]
+            for t in range(s):
+                if t | s == s:  # t proper subset of s
+                    total -= coeff.get(t, 0.0)
+            coeff[s] = total
+        self.global_phase = math.fmod(
+            self.global_phase + coeff.get(0, 0.0), _TWO_PI
+        )
+        for s in range(1, 1 << k):
+            theta = coeff[s]
+            if abs(theta) < self.atol:
+                continue
+            members = [self.wires[qubits[i]] for i in range(k) if s >> i & 1]
+            if len(members) == 1:
+                self.add_phase(theta, members[0])
+            elif len(members) == 2:
+                self.add_product_phase(theta, *members)
+            else:
+                self.add_triple_phase(theta, *members)
+
+    def apply(self, gate: Gate, qubits: Sequence[int]) -> None:
+        """Apply ``gate`` on wire indices ``qubits``."""
+        name = gate.name
+        q = list(qubits)
+        w = self.wires
+        if name in ("barrier", "id"):
+            return
+        if name == "x":
+            w[q[0]] = anf_xor(w[q[0]], anf_one())
+        elif name == "cx":
+            self._apply_cx(q[0], q[1])
+        elif name == "swap":
+            w[q[0]], w[q[1]] = w[q[1]], w[q[0]]
+        elif name == "ccx":
+            w[q[2]] = anf_xor(w[q[2]], anf_and(w[q[0]], w[q[1]]))
+        elif name == "cswap":
+            delta = anf_and(w[q[0]], anf_xor(w[q[1]], w[q[2]]))
+            w[q[1]] = anf_xor(w[q[1]], delta)
+            w[q[2]] = anf_xor(w[q[2]], delta)
+        elif name == "p":
+            self.add_phase(gate.params[0], w[q[0]])
+        elif name == "rz":
+            theta = gate.params[0]
+            self.global_phase = math.fmod(
+                self.global_phase - theta / 2.0, _TWO_PI
+            )
+            self.add_phase(theta, w[q[0]])
+        elif name in _DIAG_1Q:
+            self.add_phase(_DIAG_1Q[name], w[q[0]])
+        elif name == "cz":
+            self.add_product_phase(_PI, w[q[0]], w[q[1]])
+        elif name == "cp":
+            self.add_product_phase(gate.params[0], w[q[0]], w[q[1]])
+        elif name == "crz":
+            theta = gate.params[0]
+            self.add_product_phase(theta, w[q[0]], w[q[1]])
+            self.add_phase(-theta / 2.0, w[q[0]])
+        elif name == "ccp":
+            self.add_triple_phase(gate.params[0], w[q[0]], w[q[1]], w[q[2]])
+        elif name == "h":
+            self._apply_h(q[0])
+        elif name == "ch":
+            self._apply_seq(_CH_SEQ, {"c": q[0], "t": q[1]})
+        elif name == "cy":
+            self._apply_seq(_CY_SEQ, {"c": q[0], "t": q[1]})
+        elif name == "cch":
+            self._apply_seq(
+                (("s", "t"), ("h", "t"), ("t", "t")), {"t": q[2]}
+            )
+            w[q[2]] = anf_xor(w[q[2]], anf_and(w[q[0]], w[q[1]]))
+            self._apply_seq(
+                (("tdg", "t"), ("h", "t"), ("sdg", "t")), {"t": q[2]}
+            )
+        elif gate.num_qubits == 1 and gate.is_unitary:
+            self._apply_generic_1q(gate, q[0])
+        elif gate.is_unitary and gate.is_diagonal:
+            self._apply_generic_diagonal(gate, q)
+        else:
+            raise UnsupportedGateError(
+                f"no path-sum semantics for {name!r} on {gate.num_qubits} qubits"
+            )
+
+    def apply_circuit(
+        self,
+        circuit: QuantumCircuit,
+        inverse: bool = False,
+        qubit_map: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Apply a whole circuit (optionally inverted / wire-remapped).
+
+        Measure and reset ops raise :class:`UnsupportedGateError`;
+        barriers are skipped.  ``qubit_map`` relabels circuit qubit
+        ``q`` to path-sum wire ``qubit_map[q]``.
+        """
+        instrs = circuit.instructions
+        if inverse:
+            instrs = tuple(reversed(instrs))
+        for instr in instrs:
+            g = instr.gate
+            if g.name == "barrier":
+                continue
+            if not g.is_unitary:
+                raise UnsupportedGateError(
+                    f"cannot apply non-unitary {g.name!r} to a path sum"
+                )
+            if inverse:
+                g = g.inverse()
+            qubits = instr.qubits
+            if qubit_map is not None:
+                qubits = tuple(qubit_map[q] for q in qubits)
+            self.apply(g, qubits)
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+    def _delta(self, y: int) -> Tuple[Dict[ANF, float], float]:
+        """Normalised ``phi|y=1 - phi|y=0`` over the keys mentioning ``y``.
+
+        Returns ``(terms, const)`` with pure-ANF keys and angles in
+        ``[0, 2*pi)``.
+        """
+        terms: Dict[ANF, float] = {}
+        const = 0.0
+
+        def acc(f: ANF, theta: float) -> None:
+            nonlocal const
+            if not f:
+                return
+            if frozenset() in f:
+                const += theta
+                g = anf_xor(f, anf_one())
+                if not g:
+                    return
+                theta, f = -theta, g
+            terms[f] = terms.get(f, 0.0) + theta
+
+        for key in self._var_terms.get(y, set()):
+            theta = self.phase[key]
+            a, b = anf_split(key, y)
+            acc(anf_xor(a, b), theta)  # val at y=1
+            acc(b, -theta)  # minus val at y=0
+        out: Dict[ANF, float] = {}
+        for f, theta in terms.items():
+            theta = self._wrap(theta)
+            if theta != 0.0:
+                out[f] = theta
+        return out, self._wrap(const)
+
+    def _drop_y_from_phase(self, y: int) -> None:
+        """Replace every key mentioning ``y`` by its ``y=0`` cofactor."""
+        for key in list(self._var_terms.get(y, set())):
+            theta = self.phase.pop(key)
+            self._index_remove(key)
+            _, b = anf_split(key, y)
+            self.add_phase(theta, b)
+
+    def _substitute_var(self, var: int, replacement: ANF) -> None:
+        """Substitute ``var := replacement`` in wires and phase."""
+        for key in list(self._var_terms.get(var, set())):
+            theta = self.phase.pop(key)
+            self._index_remove(key)
+            self.add_phase(theta, anf_substitute(key, var, replacement))
+        for i, f in enumerate(self.wires):
+            if any(var in m for m in f):
+                self.wires[i] = anf_substitute(f, var, replacement)
+
+    def _wire_mentions(self, var: int) -> bool:
+        return any(any(var in m for m in f) for f in self.wires)
+
+    def _try_eliminate(self, y: int) -> bool:
+        delta, const = self._delta(y)
+        if not delta and const == 0.0:
+            # Phase independent of y: sum over y contributes a factor 2.
+            if self._wire_mentions(y):
+                return False
+            self._drop_y_from_phase(y)
+            self.path_vars.discard(y)
+            self.half_power -= 2
+            return True
+        # Need delta == pi * val(h) + lambda with lambda in {0, pi,
+        # +-pi/2}: all non-constant coefficients pi.
+        if not all(abs(t - _PI) < self.atol for t in delta.values()):
+            return False
+        if abs(const - _PI / 2) < self.atol or abs(const - 3 * _PI / 2) < self.atol:
+            # Omega rule: sum_y e^{i y (pi h +- pi/2)} =
+            # sqrt(2) e^{+-i pi/4} e^{-+i pi/2 val(h)}.
+            if self._wire_mentions(y):
+                return False
+            sign = 1.0 if abs(const - _PI / 2) < self.atol else -1.0
+            h = anf_xor(*delta.keys()) if delta else anf_zero()
+            self._drop_y_from_phase(y)
+            self.global_phase = math.fmod(
+                self.global_phase + sign * _PI / 4, _TWO_PI
+            )
+            self.add_phase(-sign * _PI / 2, h)
+            self.path_vars.discard(y)
+            self.half_power -= 1
+            return True
+        if abs(const - _PI) >= self.atol and const != 0.0:
+            return False
+        h = anf_xor(*delta.keys()) if delta else anf_zero()
+        if abs(const - _PI) < self.atol:
+            h = anf_xor(h, anf_one())
+        if not h:
+            # Delta is 0 as a function after the xor-fold identity.
+            if self._wire_mentions(y):
+                return False
+            self._drop_y_from_phase(y)
+            self.path_vars.discard(y)
+            self.half_power -= 2
+            return True
+        # Constraint val(h) = 0: solve for a linearly-occurring path var.
+        # Summing over y is only valid when no output (wire) depends on
+        # it; wire-resident variables are removed as the *substituted*
+        # variable of some other elimination instead.
+        if self._wire_mentions(y):
+            return False
+        candidate = None
+        h_vars = anf_vars(h)
+        for z in sorted(h_vars & self.path_vars, reverse=True):
+            if z == y:
+                continue
+            if frozenset({z}) in h and sum(1 for m in h if z in m) == 1:
+                candidate = z
+                break
+        if candidate is None:
+            return False
+        replacement = anf_xor(h, frozenset({frozenset({candidate})}))
+        self._drop_y_from_phase(y)
+        self._substitute_var(candidate, replacement)
+        self.path_vars.discard(y)
+        self.path_vars.discard(candidate)
+        self.half_power -= 2
+        return True
+
+    def reduce(self, max_rounds: Optional[int] = None) -> None:
+        """Eliminate path variables until a fixed point."""
+        rounds = 0
+        progress = True
+        while progress and self.path_vars:
+            progress = False
+            for y in sorted(self.path_vars, reverse=True):
+                if y in self.path_vars and self._try_eliminate(y):
+                    progress = True
+            rounds += 1
+            if max_rounds is not None and rounds >= max_rounds:
+                return
+
+    # ------------------------------------------------------------------
+    # Verdict
+    # ------------------------------------------------------------------
+    def finish(
+        self,
+        expected_outputs: Optional[Dict[int, int]] = None,
+        up_to_global_phase: bool = True,
+    ) -> ReductionOutcome:
+        """Judge whether the reduced sum is the identity (or the given
+        wire permutation).
+
+        ``expected_outputs`` maps wire index -> input variable id that
+        must appear there; unconstrained wires need only hold *some*
+        input variable, bijectively.  Identity is the default.
+        """
+        self.reduce()
+        if self.path_vars:
+            return ReductionOutcome(
+                "unknown",
+                f"{len(self.path_vars)} path variable(s) not eliminated",
+            )
+        if self.half_power != 0:
+            return ReductionOutcome(
+                "unknown", f"unbalanced amplitude 2^(-{self.half_power}/2)"
+            )
+        expected = dict(expected_outputs or {})
+        seen_vars: Set[int] = set()
+        for wire, f in enumerate(self.wires):
+            want = expected.get(wire)
+            if want is not None:
+                if f != anf_var(want):
+                    return ReductionOutcome(
+                        "not_identity",
+                        f"wire {wire} ends as {anf_render(f)}, expected x{want}",
+                    )
+                seen_vars.add(want)
+                continue
+            if len(f) == 1:
+                (mono,) = f
+                if len(mono) == 1:
+                    seen_vars.update(mono)
+                    continue
+            return ReductionOutcome(
+                "not_identity",
+                f"wire {wire} ends as non-trivial function {anf_render(f)}",
+            )
+        if len(seen_vars) != self.num_wires:
+            return ReductionOutcome(
+                "not_identity", "output wires do not form a permutation"
+            )
+        if self.phase:
+            if not all(
+                all(len(m) == 1 for m in key) for key in self.phase
+            ):
+                return ReductionOutcome(
+                    "unknown", "residual non-linear phase terms"
+                )
+            verdict = self._judge_linear_residual()
+            if verdict is not None:
+                return verdict
+        if not up_to_global_phase:
+            g = self._wrap(self.global_phase)
+            if g != 0.0:
+                return ReductionOutcome(
+                    "not_identity", f"global phase {g:.6g}"
+                )
+        return ReductionOutcome("identity")
+
+    def _judge_linear_residual(self) -> Optional[ReductionOutcome]:
+        """Decide whether an all-linear residual phase is identically 0.
+
+        Returns ``None`` when the residual vanishes on every input.
+        Linear keys need not be GF(2)-independent (e.g. ``pi*x0 + pi*x1
+        + pi*(x0^x1) == 0 mod 2pi``), so angle-pi keys are first folded
+        into a single form via ``pi*f + pi*g == pi*(f^g)  (mod 2pi)``;
+        what survives is then decided by direct evaluation over the
+        involved variables (small residuals) or a linear-independence
+        certificate (wide ones).
+        """
+        two_pi = 2.0 * math.pi
+        tol = max(self.atol * 10.0, 1e-7)
+
+        def is_zero(angle: float) -> bool:
+            w = self._wrap(angle)
+            return min(w, two_pi - w) <= tol
+
+        folded: ANF = frozenset()
+        others: List[Tuple[ANF, float]] = []
+        for key, theta in self.phase.items():
+            w = self._wrap(theta)
+            if min(w, two_pi - w) <= tol:
+                continue
+            if abs(w - math.pi) <= tol:
+                folded = folded ^ key  # XOR of linear forms
+            else:
+                others.append((key, w))
+        if not others:
+            if not folded:
+                return None
+            return ReductionOutcome(
+                "not_identity",
+                f"residual phase pi on {anf_render(folded)}",
+            )
+        forms = [key for key, _ in others]
+        if folded:
+            forms.append(folded)
+        involved = sorted({v for f in forms for m in f for v in m})
+        if len(involved) <= 16:
+            pos = {v: i for i, v in enumerate(involved)}
+            masks = [
+                (sum(1 << pos[next(iter(m))] for m in key), w)
+                for key, w in others
+            ]
+            if folded:
+                masks.append(
+                    (sum(1 << pos[next(iter(m))] for m in folded), math.pi)
+                )
+            for x in range(1, 1 << len(involved)):
+                total = sum(
+                    w for mask, w in masks if bin(mask & x).count("1") & 1
+                )
+                if not is_zero(total):
+                    bits = {involved[i]: (x >> i) & 1 for i in pos.values()}
+                    return ReductionOutcome(
+                        "not_identity",
+                        f"residual phase {self._wrap(total):.6g} on input "
+                        f"{bits}",
+                    )
+            return None
+        # Too wide to enumerate: a GF(2)-independent set of forms is a
+        # sound inequivalence certificate (some input activates exactly
+        # one key, whose angle is not 0 mod 2pi); otherwise stay agnostic.
+        pivots: Dict[int, FrozenSet[int]] = {}
+        for f in forms:
+            vec = frozenset(next(iter(m)) for m in f)
+            while vec:
+                p = min(vec)
+                if p not in pivots:
+                    pivots[p] = vec
+                    break
+                vec = vec ^ pivots[p]
+            else:
+                return ReductionOutcome(
+                    "unknown", "GF(2)-dependent residual phase terms"
+                )
+        return ReductionOutcome(
+            "not_identity",
+            f"residual phase {others[0][1]:.6g} on "
+            f"{anf_render(others[0][0])}",
+        )
+
+
+def php_factor(
+    mat, atol: float = 1e-10
+) -> Tuple[float, List[Tuple[str, float]]]:
+    """Factor a 2x2 unitary as ``e^{i a} * ops`` over {P, H, X}.
+
+    Returns ``(alpha, ops)`` with ``ops`` in circuit (application)
+    order; each op is ``("p", angle)``, ``("h", 0.0)`` or ``("x",
+    0.0)``.  The generic form is :math:`e^{i\\alpha} P(a) H P(b) H
+    P(c)`; diagonal and antidiagonal matrices use shorter forms.
+    """
+    import numpy as np
+
+    m = np.asarray(mat, dtype=complex)
+    if m.shape != (2, 2):
+        raise UnsupportedGateError(f"php_factor needs a 2x2 matrix, got {m.shape}")
+    a00, a01, a10, a11 = m[0, 0], m[0, 1], m[1, 0], m[1, 1]
+    if abs(a01) < atol and abs(a10) < atol:
+        alpha = cmath.phase(a00)
+        lam = cmath.phase(a11) - alpha
+        return alpha, [("p", lam)]
+    if abs(a00) < atol and abs(a11) < atol:
+        # e^{i alpha} P(a) X: [[0, e^{i alpha}], [e^{i(alpha+a)}, 0]]
+        alpha = cmath.phase(a01)
+        a = cmath.phase(a10) - alpha
+        return alpha, [("x", 0.0), ("p", a)]
+    b = 2.0 * math.atan2(abs(a01), abs(a00))
+    alpha = cmath.phase(a00) - b / 2.0
+    off = b / 2.0 - _PI / 2.0  # arg of (1 - e^{ib})/2 for b in (0, pi)
+    c = cmath.phase(a01) - alpha - off
+    a = cmath.phase(a10) - alpha - off
+    return alpha, [
+        ("p", c),
+        ("h", 0.0),
+        ("p", b),
+        ("h", 0.0),
+        ("p", a),
+    ]

@@ -1,0 +1,498 @@
+"""The lint rule catalog and registry.
+
+Each rule is a function from ``(circuit, context)`` to an iterator of
+findings, registered with the :func:`rule` decorator under a stable id
+(``REP001``...).  :func:`lint_circuit` runs a selection of rules and
+returns a :class:`~repro.lint.diagnostics.LintReport`.
+
+Severity policy
+---------------
+* **error** — the circuit is semantically corrupt or cannot run as-is
+  (bad operand indices, non-finite angles, basis/coupling violations,
+  clobbered classical bits, dirty ancillas).
+* **warning** — the circuit is valid but suspicious or wasteful
+  (gates after measurement, unmerged rotation runs, cancelable pairs,
+  rotations below the configured AQFT cutoff).
+* **info** — advisory observations (dead qubits, unverifiable
+  ancillas).
+
+Most structural rules are redundant with the construction-time checks
+in :class:`~repro.circuits.circuit.QuantumCircuit` — deliberately so:
+transpiler passes build circuits by direct ``_instructions``
+manipulation for speed, bypassing ``append`` validation, and the linter
+is the safety net that still sees those.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from .dataflow import analyze_liveness, ancilla_clean_return
+from .diagnostics import Diagnostic, LintReport, Severity
+
+__all__ = [
+    "LintContext",
+    "LintRule",
+    "RULES",
+    "rule",
+    "lint_circuit",
+    "rule_catalog",
+]
+
+#: Ops that are structural rather than computational.
+_STRUCTURAL = frozenset({"barrier", "measure", "reset"})
+
+#: Rotation-family gates whose (wrapped) angle the AQFT cutoff governs.
+_ROTATION_GATES = frozenset({"p", "rz", "cp", "crz", "ccp"})
+
+#: Self-inverse entanglers eligible for adjacent-pair cancellation.
+_SELF_INVERSE_2Q = frozenset({"cx", "cz", "swap"})
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Optional knowledge that enables the context-dependent rules.
+
+    Rules that need a field skip silently when it is absent, so a bare
+    ``lint_circuit(circuit)`` runs only the context-free checks.
+    """
+
+    #: Allowed gate names after transpilation (enables REP007).
+    basis: Optional[FrozenSet[str]] = None
+    #: Physical connectivity (enables REP008).  Any object with a
+    #: ``connected(a, b) -> bool`` method works.
+    coupling: Optional[object] = None
+    #: AQFT approximation depth ``d``; rotations below ``pi / 2**d``
+    #: should have been pruned (enables REP009).
+    aqft_depth: Optional[int] = None
+    #: Ancilla wires that must return to their input state (REP012/13).
+    ancillas: Tuple[int, ...] = ()
+    #: Whether the circuit claims to be peephole-optimized (REP005/6).
+    expect_optimized: bool = False
+    #: Input-domain predicate for the ancilla simulation fallback
+    #: (basis int -> bool); e.g. the modular adder's ``b < N``.
+    input_predicate: Optional[Callable[[int], bool]] = None
+
+
+RuleFn = Callable[[QuantumCircuit, LintContext], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: stable id, slug, default severity, checker."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    description: str
+    fn: RuleFn = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+
+#: Registry in id order; populated by the :func:`rule` decorator.
+RULES: List[LintRule] = []
+
+
+def rule(
+    rule_id: str, name: str, severity: Severity
+) -> Callable[[RuleFn], RuleFn]:
+    """Register a rule function under ``rule_id``."""
+
+    def deco(fn: RuleFn) -> RuleFn:
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        RULES.append(LintRule(rule_id, name, severity, doc, fn))
+        return fn
+
+    return deco
+
+
+def _diag(
+    r: LintRule,
+    message: str,
+    index: Optional[int] = None,
+    fix_hint: Optional[str] = None,
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    return Diagnostic(
+        rule_id=r.rule_id,
+        rule_name=r.name,
+        severity=severity if severity is not None else r.severity,
+        message=message,
+        instruction_index=index,
+        fix_hint=fix_hint,
+    )
+
+
+def _find(rule_id: str) -> LintRule:
+    for r in RULES:
+        if r.rule_id == rule_id:
+            return r
+    raise KeyError(rule_id)
+
+
+# ---------------------------------------------------------------------------
+# Structural validity
+# ---------------------------------------------------------------------------
+
+@rule("REP001", "operand-out-of-range", Severity.ERROR)
+def _check_out_of_range(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """Qubit or clbit operand outside the circuit's registers."""
+    r = _find("REP001")
+    for idx, instr in enumerate(c):
+        for q in instr.qubits:
+            if not 0 <= q < c.num_qubits:
+                yield _diag(
+                    r,
+                    f"{instr.gate.name} addresses qubit {q}; circuit has "
+                    f"{c.num_qubits} qubits",
+                    idx,
+                    "fix the pass that emitted this instruction",
+                )
+        for cl in instr.clbits:
+            if not 0 <= cl < c.num_clbits:
+                yield _diag(
+                    r,
+                    f"{instr.gate.name} addresses clbit {cl}; circuit has "
+                    f"{c.num_clbits} clbits",
+                    idx,
+                )
+
+
+@rule("REP002", "duplicate-operands", Severity.ERROR)
+def _check_duplicates(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """The same qubit appears twice in one instruction's operands."""
+    r = _find("REP002")
+    for idx, instr in enumerate(c):
+        if instr.gate.name == "barrier":
+            continue
+        if len(set(instr.qubits)) != len(instr.qubits):
+            yield _diag(
+                r,
+                f"{instr.gate.name} repeats a qubit operand: "
+                f"{list(instr.qubits)}",
+                idx,
+                "a controlled gate needs distinct control and target wires",
+            )
+
+
+@rule("REP010", "nonfinite-parameter", Severity.ERROR)
+def _check_nonfinite(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """A gate parameter is NaN or infinite."""
+    r = _find("REP010")
+    for idx, instr in enumerate(c):
+        for p in instr.gate.params:
+            if not math.isfinite(p):
+                yield _diag(
+                    r,
+                    f"{instr.gate.name} has non-finite parameter {p!r}",
+                    idx,
+                    "check the angle arithmetic that produced this gate",
+                )
+
+
+@rule("REP011", "clbit-collision", Severity.ERROR)
+def _check_clbit_collision(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """Two measurements write the same classical bit."""
+    r = _find("REP011")
+    live = analyze_liveness(c)
+    for clbit, writes in sorted(live.clbit_writes.items()):
+        if len(writes) > 1:
+            yield _diag(
+                r,
+                f"clbit {clbit} is written by {len(writes)} measurements "
+                f"(ops {writes}); earlier results are lost",
+                writes[-1],
+                "measure into distinct classical bits",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Ordering / liveness
+# ---------------------------------------------------------------------------
+
+@rule("REP003", "gate-after-measure", Severity.WARNING)
+def _check_gate_after_measure(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """A unitary gate acts on a qubit after it was measured."""
+    r = _find("REP003")
+    measured_at: Dict[int, int] = {}
+    for idx, instr in enumerate(c):
+        name = instr.gate.name
+        if name == "barrier":
+            continue
+        if name == "measure":
+            measured_at[instr.qubits[0]] = idx
+            continue
+        if name == "reset":
+            measured_at.pop(instr.qubits[0], None)
+            continue
+        for q in instr.qubits:
+            if q in measured_at:
+                yield _diag(
+                    r,
+                    f"{name} on qubit {q} at op {idx} follows its "
+                    f"measurement at op {measured_at[q]}",
+                    idx,
+                    "move measurements to the end, or reset the qubit first",
+                )
+                measured_at.pop(q)  # one finding per measurement
+
+
+@rule("REP004", "dead-qubit", Severity.INFO)
+def _check_dead_qubits(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """A qubit is never touched by any non-barrier operation."""
+    r = _find("REP004")
+    live = analyze_liveness(c)
+    for q in live.dead_qubits:
+        yield _diag(
+            r,
+            f"qubit {q} is never used",
+            None,
+            "drop the wire or remove it from the register",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Missed-optimization smells
+# ---------------------------------------------------------------------------
+
+#: 1q diagonal (z-rotation family) gates: any adjacent pair merges into
+#: a single rz by angle addition, so optimized circuits have none.
+_Z_FAMILY_1Q = frozenset({"id", "z", "s", "sdg", "t", "tdg", "p", "rz"})
+
+
+@rule("REP005", "unmerged-1q-run", Severity.WARNING)
+def _check_unmerged_runs(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """Adjacent single-qubit z-rotations that a peephole pass should merge.
+
+    Only diagonal pairs are flagged: a canonical ``rz sx rz`` Euler
+    triplet is already merged, but two adjacent ``rz``-family gates are
+    always one gate's worth of redundancy.
+    """
+    if not ctx.expect_optimized:
+        return
+    r = _find("REP005")
+    last_diag: Dict[int, int] = {}  # qubit -> index of trailing z-family gate
+    reported: set = set()
+    for idx, instr in enumerate(c):
+        g = instr.gate
+        if g.name == "barrier":
+            continue
+        if g.num_qubits == 1 and g.name in _Z_FAMILY_1Q:
+            q = instr.qubits[0]
+            prev = last_diag.get(q)
+            if prev is not None and prev not in reported:
+                yield _diag(
+                    r,
+                    f"ops {prev} and {idx} are adjacent 1q rotations on "
+                    f"qubit {q}; an optimized circuit should merge them "
+                    f"into one rz",
+                    idx,
+                    "run optimize_circuit / merge_1q_runs",
+                )
+                reported.add(prev)
+                reported.add(idx)
+            last_diag[q] = idx
+        else:
+            for q in instr.qubits:
+                last_diag.pop(q, None)
+
+
+@rule("REP006", "cancelable-2q-pair", Severity.WARNING)
+def _check_cancelable_pairs(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """Adjacent identical self-inverse entanglers that cancel to nothing."""
+    if not ctx.expect_optimized:
+        return
+    r = _find("REP006")
+    # open[qubits tuple] = (index, name); any intervening op on either
+    # wire closes the window.
+    open_pairs: Dict[Tuple[int, ...], Tuple[int, str]] = {}
+    for idx, instr in enumerate(c):
+        g = instr.gate
+        if g.name == "barrier":
+            continue
+        qs = instr.qubits
+        if g.name in _SELF_INVERSE_2Q:
+            key = qs if g.name != "cz" else tuple(sorted(qs))
+            prev = open_pairs.get(key)
+            if prev is not None and prev[1] == g.name:
+                yield _diag(
+                    r,
+                    f"{g.name} at ops {prev[0]} and {idx} on qubits "
+                    f"{list(qs)} cancel to identity",
+                    idx,
+                    "run optimize_circuit / cancel_adjacent_cx",
+                )
+                del open_pairs[key]
+                continue
+            # This gate also disturbs any other open window on its wires.
+            for k in [k for k in open_pairs if set(k) & set(qs) and k != key]:
+                del open_pairs[k]
+            open_pairs[key] = (idx, g.name)
+        else:
+            for k in [k for k in open_pairs if set(k) & set(qs)]:
+                del open_pairs[k]
+
+
+# ---------------------------------------------------------------------------
+# Transpilation-target conformance
+# ---------------------------------------------------------------------------
+
+@rule("REP007", "non-basis-gate", Severity.ERROR)
+def _check_basis(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """A gate outside the declared target basis survived transpilation."""
+    if ctx.basis is None:
+        return
+    r = _find("REP007")
+    for idx, instr in enumerate(c):
+        name = instr.gate.name
+        if name in _STRUCTURAL or name in ctx.basis:
+            continue
+        yield _diag(
+            r,
+            f"gate {name!r} is not in the target basis "
+            f"{sorted(ctx.basis)}",
+            idx,
+            "run decompose_to_basis",
+        )
+
+
+@rule("REP008", "coupling-violation", Severity.ERROR)
+def _check_coupling(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """A multi-qubit gate spans physically unconnected qubits."""
+    if ctx.coupling is None:
+        return
+    r = _find("REP008")
+    for idx, instr in enumerate(c):
+        g = instr.gate
+        if g.name == "barrier" or g.num_qubits < 2:
+            continue
+        if g.num_qubits > 2:
+            yield _diag(
+                r,
+                f"{g.name} acts on {g.num_qubits} qubits; hardware "
+                f"executes at most 2-qubit gates",
+                idx,
+                "decompose to the basis before routing",
+            )
+            continue
+        a, b = instr.qubits
+        if not ctx.coupling.connected(a, b):
+            yield _diag(
+                r,
+                f"{g.name} on qubits {a},{b} violates the coupling map",
+                idx,
+                "run route_circuit for this coupling map",
+            )
+
+
+@rule("REP009", "below-cutoff-rotation", Severity.WARNING)
+def _check_rotation_cutoff(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """A rotation angle falls below the AQFT cutoff ``pi / 2**d``."""
+    if ctx.aqft_depth is None:
+        return
+    r = _find("REP009")
+    cutoff = math.pi / (1 << ctx.aqft_depth)
+    tol = 1e-9
+    for idx, instr in enumerate(c):
+        g = instr.gate
+        if g.name not in _ROTATION_GATES:
+            continue
+        theta = math.remainder(g.params[0], 2 * math.pi)  # wrap to (-pi, pi]
+        if tol < abs(theta) < cutoff * (1.0 - 1e-9):
+            yield _diag(
+                r,
+                f"{g.name}({g.params[0]:.3g}) wraps to |angle| = "
+                f"{abs(theta):.3g} < pi/2^{ctx.aqft_depth} = {cutoff:.3g}",
+                idx,
+                f"an AQFT of depth {ctx.aqft_depth} should have pruned "
+                f"this rotation",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Dataflow: ancilla hygiene
+# ---------------------------------------------------------------------------
+
+@rule("REP012", "ancilla-dirty", Severity.ERROR)
+def _check_ancillas(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """A declared ancilla does not return to its input state."""
+    if not ctx.ancillas:
+        return
+    r = _find("REP012")
+    r_unv = _find("REP013")
+    for verdict in ancilla_clean_return(
+        c, ctx.ancillas, valid_inputs=ctx.input_predicate
+    ):
+        if verdict.status == "dirty":
+            yield _diag(
+                r,
+                f"ancilla qubit {verdict.qubit} ends dirty: {verdict.detail}",
+                None,
+                "uncompute the ancilla before releasing it",
+            )
+        elif verdict.status == "unverifiable":
+            yield _diag(
+                r_unv,
+                f"ancilla qubit {verdict.qubit} cannot be verified "
+                f"statically: {verdict.detail}",
+                None,
+            )
+
+
+@rule("REP013", "ancilla-unverifiable", Severity.INFO)
+def _check_ancillas_unverifiable(c: QuantumCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    """Placeholder owner for REP013 findings emitted by REP012's checker."""
+    return
+    yield  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def rule_catalog() -> List[LintRule]:
+    """The registered rules in id order."""
+    return sorted(RULES, key=lambda r: r.rule_id)
+
+
+def lint_circuit(
+    circuit: QuantumCircuit,
+    context: Optional[LintContext] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Run the (selected) rules over one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to lint.
+    context:
+        Optional :class:`LintContext`; omitted fields disable the
+        corresponding context-dependent rules.
+    rules:
+        Optional iterable of rule ids to restrict the run to.
+    """
+    ctx = context or LintContext()
+    wanted = set(rules) if rules is not None else None
+    report = LintReport()
+    name = circuit.name
+    for r in rule_catalog():
+        if wanted is not None and r.rule_id not in wanted:
+            continue
+        if r.fn is None:
+            continue
+        for diag in r.fn(circuit, ctx):
+            report.add(
+                Diagnostic(
+                    rule_id=diag.rule_id,
+                    rule_name=diag.rule_name,
+                    severity=diag.severity,
+                    message=diag.message,
+                    instruction_index=diag.instruction_index,
+                    circuit_name=name,
+                    fix_hint=diag.fix_hint,
+                )
+            )
+    return report

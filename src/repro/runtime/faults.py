@@ -34,7 +34,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Mapping, Optional
 
 __all__ = ["InjectedFault", "FaultSpec", "FaultPlan", "inject", "CRASH_EXIT_CODE"]
 

@@ -18,8 +18,6 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
-import numpy as np
-
 from ..circuits import gates as G
 from ..circuits.circuit import Instruction, QuantumCircuit
 from .euler import zsx_sequence

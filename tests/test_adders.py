@@ -14,7 +14,7 @@ from repro.core import (
     qfs_circuit,
 )
 from repro.experiments.instances import product_statevector
-from repro.sim import StatevectorEngine, extract_register_values
+from repro.sim import StatevectorEngine
 
 from conftest import basis_input, register_value
 

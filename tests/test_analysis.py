@@ -1,6 +1,5 @@
 """Tests for the analysis package (error budgets, depth heuristics)."""
 
-import math
 
 import pytest
 

@@ -1,13 +1,11 @@
 """Tests for synthetic backend calibrations."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import QuantumCircuit
 from repro.circuits import gates as G
 from repro.circuits.circuit import Instruction
 from repro.noise.calibration import (
-    BackendCalibration,
     QubitCalibration,
     synthetic_calibration,
 )

@@ -1,6 +1,5 @@
 """Tests for noise channels and Pauli utilities."""
 
-import math
 
 import numpy as np
 import pytest

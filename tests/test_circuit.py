@@ -15,7 +15,7 @@ from repro.circuits import (
 from repro.circuits.circuit import Instruction
 from repro.circuits import gates as G
 
-from conftest import assert_circuit_equiv, assert_matrix_equiv
+from conftest import assert_matrix_equiv
 
 
 class TestRegisters:

@@ -7,7 +7,6 @@ branch is exercised deterministically (no simulation involved).
 
 from typing import Dict, Optional, Tuple
 
-import pytest
 
 from repro.experiments.config import SweepConfig
 from repro.experiments.report import check_claims

@@ -1,6 +1,5 @@
 """Tests for partial trace and entanglement entropies."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,0 +1,312 @@
+"""Phase-polynomial path-sum engine and the equivalence checker.
+
+The hypothesis property test at the bottom is the load-bearing one: for
+random basis circuits and random pass pipelines the symbolic verdict
+must agree with brute-force unitary comparison whenever it commits to
+an answer.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.qft import qft_circuit
+from repro.lint import PathSum, check_equivalence
+from repro.lint.phasepoly import php_factor
+from repro.transpile import transpile
+from repro.transpile.decompose import decompose_to_basis
+from repro.transpile.layout import linear_coupling
+from repro.transpile.optimize import optimize_circuit
+from repro.transpile.passes import PassManager, PassVerificationError
+from repro.transpile.routing import route_circuit
+
+
+# ---------------------------------------------------------------------------
+# php_factor: P-H-P-H-P synthesis of arbitrary 1q unitaries
+# ---------------------------------------------------------------------------
+
+def _php_matrix(alpha, seq):
+    H = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+    X = np.array([[0, 1], [1, 0]], dtype=complex)
+    m = np.eye(2, dtype=complex) * np.exp(1j * alpha)
+    for kind, angle in seq:
+        if kind == "p":
+            g = np.diag([1.0, np.exp(1j * angle)])
+        elif kind == "h":
+            g = H
+        else:
+            g = X
+        m = g @ m  # seq is in circuit order
+    return m
+
+
+@pytest.mark.parametrize(
+    "gate",
+    ["h", "sx", "sxdg", "y", "rx", "ry", "u"],
+)
+def test_php_factor_reconstructs(gate):
+    c = QuantumCircuit(1)
+    if gate == "rx":
+        c.rx(0.7, 0)
+    elif gate == "ry":
+        c.ry(-1.3, 0)
+    elif gate == "u":
+        c.u(0.4, 1.1, -2.2, 0)
+    else:
+        getattr(c, gate)(0)
+    mat = c.instructions[0].gate.matrix
+    alpha, seq = php_factor(mat)
+    assert np.allclose(_php_matrix(alpha, seq), mat, atol=1e-12)
+
+
+def test_php_factor_diagonal_shortcut():
+    mat = np.diag([1.0, np.exp(0.3j)])
+    alpha, seq = php_factor(mat)
+    assert [k for k, _ in seq] == ["p"]
+    assert np.allclose(_php_matrix(alpha, seq), mat, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# PathSum reductions
+# ---------------------------------------------------------------------------
+
+def test_hh_reduces_to_identity():
+    c = QuantumCircuit(1)
+    c.h(0)
+    c.h(0)
+    ps = PathSum(1)
+    ps.apply_circuit(c)
+    assert ps.finish().status == "identity"
+
+
+def test_qft_times_inverse_is_identity():
+    n = 8
+    ps = PathSum(n)
+    ps.apply_circuit(qft_circuit(n))
+    ps.apply_circuit(qft_circuit(n), inverse=True)
+    assert ps.finish().status == "identity"
+
+
+def test_phase_mismatch_is_caught():
+    a = QuantumCircuit(1)
+    a.t(0)
+    b = QuantumCircuit(1)
+    b.s(0)
+    ps = PathSum(1)
+    ps.apply_circuit(a)
+    ps.apply_circuit(b, inverse=True)
+    assert ps.finish().status == "not_identity"
+
+
+def test_global_phase_tolerated_only_when_asked():
+    a = QuantumCircuit(1)
+    a.z(0)
+    a.x(0)
+    a.z(0)
+    a.x(0)  # Z X Z X = -I
+    ps = PathSum(1)
+    ps.apply_circuit(a)
+    assert ps.finish(up_to_global_phase=True).status == "identity"
+    ps2 = PathSum(1)
+    ps2.apply_circuit(a)
+    assert ps2.finish(up_to_global_phase=False).status == "not_identity"
+
+
+# ---------------------------------------------------------------------------
+# check_equivalence verdicts
+# ---------------------------------------------------------------------------
+
+def _ghz(n=3):
+    c = QuantumCircuit(n)
+    c.h(0)
+    for q in range(n - 1):
+        c.cx(q, q + 1)
+    return c
+
+
+def test_transpile_is_equivalent_symbolically():
+    logical = qft_circuit(6)
+    transpiled = decompose_to_basis(logical)
+    res = check_equivalence(logical, transpiled)
+    assert res.verdict == "equivalent"
+    assert res.method == "symbolic"
+
+
+def test_dropped_gate_detected():
+    logical = _ghz()
+    broken = QuantumCircuit(3)
+    for instr in logical.instructions[:-1]:  # drop the last cx
+        broken.append(instr.gate, instr.qubits)
+    res = check_equivalence(logical, broken)
+    assert res.verdict == "not_equivalent"
+
+
+def test_wrong_angle_detected():
+    a = QuantumCircuit(2)
+    a.h(0)
+    a.cp(math.pi / 4, 0, 1)
+    b = QuantumCircuit(2)
+    b.h(0)
+    b.cp(math.pi / 8, 0, 1)
+    res = check_equivalence(a, b)
+    assert res.verdict == "not_equivalent"
+
+
+def test_routed_circuit_verified_via_output_map():
+    logical = decompose_to_basis(qft_circuit(5))
+    routed = route_circuit(logical, linear_coupling(5))
+    omap = {l: routed.final_layout.l2p[l] for l in range(5)}
+    final = decompose_to_basis(routed.circuit)
+    res = check_equivalence(logical, final, output_map=omap)
+    assert res.verdict == "equivalent"
+    assert res.method == "symbolic"
+    # Without the map the permutation must be flagged as inequivalent
+    # (or at minimum not proven equivalent).
+    res_bad = check_equivalence(logical, final)
+    assert res_bad.verdict != "equivalent"
+
+
+def test_wide_circuit_never_builds_unitary():
+    # 16 qubits: any unitary fallback would need a 65536^2 matrix; the
+    # symbolic engine must decide alone (and fast).
+    logical = qft_circuit(16)
+    transpiled = decompose_to_basis(logical)
+    res = check_equivalence(
+        logical, transpiled, unitary_qubit_threshold=5
+    )
+    assert res.verdict == "equivalent"
+    assert res.method == "symbolic"
+
+
+def test_measurement_signature_mismatch():
+    a = QuantumCircuit(2, 2)
+    a.h(0)
+    a.measure(0, 0)
+    b = QuantumCircuit(2, 2)
+    b.h(0)
+    b.measure(1, 0)
+    res = check_equivalence(a, b)
+    assert res.verdict == "not_equivalent"
+    assert res.method == "structural"
+
+
+def test_identical_circuits_structural_fast_path():
+    c = _ghz()
+    res = check_equivalence(c, c.copy())
+    assert res.verdict == "equivalent"
+    assert res.method == "structural"
+
+
+# ---------------------------------------------------------------------------
+# Checked transpilation
+# ---------------------------------------------------------------------------
+
+def test_checked_transpile_full_pipeline():
+    logical = qft_circuit(6)
+    for level in (0, 1):
+        transpile(logical, optimization_level=level, checked=True)
+    transpile(
+        logical,
+        optimization_level=1,
+        coupling=linear_coupling(6),
+        checked=True,
+    )
+
+
+def test_checked_passmanager_catches_evil_pass():
+    def drop_half(circuit):
+        out = circuit.copy()
+        out._instructions = out._instructions[: len(out._instructions) // 2]
+        return out
+
+    pm = PassManager([drop_half], checked=True)
+    with pytest.raises(PassVerificationError):
+        pm.run(decompose_to_basis(qft_circuit(4)))
+
+
+def test_checked_passmanager_accepts_honest_pass():
+    pm = PassManager([optimize_circuit], checked=True)
+    out = pm.run(decompose_to_basis(qft_circuit(4)))
+    assert check_equivalence(qft_circuit(4), out).is_equivalent
+
+
+def test_unchecked_passmanager_does_not_verify():
+    def drop_all(circuit):
+        out = circuit.copy()
+        out._instructions = []
+        return out
+
+    pm = PassManager([drop_all], checked=False)
+    assert len(pm.run(_ghz())) == 0  # silently wrong, by request
+
+
+# ---------------------------------------------------------------------------
+# Property test: symbolic verdict vs brute-force unitaries (n <= 5)
+# ---------------------------------------------------------------------------
+
+_GATES_1Q = ["h", "x", "s", "t", "sx", "sdg", "tdg", "z"]
+
+
+@st.composite
+def small_circuits(draw):
+    n = draw(st.integers(2, 4))
+    c = QuantumCircuit(n)
+    for _ in range(draw(st.integers(1, 12))):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            getattr(c, draw(st.sampled_from(_GATES_1Q)))(
+                draw(st.integers(0, n - 1))
+            )
+        elif kind == 1:
+            c.rz(draw(st.floats(-3.0, 3.0, allow_nan=False)),
+                 draw(st.integers(0, n - 1)))
+        elif kind == 2:
+            q = draw(st.permutations(range(n)))
+            c.cx(q[0], q[1])
+        else:
+            q = draw(st.permutations(range(n)))
+            c.cp(draw(st.floats(-3.0, 3.0, allow_nan=False)), q[0], q[1])
+    return c
+
+
+def _unitaries_agree(a, b):
+    ua, ub = a.to_matrix(), b.to_matrix()
+    inner = np.trace(ua.conj().T @ ub)
+    return abs(abs(inner) - ua.shape[0]) < 1e-7
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_circuits(), st.integers(0, 3))
+def test_symbolic_verdict_matches_unitary(circuit, pipeline):
+    """Random circuit, random pass pipeline: commit only to true verdicts."""
+    if pipeline == 0:
+        candidate = decompose_to_basis(circuit)
+    elif pipeline == 1:
+        candidate = optimize_circuit(decompose_to_basis(circuit))
+    elif pipeline == 2:
+        candidate = transpile(circuit, optimization_level=1)
+    else:
+        # A corrupted pipeline: perturb one rotation.
+        candidate = decompose_to_basis(circuit).copy()
+        candidate.rz(0.375, 0)
+    res = check_equivalence(
+        circuit, candidate, unitary_qubit_threshold=0
+    )  # threshold 0: forbid the fallback, test the symbolic engine alone
+    truth = _unitaries_agree(circuit, candidate)
+    if res.verdict == "equivalent":
+        assert truth, f"false positive: {res.detail}"
+    elif res.verdict == "not_equivalent":
+        assert not truth, f"false negative: {res.detail}"
+    # "unknown" is always allowed; soundness is what matters.
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_circuits())
+def test_self_equivalence_after_transpile(circuit):
+    """transpile() output always verifies against its input."""
+    res = check_equivalence(circuit, transpile(circuit, optimization_level=1))
+    assert res.verdict != "not_equivalent"

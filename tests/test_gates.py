@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.circuits import gates as G
-from repro.circuits.gates import Gate, GateError, controlled_matrix, make_gate
+from repro.circuits.gates import GateError, controlled_matrix, make_gate
 
 from conftest import assert_matrix_equiv
 

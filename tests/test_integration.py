@@ -6,7 +6,6 @@ success metric — at reduced sizes so the suite stays fast.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import QInteger, qfa_circuit, qfm_circuit
 from repro.experiments import (

@@ -1,0 +1,112 @@
+"""The ``repro-arith lint`` subcommand: exit codes and output formats."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+DEFECT_QASM = """\
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+h q[0];
+measure q[0] -> c[0];
+x q[0];
+measure q[1] -> c[0];
+"""
+
+CLEAN_QASM = """\
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+"""
+
+
+@pytest.fixture
+def defect_file(tmp_path):
+    path = tmp_path / "defect.qasm"
+    path.write_text(DEFECT_QASM)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.qasm"
+    path.write_text(CLEAN_QASM)
+    return str(path)
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "REP001" in out and "REP013" in out
+
+
+def test_no_input_is_usage_error(capsys):
+    assert main(["lint"]) == 2
+
+
+def test_defect_file_fails(defect_file, capsys):
+    assert main(["lint", defect_file]) == 1
+    out = capsys.readouterr().out
+    assert "REP011" in out  # clbit collision is the seeded error
+
+
+def test_clean_file_passes(clean_file, capsys):
+    assert main(["lint", clean_file]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_strict_promotes_warnings(clean_file, tmp_path, capsys):
+    # A warning-only file: gate after measurement.
+    path = tmp_path / "warn.qasm"
+    path.write_text(
+        "OPENQASM 2.0;\n"
+        'include "qelib1.inc";\n'
+        "qreg q[1];\ncreg c[1];\n"
+        "measure q[0] -> c[0];\n"
+        "x q[0];\n"
+    )
+    assert main(["lint", str(path)]) == 0
+    assert main(["lint", "--strict", str(path)]) == 1
+
+
+def test_json_output_is_sarif(defect_file, capsys):
+    assert main(["lint", "--json", defect_file]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    results = doc["runs"][0]["results"]
+    assert any(r["ruleId"] == "REP011" for r in results)
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-arith lint"
+
+
+def test_basis_flag(tmp_path, capsys):
+    path = tmp_path / "nonbasis.qasm"
+    path.write_text(
+        "OPENQASM 2.0;\n"
+        'include "qelib1.inc";\n'
+        "qreg q[1];\n"
+        "h q[0];\n"
+    )
+    assert main(["lint", str(path)]) == 0
+    assert main(["lint", "--basis", str(path)]) == 1
+    assert "REP007" in capsys.readouterr().out
+
+
+def test_missing_file_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope.qasm")]) == 2
+
+
+def test_corpus_smoke(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    assert main(["lint", "--corpus", "--verify"]) == 0
+    captured = capsys.readouterr()
+    assert "clean" in captured.out
+    assert "verified" in captured.err

@@ -1,0 +1,421 @@
+"""Lint rules: one defective (positive) and one clean (negative) case each."""
+
+import math
+
+import pytest
+
+from repro.circuits import gates as G
+from repro.circuits.circuit import CircuitError, Instruction, QuantumCircuit
+from repro.lint import (
+    LintContext,
+    Severity,
+    analyze_liveness,
+    ancilla_clean_return,
+    lint_circuit,
+    rule_catalog,
+    trace_wire_values,
+)
+from repro.transpile.basis import IBM_BASIS
+from repro.transpile.layout import linear_coupling
+
+
+def rule_ids(report):
+    return {d.rule_id for d in report}
+
+
+def seeded(rule_id, report):
+    """The findings a given rule produced."""
+    return [d for d in report if d.rule_id == rule_id]
+
+
+# ---------------------------------------------------------------------------
+# REP001 operand-out-of-range / REP002 duplicate-operands
+# ---------------------------------------------------------------------------
+
+def _smuggle(circuit, gate, qubits):
+    """Plant an invalid instruction the way a buggy pass would: by
+    direct ``_instructions`` manipulation, bypassing append checks."""
+    instr = Instruction(gate, list(range(gate.num_qubits)))
+    instr.qubits = tuple(qubits)
+    circuit._instructions.append(instr)
+
+
+def test_rep001_out_of_range():
+    c = QuantumCircuit(2)
+    c.h(0)
+    _smuggle(c, G.CXGate(), (0, 5))
+    report = lint_circuit(c)
+    findings = seeded("REP001", report)
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.ERROR
+    assert findings[0].instruction_index == 1
+
+
+def test_rep001_clean():
+    c = QuantumCircuit(2)
+    c.h(0)
+    c.cx(0, 1)
+    assert not seeded("REP001", lint_circuit(c))
+
+
+def test_rep002_duplicate_operands():
+    c = QuantumCircuit(2)
+    _smuggle(c, G.CXGate(), (1, 1))
+    findings = seeded("REP002", lint_circuit(c))
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.ERROR
+
+
+def test_rep002_clean_and_barrier_exempt():
+    c = QuantumCircuit(2)
+    c.cx(0, 1)
+    c.barrier()
+    assert not seeded("REP002", lint_circuit(c))
+
+
+# ---------------------------------------------------------------------------
+# REP003 gate-after-measure / REP004 dead-qubit
+# ---------------------------------------------------------------------------
+
+def test_rep003_gate_after_measure():
+    c = QuantumCircuit(2, 2)
+    c.h(0)
+    c.measure(0, 0)
+    c.x(0)
+    findings = seeded("REP003", lint_circuit(c))
+    assert len(findings) == 1
+    assert findings[0].instruction_index == 2
+
+
+def test_rep003_reset_clears():
+    c = QuantumCircuit(1, 1)
+    c.measure(0, 0)
+    c.reset(0)
+    c.x(0)
+    assert not seeded("REP003", lint_circuit(c))
+
+
+def test_rep004_dead_qubit():
+    c = QuantumCircuit(3)
+    c.h(0)
+    c.cx(0, 1)
+    c.barrier()  # barriers do not count as use
+    findings = seeded("REP004", lint_circuit(c))
+    assert len(findings) == 1
+    assert "qubit 2" in findings[0].message
+    assert findings[0].severity == Severity.INFO
+
+
+def test_rep004_clean():
+    c = QuantumCircuit(2)
+    c.h(0)
+    c.x(1)
+    assert not seeded("REP004", lint_circuit(c))
+
+
+# ---------------------------------------------------------------------------
+# REP005 unmerged-1q-run / REP006 cancelable-2q-pair (need expect_optimized)
+# ---------------------------------------------------------------------------
+
+OPT = LintContext(expect_optimized=True)
+
+
+def test_rep005_unmerged_rz_pair():
+    c = QuantumCircuit(1)
+    c.rz(0.3, 0)
+    c.rz(0.4, 0)
+    assert len(seeded("REP005", lint_circuit(c, OPT))) == 1
+
+
+def test_rep005_euler_triplet_is_clean():
+    # The canonical rz-sx-rz output of 1q resynthesis must NOT be
+    # flagged: only adjacent *diagonal* pairs are mergeable.
+    c = QuantumCircuit(1)
+    c.rz(0.3, 0)
+    c.sx(0)
+    c.rz(0.4, 0)
+    assert not seeded("REP005", lint_circuit(c, OPT))
+
+
+def test_rep005_silent_without_context():
+    c = QuantumCircuit(1)
+    c.rz(0.3, 0)
+    c.rz(0.4, 0)
+    assert not seeded("REP005", lint_circuit(c))
+
+
+def test_rep006_adjacent_cx_pair():
+    c = QuantumCircuit(2)
+    c.cx(0, 1)
+    c.cx(0, 1)
+    assert len(seeded("REP006", lint_circuit(c, OPT))) == 1
+
+
+def test_rep006_intervening_gate_is_clean():
+    c = QuantumCircuit(2)
+    c.cx(0, 1)
+    c.h(1)
+    c.cx(0, 1)
+    assert not seeded("REP006", lint_circuit(c, OPT))
+
+
+def test_rep006_cz_orientation_insensitive():
+    c = QuantumCircuit(2)
+    c.cz(0, 1)
+    c.cz(1, 0)
+    assert len(seeded("REP006", lint_circuit(c, OPT))) == 1
+
+
+# ---------------------------------------------------------------------------
+# REP007 non-basis-gate / REP008 coupling-violation
+# ---------------------------------------------------------------------------
+
+def test_rep007_non_basis_gate():
+    c = QuantumCircuit(2)
+    c.h(0)  # not in {id, x, rz, sx, cx}
+    findings = seeded("REP007", lint_circuit(c, LintContext(basis=IBM_BASIS)))
+    assert len(findings) == 1
+    assert "'h'" in findings[0].message
+
+
+def test_rep007_basis_and_structural_clean():
+    c = QuantumCircuit(2, 2)
+    c.sx(0)
+    c.rz(0.1, 0)
+    c.cx(0, 1)
+    c.barrier()
+    c.measure(0, 0)
+    assert not seeded("REP007", lint_circuit(c, LintContext(basis=IBM_BASIS)))
+
+
+def test_rep008_coupling_violation():
+    c = QuantumCircuit(3)
+    c.cx(0, 2)  # 0-2 not adjacent on a linear chain
+    ctx = LintContext(coupling=linear_coupling(3))
+    findings = seeded("REP008", lint_circuit(c, ctx))
+    assert len(findings) == 1
+
+
+def test_rep008_clean_on_chain():
+    c = QuantumCircuit(3)
+    c.cx(0, 1)
+    c.cx(1, 2)
+    ctx = LintContext(coupling=linear_coupling(3))
+    assert not seeded("REP008", lint_circuit(c, ctx))
+
+
+def test_rep008_wide_gate_flagged():
+    c = QuantumCircuit(3)
+    c.ccx(0, 1, 2)
+    ctx = LintContext(coupling=linear_coupling(3))
+    findings = seeded("REP008", lint_circuit(c, ctx))
+    assert len(findings) == 1
+    assert "3 qubits" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# REP009 below-cutoff-rotation
+# ---------------------------------------------------------------------------
+
+def test_rep009_below_cutoff():
+    c = QuantumCircuit(1)
+    c.rz(math.pi / 16, 0)  # below pi/2^3
+    ctx = LintContext(aqft_depth=3)
+    findings = seeded("REP009", lint_circuit(c, ctx))
+    assert len(findings) == 1
+
+
+def test_rep009_at_cutoff_clean():
+    c = QuantumCircuit(1)
+    c.rz(math.pi / 8, 0)  # exactly pi/2^3: the finest allowed rotation
+    ctx = LintContext(aqft_depth=3)
+    assert not seeded("REP009", lint_circuit(c, ctx))
+
+
+def test_rep009_wraps_large_angles():
+    c = QuantumCircuit(1)
+    c.rz(2 * math.pi + math.pi / 16, 0)
+    ctx = LintContext(aqft_depth=3)
+    assert len(seeded("REP009", lint_circuit(c, ctx))) == 1
+
+
+# ---------------------------------------------------------------------------
+# REP010 nonfinite-parameter / REP011 clbit-collision
+# ---------------------------------------------------------------------------
+
+def test_rep010_nan_parameter():
+    c = QuantumCircuit(1)
+    c.rz(math.nan, 0)
+    findings = seeded("REP010", lint_circuit(c))
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.ERROR
+
+
+def test_rep010_clean():
+    c = QuantumCircuit(1)
+    c.rz(0.25, 0)
+    assert not seeded("REP010", lint_circuit(c))
+
+
+def test_rep011_clbit_collision():
+    c = QuantumCircuit(2, 1)
+    c.measure(0, 0)
+    c.measure(1, 0)
+    findings = seeded("REP011", lint_circuit(c))
+    assert len(findings) == 1
+
+
+def test_rep011_clean():
+    c = QuantumCircuit(2, 2)
+    c.measure(0, 0)
+    c.measure(1, 1)
+    assert not seeded("REP011", lint_circuit(c))
+
+
+# ---------------------------------------------------------------------------
+# REP012 / REP013 ancilla hygiene
+# ---------------------------------------------------------------------------
+
+def test_rep012_dirty_ancilla():
+    c = QuantumCircuit(2)
+    c.cx(0, 1)  # ancilla 1 left entangled with qubit 0
+    ctx = LintContext(ancillas=(1,))
+    findings = seeded("REP012", lint_circuit(c, ctx))
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.ERROR
+
+
+def test_rep012_clean_compute_uncompute():
+    c = QuantumCircuit(3)
+    c.ccx(0, 1, 2)
+    c.cx(2, 0)
+    c.ccx(0, 1, 2)  # does NOT uncompute (cx changed qubit 0) -> dirty
+    ctx = LintContext(ancillas=(2,))
+    assert seeded("REP012", lint_circuit(c, ctx))
+    c2 = QuantumCircuit(3)
+    c2.ccx(0, 1, 2)
+    c2.cz(2, 0)  # diagonal use leaves values intact
+    c2.ccx(0, 1, 2)
+    assert not seeded("REP012", lint_circuit(c2, LintContext(ancillas=(2,))))
+
+
+def test_rep013_unverifiable_when_too_wide():
+    c = QuantumCircuit(12)
+    for q in range(12):
+        c.h(q)  # leaves the trackable fragment, too wide to simulate
+    ctx = LintContext(ancillas=(11,))
+    findings = seeded("REP013", lint_circuit(c, ctx))
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.INFO
+
+
+def test_ancilla_simulation_fallback():
+    # H-conjugated phase kickback returns the ancilla to |0> but is
+    # invisible to ANF tracking: the simulation fallback must prove it.
+    c = QuantumCircuit(2)
+    c.h(1)
+    c.cx(0, 1)
+    c.cx(0, 1)
+    c.h(1)
+    verdicts = ancilla_clean_return(c, [1])
+    assert verdicts[0].status == "clean"
+
+
+def test_ancilla_input_predicate():
+    # A circuit that is only clean on even basis inputs: predicate
+    # restricts the sampled domain.  The canceling H pair forces the
+    # check off the ANF path and onto the simulation fallback.
+    c = QuantumCircuit(2)
+    c.h(1)
+    c.h(1)
+    c.cx(0, 1)  # dirties ancilla 1 whenever qubit 0 is |1>
+    dirty = ancilla_clean_return(c, [1])
+    assert dirty[0].status == "dirty"
+    clean = ancilla_clean_return(c, [1], valid_inputs=lambda b: b % 2 == 0)
+    assert clean[0].status == "clean"
+
+
+# ---------------------------------------------------------------------------
+# Dataflow primitives
+# ---------------------------------------------------------------------------
+
+def test_liveness_facts():
+    c = QuantumCircuit(3, 1)
+    c.h(0)
+    c.cx(0, 1)
+    c.measure(1, 0)
+    live = analyze_liveness(c)
+    assert live.qubit_range[0] == (0, 1)
+    assert live.qubit_range[1] == (1, 2)
+    assert live.dead_qubits == [2]
+    assert live.clbit_writes == {0: [2]}
+    assert live.measure_sites == {1: [2]}
+
+
+def test_trace_wire_values_linear():
+    c = QuantumCircuit(3)
+    c.cx(0, 1)
+    c.x(2)
+    c.swap(0, 2)
+    values = trace_wire_values(c)
+    # wire1 = x0 ^ x1; wire0 <-> wire2 swapped, wire2 had x2 ^ 1
+    assert values[1] == frozenset({frozenset({0}), frozenset({1})})
+    assert values[0] == frozenset({frozenset({2}), frozenset()})
+    assert values[2] == frozenset({frozenset({0})})
+
+
+def test_trace_wire_values_poison():
+    c = QuantumCircuit(2)
+    c.h(0)
+    c.cx(0, 1)
+    values = trace_wire_values(c)
+    assert values[0] is None and values[1] is None
+
+
+# ---------------------------------------------------------------------------
+# Rule hygiene + driver
+# ---------------------------------------------------------------------------
+
+def test_catalog_ids_unique_and_sorted():
+    ids = [r.rule_id for r in rule_catalog()]
+    assert ids == sorted(ids)
+    assert len(ids) == len(set(ids))
+    assert all(i.startswith("REP") for i in ids)
+
+
+def test_rule_selection():
+    c = QuantumCircuit(3)
+    c.h(0)  # dead qubits 1, 2
+    report = lint_circuit(c, rules=["REP001"])
+    assert not report.diagnostics
+
+
+def test_report_renders_circuit_name():
+    c = QuantumCircuit(2, name="qfa_test")
+    _smuggle(c, G.CXGate(), (1, 1))
+    report = lint_circuit(c)
+    assert any(d.circuit_name == "qfa_test" for d in report)
+    assert "qfa_test" in report.to_text()
+
+
+# ---------------------------------------------------------------------------
+# Regression: construction-time duplicate-operand rejection (the bug the
+# linter's REP002 backstops).
+# ---------------------------------------------------------------------------
+
+def test_append_rejects_duplicate_qubits():
+    c = QuantumCircuit(2)
+    with pytest.raises(CircuitError, match="duplicate"):
+        c.cx(0, 0)
+
+
+def test_cswap_rejects_duplicate_qubits():
+    c = QuantumCircuit(3)
+    with pytest.raises(CircuitError, match="duplicate"):
+        c.cswap(1, 1, 2)
+
+
+def test_check_qubits_rejects_duplicates_directly():
+    c = QuantumCircuit(3)
+    with pytest.raises(CircuitError, match="duplicate"):
+        c._check_qubits([0, 1, 0])

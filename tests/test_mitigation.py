@@ -13,7 +13,7 @@ from repro.mitigation import (
     scale_noise_model,
     zne_expectation,
 )
-from repro.noise import NoiseModel, PauliError, ReadoutError, depolarizing_error
+from repro.noise import NoiseModel, PauliError, ReadoutError
 from repro.sim import Counts, simulate_counts
 
 

@@ -9,7 +9,7 @@ from repro.core import QInteger, constant_multiplier_circuit, qfm_circuit
 from repro.experiments.instances import product_statevector
 from repro.sim import StatevectorEngine
 
-from conftest import assert_circuit_equiv, basis_input, register_value
+from conftest import basis_input, register_value
 
 ENG = StatevectorEngine()
 

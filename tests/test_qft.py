@@ -5,7 +5,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.circuits import QuantumCircuit
 from repro.core import (
     controlled_qft_circuit,
     effective_depth,

@@ -1,6 +1,5 @@
 """Tests for the process-parallel sweep path and result determinism."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import SweepConfig, default_workers, run_sweep

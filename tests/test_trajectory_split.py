@@ -1,6 +1,5 @@
 """Tests for the clean-shot-splitting trajectory path."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import QuantumCircuit
