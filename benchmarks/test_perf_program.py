@@ -1,0 +1,136 @@
+"""Compiled-program benchmarks: lowering payoff and sweep cache behaviour.
+
+Two questions the execution IR must answer with numbers:
+
+* Is the compile-once trajectory path actually faster than the seed
+  per-run interpreter at the paper's QFM workload?  (Acceptance bar:
+  >= 2x at paper scale.)
+* Does a rate-only sweep lower exactly once, re-binding per rate?
+
+Timings honour ``REPRO_SCALE``; the speedup assertion tightens with the
+scale so the smoke lane stays deterministic while a paper-scale run
+enforces the real bar.  A summary artifact lands in ``results/bench/``.
+"""
+
+import time
+
+import pytest
+
+from conftest import save_artifact
+from repro.core import qfm_circuit
+from repro.noise import NoiseModel
+from repro.noise.ibm import P2Q_SWEEP
+from repro.sim import TrajectoryEngine
+from repro.sim.program import (
+    compile_cache_stats,
+    compile_circuit,
+    reset_compile_caches,
+)
+from repro.transpile import transpile
+
+SHOTS = 1024
+# Trajectory counts sized so a round stays in seconds at every scale;
+# the per-trajectory kernel cost (what the IR accelerates) dominates.
+_TRAJ = {"smoke": 8, "default": 16, "paper": 64}
+# Minimum program/interpreter speedup enforced per scale.  Tiny smoke
+# registers are overhead-dominated, so that lane only records the ratio.
+_MIN_SPEEDUP = {"smoke": None, "default": 1.2, "paper": 2.0}
+
+
+@pytest.fixture(scope="module")
+def qfm(scale):
+    """The paper's multiplier cell at the current scale, transpiled."""
+    return transpile(qfm_circuit(scale.qfm_n, scale.qfm_n))
+
+
+@pytest.fixture(scope="module")
+def noise():
+    """The paper's 2q reference point (cx depolarizing at 1%)."""
+    return NoiseModel.depolarizing(p2q=0.01)
+
+
+def test_compile_latency(benchmark, qfm, noise):
+    """Cold lowering + bind cost — what the cache amortises away."""
+
+    def compile_cold():
+        reset_compile_caches()
+        return compile_circuit(qfm, noise)
+
+    benchmark.pedantic(compile_cold, rounds=5, iterations=1)
+
+
+def test_trajectory_program_path(benchmark, scale, qfm, noise):
+    """Program-path trajectory run (compile cached outside the timer)."""
+    program = compile_circuit(qfm, noise)
+
+    def run():
+        eng = TrajectoryEngine(
+            trajectories=_TRAJ[scale.name], seed=7, use_program=True
+        )
+        return eng.run(program, noise, shots=SHOTS)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_trajectory_interpreter_path(benchmark, scale, qfm, noise):
+    """Seed interpreter baseline on the identical workload."""
+
+    def run():
+        eng = TrajectoryEngine(
+            trajectories=_TRAJ[scale.name], seed=7, use_program=False
+        )
+        return eng.run(qfm, noise, shots=SHOTS)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_program_speedup_over_interpreter(scale, artifact_dir, qfm, noise):
+    """Head-to-head ratio with the compile hoisted out of the timed loop."""
+    traj = _TRAJ[scale.name]
+    program = compile_circuit(qfm, noise)
+
+    def timed(use_program: bool) -> float:
+        eng = TrajectoryEngine(
+            trajectories=traj, seed=7, use_program=use_program
+        )
+        target = program if use_program else qfm
+        start = time.perf_counter()
+        eng.run(target, noise, shots=SHOTS)
+        return time.perf_counter() - start
+
+    timed(True)  # warm kernel caches and BLAS threads
+    timed(False)
+    t_program = min(timed(True) for _ in range(3))
+    t_interp = min(timed(False) for _ in range(3))
+    ratio = t_interp / t_program
+    save_artifact(
+        artifact_dir,
+        "program_speedup.txt",
+        f"scale={scale.name} qfm_n={scale.qfm_n} traj={traj} "
+        f"interpreter={t_interp:.3f}s program={t_program:.3f}s "
+        f"speedup={ratio:.2f}x",
+    )
+    floor = _MIN_SPEEDUP[scale.name]
+    if floor is not None:
+        assert ratio >= floor, (
+            f"program path only {ratio:.2f}x faster than the interpreter "
+            f"at scale {scale.name} (floor {floor}x)"
+        )
+
+
+def test_rate_only_sweep_compiles_once(qfm):
+    """A 2q-rate sweep lowers one skeleton and binds once per rate."""
+    reset_compile_caches()
+    rates = [r for r in P2Q_SWEEP if r > 0]
+    programs = [
+        compile_circuit(qfm, NoiseModel.depolarizing(p2q=r)) for r in rates
+    ]
+    stats = compile_cache_stats()
+    assert stats.lowerings == 1, stats
+    assert stats.binds == len(rates), stats
+    assert len({p.fingerprint for p in programs}) == len(rates)
+    # A second pass over the same rates is pure cache hits.
+    for r in rates:
+        compile_circuit(qfm, NoiseModel.depolarizing(p2q=r))
+    assert stats.lowerings == 1, stats
+    assert stats.bind_hits == len(rates), stats

@@ -11,7 +11,11 @@ from .gates import (
     Gate,
     GateError,
     controlled_matrix,
+    is_diagonal_gate,
+    is_monomial_gate,
     make_gate,
+    phase_on_ones,
+    phase_on_ones_angle,
 )
 from .qasm import QasmError, from_qasm, to_qasm
 from .registers import ClassicalRegister, QuantumRegister, RegisterError
@@ -29,6 +33,10 @@ __all__ = [
     "GATE_BUILDERS",
     "make_gate",
     "controlled_matrix",
+    "is_diagonal_gate",
+    "is_monomial_gate",
+    "phase_on_ones",
+    "phase_on_ones_angle",
     "draw_text",
     "to_qasm",
     "from_qasm",

@@ -65,6 +65,9 @@ __all__ = [
     "ResetOp",
     "controlled_matrix",
     "is_diagonal_gate",
+    "is_monomial_gate",
+    "phase_on_ones",
+    "phase_on_ones_angle",
 ]
 
 
@@ -523,6 +526,67 @@ def is_diagonal_gate(gate: Gate) -> bool:
         return False
     m = gate.matrix
     return bool(np.allclose(m, np.diag(np.diag(m))))
+
+
+#: Gates whose matrix is a pure 0/1 permutation (no phases).
+_PERMUTATION_NAMES = frozenset({"x", "cx", "ccx", "swap"})
+
+#: Gates equal to ``exp(i*lam)`` on the all-ones subspace of their
+#: arguments and identity elsewhere, keyed to the *exact* complex phase
+#: the simulation kernels multiply in (so precomputed and interpreted
+#: paths agree bit-for-bit).
+_PHASE_ON_ONES_VALUES: Dict[str, complex] = {
+    "z": -1.0,
+    "cz": -1.0,
+    "s": 1j,
+    "sdg": -1j,
+    "t": cmath.exp(0.25j * cmath.pi),
+    "tdg": cmath.exp(-0.25j * cmath.pi),
+}
+
+_PHASE_ON_ONES_ANGLES: Dict[str, float] = {
+    "z": math.pi,
+    "cz": math.pi,
+    "s": math.pi / 2,
+    "sdg": -math.pi / 2,
+    "t": math.pi / 4,
+    "tdg": -math.pi / 4,
+}
+
+
+def phase_on_ones(gate: Gate) -> Optional[complex]:
+    """The phase factor of a phase-on-all-ones gate, else ``None``.
+
+    Covers the phase family the transpiled circuits use: ``p``/``cp``/
+    ``ccp`` (parameterised) plus the fixed gates ``z``, ``cz``, ``s``,
+    ``sdg``, ``t``, ``tdg``.  This is the single shared predicate behind
+    the simulation fast path (:mod:`repro.sim.ops`), the execution-IR
+    compiler (:mod:`repro.sim.program`) and the phase-commutation pass
+    (:mod:`repro.transpile.optimize`).
+    """
+    if gate.name in ("p", "cp", "ccp"):
+        return cmath.exp(1j * gate.params[0])
+    return _PHASE_ON_ONES_VALUES.get(gate.name)
+
+
+def phase_on_ones_angle(gate: Gate) -> Optional[float]:
+    """The angle ``lam`` of a phase-on-all-ones gate, else ``None``."""
+    if gate.name in ("p", "cp", "ccp"):
+        return gate.params[0]
+    return _PHASE_ON_ONES_ANGLES.get(gate.name)
+
+
+def is_monomial_gate(gate: Gate) -> bool:
+    """True if the gate matrix is monomial (one entry per row/column).
+
+    Monomial unitaries — diagonal gates and the pure permutations
+    ``x``/``cx``/``ccx``/``swap`` — are closed under composition, which
+    is what lets the execution-IR compiler fuse noise-free runs of them
+    into a single permutation-plus-phase kernel.
+    """
+    if gate.name in _PERMUTATION_NAMES:
+        return True
+    return gate.is_unitary and is_diagonal_gate(gate)
 
 
 def make_gate(name: str, *params: float) -> Gate:

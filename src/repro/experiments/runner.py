@@ -27,12 +27,14 @@ from ..metrics.success import (
 )
 from ..noise.model import NoiseModel
 from ..sim.engines import simulate_counts
+from ..sim.program import CompiledProgram, compile_circuit
 from ..transpile.passes import transpile
 from .config import SweepConfig
 from .instances import ArithmeticInstance
 
 __all__ = [
     "build_arithmetic_circuit",
+    "build_compiled_program",
     "noise_model_for",
     "run_instance",
     "run_point",
@@ -78,6 +80,29 @@ def noise_model_for(
     raise ValueError(f"unknown error axis {error_axis!r}")
 
 
+@lru_cache(maxsize=128)
+def build_compiled_program(
+    operation: str,
+    n: int,
+    m: int,
+    depth: Optional[int],
+    error_axis: str,
+    rate: float,
+    convention: str = "qiskit",
+) -> CompiledProgram:
+    """The compiled execution program for one sweep cell.
+
+    Layered caching: this LRU memoises the full (cell, rate) pair, and
+    the compile cache underneath shares one *lowering* across every rate
+    of the same cell structure (see :mod:`repro.sim.program`) — so a
+    rate-only sweep lowers each circuit exactly once and performs one
+    cheap bind per rate.
+    """
+    circuit = build_arithmetic_circuit(operation, n, m, depth)
+    noise = noise_model_for(error_axis, rate, convention)
+    return compile_circuit(circuit, noise)
+
+
 def run_instance(
     circuit: QuantumCircuit,
     instance: ArithmeticInstance,
@@ -86,12 +111,18 @@ def run_instance(
     trajectories: int,
     rng: np.random.Generator,
     method: str = "trajectory",
+    program: Optional[CompiledProgram] = None,
 ) -> InstanceOutcome:
-    """Simulate one instance and apply the paper's success criterion."""
+    """Simulate one instance and apply the paper's success criterion.
+
+    When ``program`` is given the precompiled form is executed directly
+    (skipping per-instance lowering); ``circuit``/``noise`` still define
+    the semantics and must be the pair the program was compiled from.
+    """
     if noise.is_ideal:
         method = "statevector"
     counts = simulate_counts(
-        circuit,
+        program if program is not None else circuit,
         noise,
         shots=shots,
         method=method,
@@ -111,6 +142,10 @@ class PointResult:
     depth_label: str
     summary: SuccessSummary
     outcomes: Tuple[InstanceOutcome, ...]
+    #: fingerprint of the compiled program that produced this point
+    #: ("" for results predating program compilation, e.g. restored
+    #: checkpoints from older journals).
+    program_fingerprint: str = ""
 
 
 def run_point(
@@ -119,8 +154,14 @@ def run_point(
     error_rate: float,
     depth: Optional[int],
     rng: Optional[np.random.Generator] = None,
+    program: Optional[CompiledProgram] = None,
 ) -> PointResult:
-    """Evaluate all instances of one (error rate, depth) cell."""
+    """Evaluate all instances of one (error rate, depth) cell.
+
+    ``program`` lets a sweep driver ship the cell's precompiled program
+    (compiled once in the parent) into worker processes; when omitted it
+    is built — and cached — here.
+    """
     if rng is None:
         # Deterministic per-cell stream, independent of execution order.
         rng = np.random.default_rng(
@@ -130,6 +171,11 @@ def run_point(
         config.operation, config.n, config.m, depth
     )
     noise = noise_model_for(config.error_axis, error_rate, config.convention)
+    if program is None:
+        program = build_compiled_program(
+            config.operation, config.n, config.m, depth,
+            config.error_axis, error_rate, config.convention,
+        )
     outcomes = [
         run_instance(
             circuit,
@@ -139,6 +185,7 @@ def run_point(
             config.trajectories,
             rng,
             config.method,
+            program=program,
         )
         for inst in instances
     ]
@@ -148,4 +195,5 @@ def run_point(
         depth_label=config.depth_label(depth),
         summary=summarize(outcomes),
         outcomes=tuple(outcomes),
+        program_fingerprint=program.fingerprint,
     )

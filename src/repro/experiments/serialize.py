@@ -54,6 +54,7 @@ def point_to_dict(pr: PointResult) -> dict:
         "outcomes": [
             [int(o.success), o.min_diff, o.shots] for o in pr.outcomes
         ],
+        "program_fingerprint": pr.program_fingerprint,
     }
 
 
@@ -76,6 +77,8 @@ def point_from_dict(p: dict) -> PointResult:
         depth_label=p["depth_label"],
         summary=summary,
         outcomes=outcomes,
+        # Absent in journals written before program compilation existed.
+        program_fingerprint=p.get("program_fingerprint", ""),
     )
 
 

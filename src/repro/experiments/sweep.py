@@ -39,7 +39,7 @@ from ..runtime import (
 )
 from .config import SweepConfig
 from .instances import ArithmeticInstance, generate_instances
-from .runner import PointResult, run_point
+from .runner import PointResult, build_compiled_program, run_point
 from .serialize import depth_from_json, depth_to_json, point_from_dict, point_to_dict
 
 __all__ = [
@@ -158,11 +158,16 @@ def _execute_cell(payload, attempt: int) -> PointResult:
     """Supervisor worker: one (rate, depth) cell, fault-injectable.
 
     Module-level so it pickles into pool workers; ``attempt`` comes from
-    the supervisor and drives deterministic fault injection.
+    the supervisor and drives deterministic fault injection.  The
+    payload optionally carries the cell's precompiled execution program
+    (compiled once in the parent and shipped with the payload — workers
+    then skip lowering entirely); 5-tuples from older callers still
+    work, compiling worker-side.
     """
-    config, instances, rate, depth, fault_spec = payload
+    config, instances, rate, depth, fault_spec = payload[:5]
+    program = payload[5] if len(payload) > 5 else None
     poison = inject(fault_spec, (rate, depth), attempt)
-    point = run_point(config, instances, rate, depth)
+    point = run_point(config, instances, rate, depth, program=program)
     if poison:
         point = _poison_point(point)
     _check_point_health(point)
@@ -267,10 +272,24 @@ def run_sweep(
             f"({Path(checkpoint).name})"
         )
 
+    # Compile every pending cell's program up front in the parent: one
+    # lowering per depth (shared across rates via the compile cache) and
+    # one cheap bind per rate.  Workers receive the compiled payload and
+    # never lower; the picklable op descriptors keep shipping cheap.
     cells = [
         (
             key,
-            (config, instances, key[0], key[1], fault_plan.for_cell(key)),
+            (
+                config,
+                instances,
+                key[0],
+                key[1],
+                fault_plan.for_cell(key),
+                build_compiled_program(
+                    config.operation, config.n, config.m, key[1],
+                    config.error_axis, key[0], config.convention,
+                ),
+            ),
         )
         for key in all_keys
         if key not in points

@@ -24,6 +24,7 @@ non-identity Pauli.  ``convention="pauli"``: identity weight ``1 - p`` and
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import List, Optional, Sequence, Tuple
 
@@ -60,6 +61,20 @@ class QuantumError:
     def kraus_operators(self) -> List[np.ndarray]:
         """The channel as Kraus operators (little-endian matrices)."""
         raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """A short content hash of the channel (used for compile caching).
+
+        Two channels with equal fingerprints produce identical resolved
+        noise tables, so a compiled program bound against one can be
+        reused for the other.
+        """
+        h = hashlib.sha256()
+        h.update(type(self).__name__.encode())
+        h.update(str(self.num_qubits).encode())
+        for k in self.kraus_operators():
+            h.update(np.ascontiguousarray(k).tobytes())
+        return h.hexdigest()[:16]
 
     def validate(self, atol: float = 1e-9) -> None:
         """Check trace preservation: sum_m K_m^dag K_m == I."""
@@ -124,6 +139,13 @@ class PauliError(QuantumError):
         """Sample ``size`` outcome indices into :attr:`paulis`."""
         return rng.choice(len(self.paulis), size=size, p=self.probs)
 
+    def fingerprint(self) -> str:
+        h = hashlib.sha256()
+        h.update(b"PauliError")
+        h.update("|".join(self.paulis).encode())
+        h.update(self.probs.tobytes())
+        return h.hexdigest()[:16]
+
     def __repr__(self) -> str:
         terms = ", ".join(
             f"{p}:{pr:.4g}" for p, pr in zip(self.paulis, self.probs)
@@ -163,6 +185,10 @@ class ResetError(QuantumError):
         self.p1 = float(p1)
         self.num_qubits = 1
 
+    def fingerprint(self) -> str:
+        h = hashlib.sha256(f"ResetError|{self.p0!r}|{self.p1!r}".encode())
+        return h.hexdigest()[:16]
+
     def kraus_operators(self) -> List[np.ndarray]:
         ops = [math.sqrt(1 - self.p0 - self.p1) * np.eye(2, dtype=complex)]
         if self.p0 > 0:
@@ -199,6 +225,10 @@ class ReadoutError:
         return np.array(
             [[1 - self.p01, self.p10], [self.p01, 1 - self.p10]], dtype=float
         )
+
+    def fingerprint(self) -> str:
+        h = hashlib.sha256(f"ReadoutError|{self.p01!r}|{self.p10!r}".encode())
+        return h.hexdigest()[:16]
 
     def __repr__(self) -> str:
         return f"ReadoutError(p01={self.p01}, p10={self.p10})"

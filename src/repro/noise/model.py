@@ -11,6 +11,7 @@ are still supported here for the §5 extension experiments.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuits.circuit import Instruction
@@ -99,6 +100,80 @@ class NoiseModel:
     def readout_error(self, qubit: int) -> Optional[ReadoutError]:
         """Readout error for ``qubit``, or ``None``."""
         return self._readout_local.get(qubit, self._readout_all)
+
+    def errors_for(
+        self, gate_name: str, qubits: Sequence[int]
+    ) -> List[Tuple[Tuple, QuantumError]]:
+        """Error channels for a (gate name, qubit tuple) site with slots.
+
+        Like :meth:`gate_errors` but keyed by name/qubits directly and
+        returning ``(slot, error)`` pairs, where ``slot`` is a stable
+        address (``("all", name, i)`` or ``("local", name, qubits, i)``)
+        that :meth:`error_by_slot` resolves again later.  The compile
+        pipeline lowers a circuit against the *slots* (rate-independent)
+        and re-resolves the channels when binding a specific model.
+        """
+        if gate_name in _NEVER_NOISY:
+            return []
+        qt = tuple(int(q) for q in qubits)
+        local = self._local.get((gate_name, qt))
+        if local is not None:
+            return [
+                (("local", gate_name, qt, i), err)
+                for i, err in enumerate(local)
+            ]
+        return [
+            (("all", gate_name, i), err)
+            for i, err in enumerate(self._all_qubit.get(gate_name, []))
+        ]
+
+    def error_by_slot(self, slot: Tuple) -> QuantumError:
+        """Resolve a slot produced by :meth:`errors_for`."""
+        if slot[0] == "local":
+            return self._local[(slot[1], slot[2])][slot[3]]
+        return self._all_qubit[slot[1]][slot[2]]
+
+    def structure_key(self) -> Tuple:
+        """A hashable key for the model's *shape*, ignoring rates.
+
+        Two models share a structure key iff they attach channels of the
+        same arity to the same gate names/qubit tuples — exactly the
+        condition under which a lowered program skeleton (op layout and
+        noise-site placement) can be shared between them.  Rate-only
+        sweeps therefore lower once and re-bind per rate.
+        """
+        allq = tuple(
+            sorted(
+                (name, tuple(e.num_qubits for e in errs))
+                for name, errs in self._all_qubit.items()
+            )
+        )
+        local = tuple(
+            sorted(
+                (name, qs, tuple(e.num_qubits for e in errs))
+                for (name, qs), errs in self._local.items()
+            )
+        )
+        return (allq, local)
+
+    def fingerprint(self) -> str:
+        """A short content hash covering every channel and rate."""
+        h = hashlib.sha256()
+        for name in sorted(self._all_qubit):
+            h.update(f"all|{name}".encode())
+            for err in self._all_qubit[name]:
+                h.update(err.fingerprint().encode())
+        for name, qs in sorted(self._local):
+            h.update(f"local|{name}|{qs}".encode())
+            for err in self._local[(name, qs)]:
+                h.update(err.fingerprint().encode())
+        if self._readout_all is not None:
+            h.update(b"ro-all")
+            h.update(self._readout_all.fingerprint().encode())
+        for q in sorted(self._readout_local):
+            h.update(f"ro|{q}".encode())
+            h.update(self._readout_local[q].fingerprint().encode())
+        return h.hexdigest()[:16]
 
     @property
     def is_ideal(self) -> bool:

@@ -8,11 +8,25 @@ from .engines import (
     simulate_distribution,
 )
 from .perturbative import PerturbativeEngine
+from .program import (
+    CompiledProgram,
+    CompileStats,
+    compile_cache_stats,
+    compile_circuit,
+    kernel_cache_stats,
+    reset_compile_caches,
+)
 from .result import Counts, Distribution, extract_register_values
 from .statevector import Statevector, StatevectorEngine, zero_state
 from .trajectories import TrajectoryEngine
 
 __all__ = [
+    "CompiledProgram",
+    "CompileStats",
+    "compile_circuit",
+    "compile_cache_stats",
+    "kernel_cache_stats",
+    "reset_compile_caches",
     "StatevectorEngine",
     "Statevector",
     "DensityMatrixEngine",

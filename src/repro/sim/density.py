@@ -9,7 +9,7 @@ studies directly.  Memory is ``4**n`` complex values — practical to
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from ..noise.model import NoiseModel
 from ..noise.pauli import PAULI_MATRICES
 from ..runtime.health import check_trace
 from .ops import apply_gate_matrix
+from .program import CompiledProgram, DiagonalOp, RawGateOp, _term_instruction
 from .result import Distribution
 
 __all__ = ["DensityMatrixEngine", "DensityMatrix"]
@@ -100,7 +101,7 @@ class DensityMatrixEngine:
 
     def run(
         self,
-        circuit: QuantumCircuit,
+        circuit: Union[QuantumCircuit, CompiledProgram],
         noise_model: Optional[NoiseModel] = None,
         initial_state: Optional[np.ndarray] = None,
     ) -> DensityMatrix:
@@ -108,6 +109,8 @@ class DensityMatrixEngine:
 
         Measurements are ignored (terminal measurement is implicit in
         :meth:`distribution`); mid-circuit reset applies the reset map.
+        A :class:`~repro.sim.program.CompiledProgram` runs op by op with
+        its pre-resolved noise sites (``noise_model`` is then ignored).
         """
         n = circuit.num_qubits
         if n > self.max_qubits:
@@ -124,6 +127,10 @@ class DensityMatrixEngine:
             if vec.shape[0] != dim:
                 raise ValueError("initial state has wrong dimension")
             rho = np.outer(vec, vec.conj())
+        if isinstance(circuit, CompiledProgram):
+            rho = self._run_program_rho(rho, circuit, n)
+            check_trace(rho, "density engine")
+            return DensityMatrix(rho, n)
         noise = noise_model or NoiseModel.ideal()
 
         for instr in circuit:
@@ -139,15 +146,48 @@ class DensityMatrixEngine:
         check_trace(rho, "density engine")
         return DensityMatrix(rho, n)
 
+    def _run_program_rho(
+        self, rho: np.ndarray, program: CompiledProgram, n: int
+    ) -> np.ndarray:
+        """Walk compiled ops over the density operator."""
+        for op in program.ops:
+            kind = op.kind
+            if kind == "unitary":
+                if isinstance(op, DiagonalOp):
+                    # rho -> D rho D^dag: rho_ij *= d_i conj(d_j),
+                    # as two broadcast passes (no dim x dim temporary).
+                    d = op.diag(n)
+                    rho = rho * d[:, None]
+                    rho *= d.conj()[None, :]
+                elif isinstance(op, RawGateOp):
+                    rho = _apply_unitary_rho(
+                        rho, op.instr.gate.matrix, op.instr.qubits, n
+                    )
+                else:
+                    for term in op.term_list():
+                        instr = _term_instruction(*term)
+                        rho = _apply_unitary_rho(
+                            rho, instr.gate.matrix, instr.qubits, n
+                        )
+            elif kind == "noise":
+                rho = self._apply_error_on(rho, op.error, op.qubits, n)
+            elif kind == "reset":
+                rho = self._reset_qubit(rho, op.qubit, n)
+        return rho
+
     def distribution(
         self,
-        circuit: QuantumCircuit,
+        circuit: Union[QuantumCircuit, CompiledProgram],
         noise_model: Optional[NoiseModel] = None,
         initial_state: Optional[np.ndarray] = None,
     ) -> Distribution:
         """Exact outcome distribution, including readout error if any."""
         dm = self.run(circuit, noise_model, initial_state)
         dist = dm.probabilities()
+        if isinstance(circuit, CompiledProgram):
+            return _apply_readout_table_to_distribution(
+                dist, circuit.readout, circuit.num_qubits
+            )
         noise = noise_model or NoiseModel.ideal()
         return _apply_readout_to_distribution(dist, noise, circuit.num_qubits)
 
@@ -200,6 +240,19 @@ class DensityMatrixEngine:
         k0 = np.array([[1, 0], [0, 0]], dtype=complex)
         k1 = np.array([[0, 1], [0, 0]], dtype=complex)
         return _apply_kraus_rho(rho, [k0, k1], (q,), n)
+
+
+def _apply_readout_table_to_distribution(
+    dist: Distribution, readout, n: int
+) -> Distribution:
+    """Fold a compiled program's resolved readout table into ``dist``."""
+    if not readout:
+        return dist
+    p = dist.probs.reshape(1, -1).astype(complex)
+    for q, p01, p10 in readout:
+        A = np.array([[1 - p01, p10], [p01, 1 - p10]], dtype=complex)
+        p = apply_gate_matrix(p, A, (q,), n)
+    return Distribution(np.real(p[0]), n)
 
 
 def _apply_readout_to_distribution(

@@ -8,7 +8,7 @@ experiment harness uses.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -16,6 +16,7 @@ from ..circuits.circuit import QuantumCircuit
 from ..noise.model import NoiseModel
 from .density import DensityMatrixEngine
 from .perturbative import PerturbativeEngine
+from .program import CompiledProgram
 from .result import Counts, Distribution
 from .statevector import StatevectorEngine
 from .trajectories import TrajectoryEngine
@@ -25,12 +26,26 @@ __all__ = ["simulate_counts", "simulate_distribution", "choose_method"]
 #: Largest register handled by the exact density-matrix engine in auto mode.
 DENSITY_MAX_QUBITS = 10
 
+Simulatable = Union[QuantumCircuit, CompiledProgram]
+
+
+def _is_ideal(
+    circuit: Simulatable, noise_model: Optional[NoiseModel]
+) -> bool:
+    if isinstance(circuit, CompiledProgram):
+        return circuit.num_noise_sites == 0 and not circuit.readout
+    return noise_model is None or noise_model.is_ideal
+
 
 def choose_method(
-    circuit: QuantumCircuit, noise_model: Optional[NoiseModel]
+    circuit: Simulatable, noise_model: Optional[NoiseModel] = None
 ) -> str:
-    """The auto-dispatch rule: statevector / density / trajectory."""
-    if noise_model is None or noise_model.is_ideal:
+    """The auto-dispatch rule: statevector / density / trajectory.
+
+    For a :class:`~repro.sim.program.CompiledProgram` the noise sites
+    baked into the program decide; ``noise_model`` is then ignored.
+    """
+    if _is_ideal(circuit, noise_model):
         return "statevector"
     if circuit.num_qubits <= DENSITY_MAX_QUBITS:
         return "density"
@@ -38,7 +53,7 @@ def choose_method(
 
 
 def simulate_distribution(
-    circuit: QuantumCircuit,
+    circuit: Simulatable,
     noise_model: Optional[NoiseModel] = None,
     method: str = "auto",
     max_order: int = 1,
@@ -48,36 +63,56 @@ def simulate_distribution(
 
     ``method`` in {"auto", "statevector", "density", "perturbative"}.
     The trajectory engine is excluded here because its output is
-    stochastic — use :func:`simulate_counts` for sampled results.
+    stochastic — use :func:`simulate_counts` for sampled results; in
+    auto mode a circuit that would dispatch to the trajectory engine is
+    computed perturbatively instead.  The *resolved* engine name is
+    recorded on the result as ``Distribution.method``, so callers can
+    see (and tests can assert) which engine actually ran — previously
+    the trajectory->perturbative substitution happened silently.
+
+    ``circuit`` may be a :class:`~repro.sim.program.CompiledProgram`;
+    its baked-in noise sites and readout table are then used and
+    ``noise_model`` is ignored.
     """
-    from .density import _apply_readout_to_distribution
+    from .density import (
+        _apply_readout_table_to_distribution,
+        _apply_readout_to_distribution,
+    )
 
     if method == "auto":
         method = choose_method(circuit, noise_model)
         if method == "trajectory":
             method = "perturbative"
+    is_program = isinstance(circuit, CompiledProgram)
     if method == "statevector":
         dist = StatevectorEngine().distribution(circuit, initial_state)
     elif method == "density":
         # Readout folding happens inside the density path already.
-        return DensityMatrixEngine().distribution(
+        dist = DensityMatrixEngine().distribution(
             circuit, noise_model, initial_state
         )
+        dist.method = method
+        return dist
     elif method == "perturbative":
         dist = PerturbativeEngine(max_order=max_order).distribution(
             circuit, noise_model, initial_state
         )
     else:
         raise ValueError(f"unknown method {method!r}")
-    if noise_model is not None:
+    if is_program:
+        dist = _apply_readout_table_to_distribution(
+            dist, circuit.readout, circuit.num_qubits
+        )
+    elif noise_model is not None:
         dist = _apply_readout_to_distribution(
             dist, noise_model, circuit.num_qubits
         )
+    dist.method = method
     return dist
 
 
 def simulate_counts(
-    circuit: QuantumCircuit,
+    circuit: Simulatable,
     noise_model: Optional[NoiseModel] = None,
     shots: int = 2048,
     method: str = "auto",
@@ -94,7 +129,13 @@ def simulate_counts(
     "statevector", "density", "trajectory", "perturbative"}; non-
     trajectory methods compute the exact distribution and sample it.
     ``split_clean`` toggles the trajectory engine's exact ideal/erred
-    ensemble split (see :mod:`repro.sim.trajectories`).
+    ensemble split (see :mod:`repro.sim.trajectories`).  The resolved
+    engine name is recorded as ``Counts.method``.
+
+    ``circuit`` may be a precompiled
+    :class:`~repro.sim.program.CompiledProgram` (e.g. from
+    :func:`repro.sim.program.compile_circuit`), which skips lowering in
+    the hot path of a sweep.
     """
     if shots < 1:
         raise ValueError(f"shots must be >= 1, got {shots}")
@@ -109,8 +150,12 @@ def simulate_counts(
             trajectories=trajectories, rng=rng, dtype=dtype,
             split_clean=split_clean,
         )
-        return engine.run(circuit, noise_model, shots, initial_state)
+        counts = engine.run(circuit, noise_model, shots, initial_state)
+        counts.method = method
+        return counts
     dist = simulate_distribution(
         circuit, noise_model, method=method, initial_state=initial_state
     )
-    return dist.sample(shots, rng)
+    counts = dist.sample(shots, rng)
+    counts.method = dist.method
+    return counts

@@ -21,6 +21,8 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
+from ..circuits.gates import phase_on_ones
+
 __all__ = [
     "apply_gate_matrix",
     "apply_diagonal",
@@ -257,23 +259,9 @@ def apply_instruction(state: np.ndarray, instr, n: int) -> np.ndarray:
         phase = np.where(_GLOBAL_BITS.mask_bit(n, q[0]), hi, lo)
         state *= phase
         return state
-    if name in ("p", "cp", "ccp"):
-        _apply_phase_on_mask(state, cmath.exp(1j * gate.params[0]), q, n)
-        return state
-    if name == "z" or name == "cz":
-        _apply_phase_on_mask(state, -1.0, q, n)
-        return state
-    if name == "s":
-        _apply_phase_on_mask(state, 1j, q, n)
-        return state
-    if name == "sdg":
-        _apply_phase_on_mask(state, -1j, q, n)
-        return state
-    if name == "t":
-        _apply_phase_on_mask(state, cmath.exp(0.25j * cmath.pi), q, n)
-        return state
-    if name == "tdg":
-        _apply_phase_on_mask(state, cmath.exp(-0.25j * cmath.pi), q, n)
+    phase = phase_on_ones(gate)
+    if phase is not None:
+        _apply_phase_on_mask(state, phase, q, n)
         return state
     if name == "x":
         _apply_x(state, q[0], n)

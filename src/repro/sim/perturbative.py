@@ -33,6 +33,7 @@ from ..noise.channels import PauliError
 from ..noise.model import NoiseModel
 from ..runtime.health import NumericalHealthError, check_finite
 from .ops import apply_instruction, apply_pauli_rows, probabilities, BitCache
+from .program import CompiledProgram
 from .result import Distribution
 from .statevector import zero_state
 
@@ -100,6 +101,8 @@ class PerturbativeEngine:
         initial_state: Optional[np.ndarray] = None,
     ) -> Distribution:
         """The truncated-and-renormalised noisy outcome distribution."""
+        if isinstance(circuit, CompiledProgram):
+            return self._distribution_program(circuit, initial_state)
         n = circuit.num_qubits
         noise = noise_model or NoiseModel.ideal()
         instrs = [
@@ -151,6 +154,78 @@ class PerturbativeEngine:
                 )
                 accum += accum_site
                 total_weight += weight_site
+
+        accum += w0 * probabilities(base)[0]
+        total_weight += w0
+        return _healthy_distribution(accum, total_weight, n)
+
+    # ------------------------------------------------------------------
+    # Compiled-program path
+    # ------------------------------------------------------------------
+    def _distribution_program(
+        self,
+        program: CompiledProgram,
+        initial_state: Optional[np.ndarray],
+    ) -> Distribution:
+        """Forward sweep over compiled ops (fused suffix evolution)."""
+        n = program.num_qubits
+        ops = program.ops
+        log_w0 = 0.0
+        for op in ops:
+            if op.kind == "reset":
+                raise ValueError(
+                    "perturbative engine does not support mid-circuit reset"
+                )
+            if op.kind != "noise":
+                continue
+            if not op.is_pauli:
+                raise ValueError(
+                    "perturbative engine supports Pauli errors only, "
+                    f"got {type(op.error).__name__}"
+                )
+            p_id = op.error.identity_prob
+            if p_id <= 0:
+                raise ValueError(
+                    "perturbative engine requires identity probability > 0 "
+                    "at every error site"
+                )
+            log_w0 += math.log(p_id)
+        w0 = math.exp(log_w0)
+
+        if initial_state is None:
+            base = zero_state(n, 1, self.dtype)
+        else:
+            base = (
+                np.asarray(initial_state, dtype=self.dtype)
+                .reshape(1, -1)
+                .copy()
+            )
+
+        accum = np.zeros(1 << n, dtype=float)
+        total_weight = 0.0
+
+        for i, op in enumerate(ops):
+            if op.kind == "unitary":
+                op.apply(base, n)
+                continue
+            if op.kind != "noise" or self.max_order == 0 or not op.e:
+                continue
+            m = len(op.labels)
+            batch = np.repeat(base, m, axis=0)
+            for j, label in enumerate(op.labels):
+                for pos, ch in enumerate(label):
+                    if ch != "I":
+                        apply_pauli_rows(
+                            batch, ch, op.qubits[pos], np.array([j]), n,
+                            self._bits,
+                        )
+            for later in ops[i + 1 :]:
+                if later.kind == "unitary":
+                    later.apply(batch, n)
+            probs = probabilities(batch)
+            weights = w0 * (op.cond * op.e) / op.error.identity_prob
+            accum += weights @ probs
+            total_weight += float(weights.sum())
 
         accum += w0 * probabilities(base)[0]
         total_weight += w0

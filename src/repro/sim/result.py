@@ -47,6 +47,9 @@ class Distribution:
         self.probs = np.clip(probs, 0.0, None)
         self.probs /= self.probs.sum()
         self.num_qubits = int(num_qubits)
+        #: name of the engine that produced this result, set by the
+        #: dispatch layer (None when constructed directly).
+        self.method: Optional[str] = None
 
     def sample(self, shots: int, rng: np.random.Generator) -> "Counts":
         """Multinomial sampling of ``shots`` outcomes."""
@@ -79,6 +82,9 @@ class Counts:
     def __init__(self, data: Dict[int, int], num_qubits: int) -> None:
         self._data = {int(k): int(v) for k, v in data.items() if v > 0}
         self.num_qubits = int(num_qubits)
+        #: name of the engine that produced this result, set by the
+        #: dispatch layer (None when constructed directly).
+        self.method: Optional[str] = None
         for k in self._data:
             if not 0 <= k < (1 << self.num_qubits):
                 raise ValueError(f"outcome {k} out of range for {num_qubits} qubits")

@@ -7,13 +7,14 @@ the noisy engines.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..runtime.health import check_norms
 from .ops import apply_instruction, probabilities
+from .program import CompiledProgram
 from .result import Distribution
 
 __all__ = ["StatevectorEngine", "Statevector", "zero_state", "evolve_batch"]
@@ -29,9 +30,18 @@ def zero_state(
 
 
 def evolve_batch(
-    state: np.ndarray, circuit: QuantumCircuit, skip_non_unitary: bool = True
+    state: np.ndarray,
+    circuit: Union[QuantumCircuit, CompiledProgram],
+    skip_non_unitary: bool = True,
 ) -> np.ndarray:
-    """Apply every unitary instruction of ``circuit`` to the batch."""
+    """Apply every unitary instruction of ``circuit`` to the batch.
+
+    Accepts either a raw circuit (interpreted gate by gate) or a
+    :class:`~repro.sim.program.CompiledProgram` (executed op by op with
+    noise/measure/reset sites skipped).
+    """
+    if isinstance(circuit, CompiledProgram):
+        return evolve_program(state, circuit)
     n = circuit.num_qubits
     for instr in circuit:
         if not instr.gate.is_unitary:
@@ -39,6 +49,15 @@ def evolve_batch(
                 continue
             raise ValueError(f"non-unitary op {instr.gate.name!r} in circuit")
         state = apply_instruction(state, instr, n)
+    return state
+
+
+def evolve_program(state: np.ndarray, program: CompiledProgram) -> np.ndarray:
+    """Apply a compiled program's unitary ops to the batch, in place."""
+    n = program.num_qubits
+    for op in program.ops:
+        if op.kind == "unitary":
+            op.apply(state, n)
     return state
 
 
@@ -86,13 +105,15 @@ class StatevectorEngine:
 
     def run(
         self,
-        circuit: QuantumCircuit,
+        circuit: Union[QuantumCircuit, CompiledProgram],
         initial_state: Optional[np.ndarray] = None,
     ) -> Statevector:
         """Evolve ``initial_state`` (default |0...0>) through ``circuit``.
 
         Measurement and barrier instructions are ignored — use
-        :meth:`distribution` + sampling for shot outcomes.
+        :meth:`distribution` + sampling for shot outcomes.  A
+        :class:`~repro.sim.program.CompiledProgram` is executed directly
+        (its noise sites, if any, are skipped — this engine is ideal).
         """
         n = circuit.num_qubits
         if initial_state is None:
@@ -110,7 +131,7 @@ class StatevectorEngine:
 
     def distribution(
         self,
-        circuit: QuantumCircuit,
+        circuit: Union[QuantumCircuit, CompiledProgram],
         initial_state: Optional[np.ndarray] = None,
     ) -> Distribution:
         """The exact outcome distribution of measuring all qubits."""

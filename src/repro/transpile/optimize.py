@@ -32,16 +32,6 @@ __all__ = [
 
 _SELF_INVERSE_2Q = frozenset({"cx", "cz", "swap", "ch", "cy"})
 
-#: 1q diagonal gates absorbable into a running RZ angle (up to global
-#: phase, which is unobservable post-control-expansion).
-_PHASE_ANGLES = {
-    "z": math.pi,
-    "s": math.pi / 2,
-    "sdg": -math.pi / 2,
-    "t": math.pi / 4,
-    "tdg": -math.pi / 4,
-}
-
 
 def commute_phases(circuit: QuantumCircuit, atol: float = 1e-12) -> QuantumCircuit:
     """Slide 1q phase gates through everything they commute with.
@@ -68,15 +58,15 @@ def commute_phases(circuit: QuantumCircuit, atol: float = 1e-12) -> QuantumCircu
     for instr in circuit:
         g = instr.gate
         name = g.name
-        if g.num_qubits == 1 and (
-            name == "rz" or name == "p" or name in _PHASE_ANGLES
-        ):
-            angle = (
-                g.params[0] if g.params else _PHASE_ANGLES[name]
-            )
-            w = instr.qubits[0]
-            pending[w] = pending.get(w, 0.0) + angle
-            continue
+        if g.num_qubits == 1:
+            # 1q diagonal gates absorbable into a running RZ angle (up
+            # to global phase, unobservable post-control-expansion):
+            # rz itself plus the shared phase-on-ones family.
+            angle = g.params[0] if name == "rz" else G.phase_on_ones_angle(g)
+            if angle is not None:
+                w = instr.qubits[0]
+                pending[w] = pending.get(w, 0.0) + angle
+                continue
         if name == "id":
             continue
         if g.is_unitary and g.is_diagonal:
