@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""CI smoke for the service: boot, round-trip, coalesce, scrape.
+
+Boots an in-process server, drives the blocking client through a QFA
+request round trip (miss -> hit), checks the determinism contract, and
+scrapes ``/healthz``, ``/stats`` and ``/metrics``.  Exits non-zero on
+any violated expectation — this is the ``service-smoke`` CI lane.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def fail(message: str) -> "None":
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    from repro.service import ServerThread, ServiceClient
+
+    request = dict(
+        operation="add", n=2, m=3, x=[1, 2], y=[5],
+        shots=256, seed=20220131, error_axis="2q", error_rate=0.001,
+        trajectories=16, method="trajectory",
+    )
+    with ServerThread() as srv:
+        client = ServiceClient(*srv.address, timeout=120)
+
+        health = client.health()
+        if health.get("status") != "ok":
+            fail(f"healthz: {health}")
+        print(f"[smoke] healthz ok (executor={health['executor']})")
+
+        first = client.simulate(dict(request))
+        if first.cache != "miss":
+            fail(f"first request should miss, got {first.cache!r}")
+        if sum(first.counts.values()) != request["shots"]:
+            fail("shot count mismatch")
+        if not first.program_fingerprint:
+            fail("missing program fingerprint")
+        print(
+            f"[smoke] QFA round trip: method={first.method} "
+            f"success={first.success} p={first.success_probability:.3f} "
+            f"fp={first.program_fingerprint}"
+        )
+
+        second = client.simulate(dict(request))
+        if second.cache != "hit":
+            fail(f"second request should hit the cache, got {second.cache!r}")
+        if second.counts != first.counts:
+            fail("cached counts are not bit-identical")
+        print("[smoke] result cache: hit with bit-identical payload")
+
+        stats = client.stats()
+        for section in ("compile_cache", "kernel_cache", "result_cache",
+                        "queue", "executor"):
+            if section not in stats:
+                fail(f"/stats missing {section!r}")
+        if stats["result_cache"]["hits"] < 1:
+            fail("stats did not record the cache hit")
+        print(
+            f"[smoke] /stats: lowerings={stats['compile_cache']['lowerings']} "
+            f"result-cache hits={stats['result_cache']['hits']}"
+        )
+
+        metrics = client.metrics_text()
+        for needle in (
+            'repro_requests_served_total{cache="miss"} 1',
+            'repro_requests_served_total{cache="hit"} 1',
+            "repro_queue_depth",
+            "repro_latency_execute_seconds_bucket",
+            "repro_result_cache_bytes",
+        ):
+            if needle not in metrics:
+                fail(f"/metrics missing {needle!r}")
+        print(f"[smoke] /metrics: {len(metrics.splitlines())} series lines")
+    print("[smoke] service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

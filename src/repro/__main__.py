@@ -11,6 +11,9 @@ Commands
                     corpus, optionally verifying transpiled circuits
                     symbolically against their logical sources
                     (exit 1 on findings at/above the threshold).
+``cache-stats``   — compile / kernel / program-LRU cache counters for
+                    this process, or — with ``--url`` — the ``/stats``
+                    document of a running ``repro-serve`` instance.
 """
 
 from __future__ import annotations
@@ -162,6 +165,35 @@ def _cmd_lint(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_cache_stats(args) -> int:
+    import json as _json
+
+    from repro.service.stats import cache_stats_snapshot, render_cache_stats
+
+    if args.url:
+        from urllib.parse import urlparse
+
+        from repro.service.client import ServiceClient, ServiceError
+
+        parsed = urlparse(args.url)
+        if not parsed.hostname:
+            print(f"cannot parse --url {args.url!r}", file=sys.stderr)
+            return 2
+        client = ServiceClient(parsed.hostname, parsed.port or 8777)
+        try:
+            snapshot = client.stats()
+        except (ServiceError, OSError) as exc:
+            print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        snapshot = cache_stats_snapshot()
+    if args.json:
+        print(_json.dumps(snapshot, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_cache_stats(snapshot))
+    return 0
+
+
 def main(argv=None) -> int:
     """Parse arguments and dispatch to a subcommand."""
     parser = argparse.ArgumentParser(
@@ -249,6 +281,22 @@ def main(argv=None) -> int:
         "--list-rules", action="store_true", help="print the rule catalog"
     )
 
+    p = sub.add_parser(
+        "cache-stats",
+        help="compile/kernel/program cache counters (local or remote)",
+        description="Print the cache counters shared with the service's "
+        "/stats endpoint: the two-level compile cache, the kernel LRU, "
+        "and the runner's program/circuit memos.",
+    )
+    p.add_argument(
+        "--url",
+        help="fetch /stats from a running repro-serve instance "
+        "(e.g. http://127.0.0.1:8777) instead of this process",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="JSON instead of aligned text"
+    )
+
     args = parser.parse_args(argv)
     if args.command == "info":
         return _cmd_info(args)
@@ -260,6 +308,8 @@ def main(argv=None) -> int:
         return _cmd_depth_profile(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "cache-stats":
+        return _cmd_cache_stats(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,0 +1,66 @@
+"""Quantum-arithmetic-as-a-service: the online serving layer.
+
+The batch harness (:mod:`repro.experiments`) evaluates the paper's
+figure grids; this package exposes the same execution stack — compiled
+programs, the two-level compile cache, the kernel cache, and the
+runtime retry/timeout semantics — as a long-lived asyncio service:
+
+* :mod:`repro.service.model` — typed, schema-validated request /
+  response model with per-request deterministic seeding;
+* :mod:`repro.service.cache` — content-addressed result cache with a
+  TTL and byte budget (``REPRO_RESULT_CACHE_MB`` /
+  ``REPRO_RESULT_CACHE_TTL``), mirroring the kernel cache's LRU;
+* :mod:`repro.service.scheduler` — bounded priority queue with
+  admission control, backpressure, and **request coalescing**
+  (concurrent identical requests collapse into one simulation);
+* :mod:`repro.service.executor` — the worker tier (in-process threads
+  or a process pool) reusing
+  :func:`repro.experiments.runner.build_compiled_program` and the
+  supervisor's retry ladder;
+* :mod:`repro.service.server` — asyncio-streams HTTP/JSON server with
+  ``/v1/simulate``, ``/healthz``, ``/stats`` and Prometheus-text
+  ``/metrics`` endpoints;
+* :mod:`repro.service.client` — a blocking Python client;
+* ``repro-serve`` — the console entry point
+  (:mod:`repro.service.__main__`).
+
+See ``docs/service.md`` for the protocol and tuning knobs.
+"""
+
+from .cache import ResultCache
+from .client import (
+    BackpressureError,
+    RequestRejected,
+    ServiceClient,
+    ServiceError,
+)
+from .executor import SimulationExecutor
+from .metrics import LatencyHistogram, ServiceMetrics
+from .model import (
+    RequestValidationError,
+    SimRequest,
+    SimResponse,
+)
+from .scheduler import AdmissionError, JobScheduler
+from .server import ArithmeticService, ServerThread
+from .stats import cache_stats_snapshot, render_cache_stats
+
+__all__ = [
+    "AdmissionError",
+    "ArithmeticService",
+    "BackpressureError",
+    "JobScheduler",
+    "LatencyHistogram",
+    "RequestRejected",
+    "RequestValidationError",
+    "ResultCache",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "SimRequest",
+    "SimResponse",
+    "SimulationExecutor",
+    "cache_stats_snapshot",
+    "render_cache_stats",
+]

@@ -1,0 +1,132 @@
+"""Content-addressed result cache with TTL and a byte budget.
+
+Mirrors the process-wide :class:`~repro.sim.program.KernelCache` LRU
+discipline (insertion-ordered dict, evict-oldest under a byte budget)
+but adds an expiry wall: noisy-simulation results are only as fresh as
+the noise model they were sampled under, so entries age out after
+``ttl`` seconds even when the budget has room.
+
+Budget and TTL default from the environment —
+``REPRO_RESULT_CACHE_MB`` (default 64) and
+``REPRO_RESULT_CACHE_TTL`` seconds (default 600; ``0`` disables
+expiry).  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe LRU of response payloads keyed by request content."""
+
+    def __init__(
+        self,
+        budget_bytes: Optional[int] = None,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_bytes is None:
+            mb = float(os.environ.get("REPRO_RESULT_CACHE_MB", "64"))
+            budget_bytes = int(mb * 1024 * 1024)
+        if ttl is None:
+            ttl = float(os.environ.get("REPRO_RESULT_CACHE_TTL", "600"))
+        self.budget_bytes = budget_bytes
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> (payload, expires_at, nbytes); dict order is recency.
+        self._entries: Dict[str, Tuple[Dict[str, Any], float, int]] = {}
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or None (miss or expired)."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            payload, expires_at, nbytes = entry
+            if expires_at <= now:
+                del self._entries[key]
+                self.total_bytes -= nbytes
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            # Refresh recency (dicts preserve insertion order).
+            del self._entries[key]
+            self._entries[key] = entry
+            return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Insert ``payload``, evicting the oldest entries over budget."""
+        nbytes = _payload_nbytes(payload)
+        if nbytes > self.budget_bytes:
+            return  # one oversized result must not flush the cache
+        expires_at = (
+            float("inf") if self.ttl <= 0 else self._clock() + self.ttl
+        )
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.total_bytes -= old[2]
+            while (
+                self.total_bytes + nbytes > self.budget_bytes and self._entries
+            ):
+                old_key = next(iter(self._entries))
+                self.total_bytes -= self._entries.pop(old_key)[2]
+                self.evictions += 1
+            self._entries[key] = (payload, expires_at, nbytes)
+            self.total_bytes += nbytes
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry; returns how many were dropped."""
+        now = self._clock()
+        with self._lock:
+            dead = [
+                k for k, (_, exp, _) in self._entries.items() if exp <= now
+            ]
+            for k in dead:
+                self.total_bytes -= self._entries.pop(k)[2]
+            self.expirations += len(dead)
+            return len(dead)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.total_bytes = 0
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters in the same shape as ``kernel_cache_stats``."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "entries": len(self._entries),
+                "total_bytes": self.total_bytes,
+                "budget_bytes": self.budget_bytes,
+                "ttl_seconds": self.ttl,
+            }
+
+
+def _payload_nbytes(payload: Dict[str, Any]) -> int:
+    """Approximate retained size via the JSON wire encoding."""
+    return len(json.dumps(payload, separators=(",", ":")))

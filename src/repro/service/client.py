@@ -1,0 +1,146 @@
+"""Blocking Python client for the arithmetic service.
+
+Stdlib-only (``http.client``); one connection per call, matching the
+server's ``Connection: close`` discipline.  The client maps the
+service's HTTP status contract onto typed exceptions so callers can
+distinguish "back off and retry" (:class:`BackpressureError`) from
+"fix your request" (:class:`RequestRejected`).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Union
+
+from .model import SimRequest, SimResponse
+
+__all__ = [
+    "BackpressureError",
+    "RequestRejected",
+    "ServiceClient",
+    "ServiceError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base failure talking to the service; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str, body: Optional[dict] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body or {}
+
+
+class BackpressureError(ServiceError):
+    """429: the queue is full — retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: float, body: Optional[dict] = None):
+        super().__init__(429, f"queue full, retry after {retry_after}s", body)
+        self.retry_after = retry_after
+
+
+class RequestRejected(ServiceError):
+    """400/422: the request is invalid or its circuit failed lint."""
+
+    def __init__(self, status: int, details, body: Optional[dict] = None):
+        super().__init__(status, f"rejected: {details}", body)
+        self.details = details
+
+
+class ServiceClient:
+    """Synchronous HTTP client bound to one server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8777, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            return resp.status, dict(resp.getheaders()), raw
+        finally:
+            conn.close()
+
+    def _json(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, headers, raw = self._request(method, path, body)
+        try:
+            doc = json.loads(raw.decode() or "null")
+        except json.JSONDecodeError:
+            doc = {"error": raw.decode(errors="replace")}
+        if status == 429:
+            retry_after = float(
+                headers.get("Retry-After", doc.get("retry_after", 1.0))
+            )
+            raise BackpressureError(retry_after, doc)
+        if status in (400, 422):
+            raise RequestRejected(status, doc.get("details", doc.get("error")), doc)
+        if status >= 400:
+            raise ServiceError(status, doc.get("error", "request failed"), doc)
+        return doc
+
+    # -- API --------------------------------------------------------------
+    def simulate(
+        self, request: Union[SimRequest, Dict[str, Any], None] = None, **kwargs
+    ) -> SimResponse:
+        """Run one simulation; keyword form builds the request inline.
+
+        ``client.simulate(operation="add", n=2, m=3, x=[1], y=[2])``
+        """
+        if request is None:
+            request = SimRequest.from_dict(kwargs)
+        elif isinstance(request, dict):
+            request = SimRequest.from_dict(request)
+        doc = self._json("POST", "/v1/simulate", request.to_dict())
+        return SimResponse.from_dict(doc)
+
+    def simulate_with_retry(
+        self,
+        request: Union[SimRequest, Dict[str, Any]],
+        max_attempts: int = 5,
+        max_wait: float = 30.0,
+    ) -> SimResponse:
+        """``simulate`` honouring 429 ``Retry-After`` with a wait cap."""
+        waited = 0.0
+        for attempt in range(1, max_attempts + 1):
+            try:
+                return self.simulate(request)
+            except BackpressureError as exc:
+                if attempt == max_attempts:
+                    raise
+                delay = min(exc.retry_after, max_wait - waited)
+                if delay <= 0:
+                    raise
+                time.sleep(delay)
+                waited += delay
+        raise AssertionError("unreachable")
+
+    def health(self) -> Dict[str, Any]:
+        """The health document (returned even while draining / 503)."""
+        _, _, raw = self._request("GET", "/healthz")
+        return json.loads(raw.decode() or "null")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        status, _, raw = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, "metrics scrape failed")
+        return raw.decode()

@@ -1,0 +1,247 @@
+"""The service's worker tier: compiled-program execution with retries.
+
+One request executes exactly the batch harness's hot path —
+:func:`repro.experiments.runner.build_compiled_program` (two-level
+compile cache + kernel cache underneath) feeding
+:func:`repro.sim.engines.simulate_counts` — wrapped in the runtime
+supervisor's recovery semantics: bounded attempts with exponential
+backoff, a per-attempt wall-clock timeout, and
+``BrokenProcessPool`` respawn with degradation to in-process threads
+once the respawn budget is exhausted (mirroring
+:class:`repro.runtime.supervisor.Supervisor`).
+
+Determinism: the RNG is rebuilt from the request's seed sequence inside
+every attempt, so a retried request replays bit-identically — the
+regression tests in ``tests/test_service_seed.py`` pin this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from functools import lru_cache
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..experiments.runner import build_compiled_program, noise_model_for
+from ..metrics.success import evaluate_instance
+from ..runtime.supervisor import RetryPolicy
+from ..sim.engines import simulate_counts
+from .model import RequestValidationError, SimRequest
+
+__all__ = [
+    "CircuitRejected",
+    "ExecutionFailed",
+    "SimulationExecutor",
+    "lint_gate",
+]
+
+
+class CircuitRejected(ValueError):
+    """The request's circuit failed static analysis (lint errors)."""
+
+    def __init__(self, messages: List[str]) -> None:
+        super().__init__("; ".join(messages))
+        self.messages = messages
+
+
+class ExecutionFailed(RuntimeError):
+    """Every attempt of one request failed; carries the last error."""
+
+    def __init__(self, attempts: int, last_error: str) -> None:
+        super().__init__(
+            f"simulation failed after {attempts} attempt(s): {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@lru_cache(maxsize=256)
+def _lint_report(operation: str, n: int, m: int, depth: Optional[int]):
+    """Lint verdict for one circuit shape (operand-independent, cached)."""
+    from ..experiments.runner import build_arithmetic_circuit
+    from ..lint import LintContext, lint_circuit
+    from ..transpile.basis import IBM_BASIS
+
+    circuit = build_arithmetic_circuit(operation, n, m, depth)
+    return lint_circuit(circuit, LintContext(basis=IBM_BASIS))
+
+
+def lint_gate(request: SimRequest) -> None:
+    """Admission check: reject requests whose circuit lints with errors.
+
+    The lint runs on the transpiled circuit of the request's *shape*
+    (operation, widths, depth) — operands only pick the initial state,
+    so the verdict is cached per shape.  Warnings pass; error-severity
+    diagnostics reject the request before it ever reaches the queue.
+    """
+    try:
+        report = _lint_report(request.operation, request.n, request.m, request.depth)
+    except ValueError as exc:  # unbuildable shape (e.g. bad depth)
+        raise CircuitRejected([str(exc)]) from exc
+    from ..lint import Severity
+
+    errors = [
+        f"{d.rule_id}: {d.message}"
+        for d in report.diagnostics
+        if d.severity >= Severity.ERROR
+    ]
+    if errors:
+        raise CircuitRejected(errors)
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one request end to end (top level: picklable for pools).
+
+    Returns the result-determining slice of the response as plain
+    JSON-able values; the server layers cache/queue bookkeeping on top.
+    """
+    request = SimRequest.from_dict(payload)
+    t0 = time.perf_counter()
+    program = build_compiled_program(
+        request.operation,
+        request.n,
+        request.m,
+        request.depth,
+        request.error_axis,
+        request.error_rate,
+        request.convention,
+    )
+    noise = noise_model_for(
+        request.error_axis, request.error_rate, request.convention
+    )
+    t_compile = time.perf_counter()
+    instance = request.instance()
+    method = request.method
+    if noise.is_ideal and method in ("auto", "trajectory"):
+        # Mirror the batch runner: an ideal point is exact — never
+        # spend trajectories on it (an explicit density/perturbative
+        # request is honoured).
+        method = "statevector"
+    # Fresh stream per attempt: retries and coalesced duplicates replay
+    # bit-identically from (seed, content_key).
+    rng = np.random.default_rng(request.rng_seed())
+    counts = simulate_counts(
+        program,
+        noise,
+        shots=request.shots,
+        method=method,
+        trajectories=request.trajectories,
+        rng=rng,
+        initial_state=instance.initial_statevector(),
+    )
+    t_sim = time.perf_counter()
+    outcome = evaluate_instance(counts, instance.correct_outcomes())
+    correct = sum(counts.get(o) for o in instance.correct_outcomes())
+    return {
+        "content_key": request.content_key(),
+        "counts": {int(k): int(v) for k, v in counts.items()},
+        "num_qubits": counts.num_qubits,
+        "shots": request.shots,
+        "method": counts.method or method,
+        "program_fingerprint": program.fingerprint,
+        "seed": request.seed,
+        "success": bool(outcome.success),
+        "min_diff": int(outcome.min_diff),
+        "success_probability": correct / max(1, counts.shots),
+        "timings_ms": {
+            "compile": (t_compile - t0) * 1000.0,
+            "simulate": (t_sim - t_compile) * 1000.0,
+        },
+    }
+
+
+class SimulationExecutor:
+    """Async facade over the worker pool with the retry ladder.
+
+    ``workers=0`` executes in-process on a thread pool (sharing the
+    parent's compile/kernel caches — the right mode for tests and
+    small deployments); ``workers>0`` uses a process pool, where each
+    worker warms its own caches and survives crashes via respawn.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        concurrency: int = 4,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.workers = workers
+        self.concurrency = concurrency
+        self.retry = retry or RetryPolicy(max_attempts=2, timeout=None)
+        self.pool_respawns = 0
+        self.degraded = False
+        self._pool = self._make_pool()
+
+    def _make_pool(self) -> _FuturesExecutor:
+        if self.workers > 0 and not self.degraded:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(
+            max_workers=max(1, self.concurrency),
+            thread_name_prefix="repro-exec",
+        )
+
+    @property
+    def mode(self) -> str:
+        if self.workers > 0 and not self.degraded:
+            return "process"
+        return "thread"
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "concurrency": self.concurrency,
+            "pool_respawns": self.pool_respawns,
+            "degraded": self.degraded,
+            "max_attempts": self.retry.max_attempts,
+            "timeout": self.retry.timeout,
+        }
+
+    async def run(self, request: SimRequest) -> Dict[str, Any]:
+        """Execute ``request`` with retries; returns the result payload."""
+        payload = request.to_dict()
+        loop = asyncio.get_running_loop()
+        last_error = "unknown"
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                future = loop.run_in_executor(
+                    self._pool, _execute_payload, payload
+                )
+                if self.retry.timeout is not None:
+                    return await asyncio.wait_for(future, self.retry.timeout)
+                return await future
+            except (RequestValidationError, ValueError):
+                # Deterministic input errors cannot succeed on retry.
+                raise
+            except BrokenProcessPool as exc:
+                last_error = f"BrokenProcessPool: {exc}"
+                self._respawn()
+            except asyncio.TimeoutError:
+                last_error = (
+                    f"timeout after {self.retry.timeout}s "
+                    f"(attempt {attempt})"
+                )
+            except Exception as exc:  # noqa: BLE001 — ladder mirrors Supervisor
+                last_error = f"{type(exc).__name__}: {exc}"
+            if attempt < self.retry.max_attempts:
+                await asyncio.sleep(self.retry.backoff(attempt))
+        raise ExecutionFailed(self.retry.max_attempts, last_error)
+
+    def _respawn(self) -> None:
+        """Replace a broken process pool; degrade to threads past budget."""
+        try:
+            self._pool.shutdown(wait=False)
+        except Exception:  # noqa: BLE001 — broken pools may refuse shutdown
+            pass
+        self.pool_respawns += 1
+        if self.pool_respawns > self.retry.max_pool_respawns:
+            self.degraded = True
+        self._pool = self._make_pool()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)

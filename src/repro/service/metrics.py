@@ -1,0 +1,191 @@
+"""Service observability: counters, gauges, and latency histograms.
+
+Rendered in two shapes: a JSON snapshot for ``/stats`` and the
+Prometheus text exposition format (0.0.4) for ``/metrics``.  Histograms
+use fixed cumulative buckets (Prometheus convention) and also answer
+approximate quantile queries for the stats endpoint and the load-smoke
+benchmark.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+# Seconds; spans sub-millisecond cache hits to multi-second simulations.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with quantile estimation."""
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        idx = bisect.bisect_left(self.bounds, seconds)
+        with self._lock:
+            self._counts[idx] += 1
+            self.count += 1
+            self.sum += seconds
+
+    def snapshot(self) -> Tuple[List[int], int, float]:
+        with self._lock:
+            return list(self._counts), self.count, self.sum
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound containing the ``q`` quantile (0..1)."""
+        counts, total, _ = self.snapshot()
+        if total == 0:
+            return 0.0
+        target = q * total
+        running = 0
+        for i, c in enumerate(counts):
+            running += c
+            if running >= target:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def mean(self) -> float:
+        _, total, s = self.snapshot()
+        return s / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        _, total, s = self.snapshot()
+        return {
+            "count": total,
+            "sum_seconds": s,
+            "mean_seconds": self.mean(),
+            "p50_seconds": self.quantile(0.50),
+            "p99_seconds": self.quantile(0.99),
+        }
+
+
+class ServiceMetrics:
+    """The service's metric registry.
+
+    * ``counters`` — monotonically increasing named totals, with
+      optional label sets (e.g. ``requests_total{status="ok"}``);
+    * ``gauges`` — callables sampled at render time (queue depth,
+      in-flight requests, cache bytes);
+    * ``histograms`` — per-stage latency (``queue_wait``, ``execute``,
+      ``total``), created on first use.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self.histograms: Dict[str, LatencyHistogram] = {}
+        #: peak of the ``inflight_requests`` gauge, maintained by the
+        #: server; proves sustained concurrency in the load smoke.
+        self.peak_inflight = 0
+
+    # -- counters ---------------------------------------------------------
+    def inc(
+        self,
+        name: str,
+        amount: int = 1,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        key = (name, tuple(sorted((labels or {}).items())))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
+
+    def counter_value(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> int:
+        key = (name, tuple(sorted((labels or {}).items())))
+        with self._lock:
+            return self._counters.get(key, 0)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter across all label sets."""
+        with self._lock:
+            return sum(
+                v for (n, _), v in self._counters.items() if n == name
+            )
+
+    # -- gauges -----------------------------------------------------------
+    def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        self._gauges[name] = fn
+
+    def note_inflight(self, current: int) -> None:
+        with self._lock:
+            if current > self.peak_inflight:
+                self.peak_inflight = current
+
+    # -- histograms -------------------------------------------------------
+    def observe(self, stage: str, seconds: float) -> None:
+        hist = self.histograms.get(stage)
+        if hist is None:
+            with self._lock:
+                hist = self.histograms.setdefault(stage, LatencyHistogram())
+        hist.observe(seconds)
+
+    # -- rendering --------------------------------------------------------
+    def stats_dict(self) -> Dict[str, object]:
+        with self._lock:
+            counters: Dict[str, object] = {}
+            for (name, labels), value in sorted(self._counters.items()):
+                if labels:
+                    label_str = ",".join(f"{k}={v}" for k, v in labels)
+                    counters[f"{name}{{{label_str}}}"] = value
+                else:
+                    counters[name] = value
+        return {
+            "counters": counters,
+            "gauges": {name: fn() for name, fn in self._gauges.items()},
+            "latency": {
+                stage: hist.as_dict()
+                for stage, hist in sorted(self.histograms.items())
+            },
+            "peak_inflight": self.peak_inflight,
+        }
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of every metric."""
+        ns = self.namespace
+        lines: List[str] = []
+        with self._lock:
+            counter_items = sorted(self._counters.items())
+        seen = set()
+        for (name, labels), value in counter_items:
+            full = f"{ns}_{name}"
+            if full not in seen:
+                seen.add(full)
+                lines.append(f"# TYPE {full} counter")
+            if labels:
+                label_str = ",".join(f'{k}="{v}"' for k, v in labels)
+                lines.append(f"{full}{{{label_str}}} {value}")
+            else:
+                lines.append(f"{full} {value}")
+        for name, fn in self._gauges.items():
+            full = f"{ns}_{name}"
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {fn()}")
+        lines.append(f"# TYPE {ns}_peak_inflight_requests gauge")
+        lines.append(f"{ns}_peak_inflight_requests {self.peak_inflight}")
+        for stage, hist in sorted(self.histograms.items()):
+            full = f"{ns}_latency_{stage}_seconds"
+            counts, total, total_sum = hist.snapshot()
+            lines.append(f"# TYPE {full} histogram")
+            running = 0
+            for bound, c in zip(hist.bounds, counts):
+                running += c
+                lines.append(f'{full}_bucket{{le="{bound}"}} {running}')
+            lines.append(f'{full}_bucket{{le="+Inf"}} {total}')
+            lines.append(f"{full}_sum {total_sum}")
+            lines.append(f"{full}_count {total}")
+        return "\n".join(lines) + "\n"

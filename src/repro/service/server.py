@@ -1,0 +1,375 @@
+"""Asyncio-streams HTTP/JSON front end for the arithmetic service.
+
+Stdlib-only: a minimal HTTP/1.1 implementation over
+``asyncio.start_server`` — enough protocol for the blocking client,
+curl, and a Prometheus scraper, with ``Connection: close`` semantics
+per request.
+
+Endpoints
+---------
+``POST /v1/simulate``  — body: a :class:`~repro.service.model.SimRequest`
+    JSON object.  200 with a ``SimResponse`` JSON body; 400 on schema
+    violations; 422 when the circuit fails static analysis; 429 +
+    ``Retry-After`` under backpressure; 500 when every execution
+    attempt failed; 503 while draining.
+``GET /healthz``  — liveness and drain state.
+``GET /stats``    — JSON: queue, executor, result-cache, compile-cache,
+    kernel-cache counters plus latency summaries.
+``GET /metrics``  — Prometheus text exposition.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from .cache import ResultCache
+from .executor import (
+    CircuitRejected,
+    ExecutionFailed,
+    SimulationExecutor,
+    lint_gate,
+)
+from .metrics import ServiceMetrics
+from .model import RequestValidationError, SimRequest, SimResponse
+from .scheduler import AdmissionError, JobScheduler
+from .stats import cache_stats_snapshot
+
+__all__ = ["ArithmeticService", "ServerThread"]
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is far beyond any valid request
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ArithmeticService:
+    """The long-lived service: scheduler + executor + HTTP front end."""
+
+    def __init__(
+        self,
+        executor: Optional[SimulationExecutor] = None,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        max_queue: int = 256,
+        concurrency: int = 4,
+        lint_requests: bool = True,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.executor = executor if executor is not None else SimulationExecutor(
+            workers=0, concurrency=concurrency
+        )
+        self.cache = cache if cache is not None else ResultCache()
+        self.scheduler = JobScheduler(
+            self.executor,
+            cache=self.cache,
+            metrics=self.metrics,
+            max_queue=max_queue,
+            concurrency=concurrency,
+        )
+        self.lint_requests = lint_requests
+        self.started_at = time.time()
+        self.draining = False
+        self._inflight_http = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.metrics.register_gauge(
+            "result_cache_bytes", lambda: self.cache.total_bytes
+        )
+        self.metrics.register_gauge(
+            "inflight_requests", lambda: self._inflight_http
+        )
+
+    # -- lifecycle --------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        sock = self._server.sockets[0]
+        addr = sock.getsockname()
+        return addr[0], addr[1]
+
+    async def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting, optionally drain the queue, then close."""
+        self.draining = True
+        self.scheduler.close()
+        if drain:
+            await self.scheduler.drain(timeout=timeout)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- HTTP plumbing ----------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._inflight_http += 1
+        self.metrics.note_inflight(self._inflight_http)
+        t0 = time.perf_counter()
+        try:
+            method, path, body = await self._read_request(reader)
+            status, headers, payload = await self._route(method, path, body)
+        except asyncio.IncompleteReadError:
+            status, headers, payload = 400, {}, _err("truncated request")
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            status, headers, payload = 500, {}, _err(
+                f"{type(exc).__name__}: {exc}"
+            )
+        try:
+            await self._write_response(writer, status, headers, payload)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._inflight_http -= 1
+            self.metrics.observe("total", time.perf_counter() - t0)
+            self.metrics.inc(
+                "http_requests_total", labels={"status": str(status)}
+            )
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise asyncio.IncompleteReadError(request_line, None)
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > _MAX_BODY:
+            raise ValueError(f"body of {content_length} bytes exceeds limit")
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return method, path, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        headers: Dict[str, str],
+        payload: bytes,
+    ) -> None:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        head = [f"HTTP/1.1 {status} {reason}"]
+        base = {
+            "Content-Length": str(len(payload)),
+            "Connection": "close",
+        }
+        base.setdefault("Content-Type", "application/json")
+        base.update(headers)
+        head.extend(f"{k}: {v}" for k, v in base.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+    # -- routing ----------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        path = path.split("?", 1)[0]
+        if path == "/v1/simulate":
+            if method != "POST":
+                return 405, {"Allow": "POST"}, _err("use POST")
+            return await self._handle_simulate(body)
+        if method != "GET":
+            return 405, {"Allow": "GET"}, _err("use GET")
+        if path == "/healthz":
+            return self._handle_healthz()
+        if path == "/stats":
+            return 200, {}, _json_bytes(self.stats())
+        if path == "/metrics":
+            return (
+                200,
+                {"Content-Type": "text/plain; version=0.0.4"},
+                self.metrics.render_prometheus().encode(),
+            )
+        return 404, {}, _err(f"no route {path!r}")
+
+    async def _handle_simulate(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        if self.draining:
+            return 503, {}, _err("server is draining")
+        t_recv = time.perf_counter()
+        try:
+            request = SimRequest.from_dict(json.loads(body.decode() or "null"))
+        except RequestValidationError as exc:
+            self.metrics.inc("requests_invalid_total")
+            return 400, {}, _json_bytes(
+                {"error": "validation failed", "details": exc.errors}
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self.metrics.inc("requests_invalid_total")
+            return 400, {}, _err(f"malformed JSON body: {exc}")
+        if self.lint_requests:
+            try:
+                # Shape-cached after the first request, but the first
+                # lint builds + transpiles: keep it off the event loop.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, lint_gate, request
+                )
+            except CircuitRejected as exc:
+                self.metrics.inc("requests_lint_rejected_total")
+                return 422, {}, _json_bytes(
+                    {"error": "circuit rejected", "details": exc.messages}
+                )
+        try:
+            payload, source = await self.scheduler.submit(request)
+        except AdmissionError as exc:
+            return (
+                429,
+                {"Retry-After": str(max(1, int(round(exc.retry_after))))},
+                _json_bytes(
+                    {
+                        "error": "queue full",
+                        "depth": exc.depth,
+                        "retry_after": exc.retry_after,
+                    }
+                ),
+            )
+        except ExecutionFailed as exc:
+            return 500, {}, _json_bytes(
+                {
+                    "error": "execution failed",
+                    "attempts": exc.attempts,
+                    "detail": exc.last_error,
+                }
+            )
+        except RuntimeError:
+            return 503, {}, _err("server is draining")
+        response = SimResponse(**payload)
+        response.cache = source
+        timings = dict(response.timings_ms)
+        timings["total"] = (time.perf_counter() - t_recv) * 1000.0
+        response.timings_ms = timings
+        self.metrics.inc("requests_served_total", labels={"cache": source})
+        return 200, {}, _json_bytes(response.to_dict())
+
+    def _handle_healthz(self) -> Tuple[int, Dict[str, str], bytes]:
+        status = 503 if self.draining else 200
+        return status, {}, _json_bytes(
+            {
+                "status": "draining" if self.draining else "ok",
+                "uptime_seconds": time.time() - self.started_at,
+                "executor": self.executor.mode,
+            }
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` document (shared shape with the CLI)."""
+        snapshot = cache_stats_snapshot(result_cache=self.cache)
+        snapshot.update(
+            {
+                "uptime_seconds": time.time() - self.started_at,
+                "queue": self.scheduler.queue_stats(),
+                "executor": self.executor.describe(),
+                "metrics": self.metrics.stats_dict(),
+            }
+        )
+        return snapshot
+
+
+def _json_bytes(obj: Any) -> bytes:
+    return json.dumps(obj).encode()
+
+
+def _err(message: str) -> bytes:
+    return _json_bytes({"error": message})
+
+
+class ServerThread:
+    """A service running on a dedicated event-loop thread.
+
+    The test suite, the load-smoke benchmark, and small embedded
+    deployments all want a blocking handle: ``with ServerThread() as
+    srv: client = ServiceClient(*srv.address)``.
+    """
+
+    def __init__(self, service: Optional[ArithmeticService] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service if service is not None else ArithmeticService()
+        self._host = host
+        self._port = port
+        self.address: Tuple[str, int] = ("", 0)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def boot():
+            self.address = await self.service.start(self._host, self._port)
+            self._ready.set()
+
+        try:
+            loop.run_until_complete(boot())
+            loop.run_forever()
+        finally:
+            loop.close()
+            self._stopped.set()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return
+
+        async def teardown():
+            await self.service.shutdown(drain=drain, timeout=timeout)
+            asyncio.get_running_loop().stop()
+
+        asyncio.run_coroutine_threadsafe(teardown(), loop)
+        self._stopped.wait(timeout=timeout + 10)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

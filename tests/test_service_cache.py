@@ -1,0 +1,99 @@
+"""Result cache: LRU + TTL + byte-budget semantics."""
+
+from repro.service.cache import ResultCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _payload(tag, pad=0):
+    return {"tag": tag, "pad": "x" * pad}
+
+
+def test_put_get_round_trip():
+    cache = ResultCache(budget_bytes=10_000, ttl=0)
+    cache.put("k1", _payload("a"))
+    assert cache.get("k1") == _payload("a")
+    assert cache.get("missing") is None
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] == 1
+
+
+def test_ttl_expiry():
+    clock = FakeClock()
+    cache = ResultCache(budget_bytes=10_000, ttl=10.0, clock=clock)
+    cache.put("k", _payload("a"))
+    clock.advance(9.9)
+    assert cache.get("k") is not None
+    clock.advance(0.2)
+    assert cache.get("k") is None
+    assert cache.stats()["expirations"] == 1
+    assert len(cache) == 0
+
+
+def test_zero_ttl_disables_expiry():
+    clock = FakeClock()
+    cache = ResultCache(budget_bytes=10_000, ttl=0, clock=clock)
+    cache.put("k", _payload("a"))
+    clock.advance(1e9)
+    assert cache.get("k") is not None
+
+
+def test_byte_budget_evicts_lru():
+    cache = ResultCache(budget_bytes=200, ttl=0)
+    cache.put("old", _payload("old", pad=50))
+    cache.put("mid", _payload("mid", pad=50))
+    cache.get("old")  # refresh: "mid" is now least-recent
+    cache.put("new", _payload("new", pad=50))
+    assert cache.get("old") is not None
+    assert cache.get("mid") is None
+    assert cache.stats()["evictions"] >= 1
+    assert cache.total_bytes <= 200
+
+
+def test_oversized_payload_is_not_cached():
+    cache = ResultCache(budget_bytes=100, ttl=0)
+    cache.put("small", _payload("s"))
+    cache.put("huge", _payload("h", pad=5000))
+    assert cache.get("huge") is None
+    # The oversized insert must not have flushed existing entries.
+    assert cache.get("small") is not None
+
+
+def test_overwrite_replaces_bytes():
+    cache = ResultCache(budget_bytes=10_000, ttl=0)
+    cache.put("k", _payload("a", pad=100))
+    before = cache.total_bytes
+    cache.put("k", _payload("a", pad=10))
+    assert cache.total_bytes < before
+    assert len(cache) == 1
+
+
+def test_purge_expired_and_clear():
+    clock = FakeClock()
+    cache = ResultCache(budget_bytes=10_000, ttl=5.0, clock=clock)
+    cache.put("a", _payload("a"))
+    cache.put("b", _payload("b"))
+    clock.advance(6)
+    cache.put("c", _payload("c"))
+    assert cache.purge_expired() == 2
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0 and cache.total_bytes == 0
+
+
+def test_env_defaults(monkeypatch):
+    monkeypatch.setenv("REPRO_RESULT_CACHE_MB", "2")
+    monkeypatch.setenv("REPRO_RESULT_CACHE_TTL", "42")
+    cache = ResultCache()
+    assert cache.budget_bytes == 2 * 1024 * 1024
+    assert cache.ttl == 42.0

@@ -1,0 +1,338 @@
+"""Service integration tests: HTTP protocol, scheduling, coalescing.
+
+The server runs on its own event-loop thread (``ServerThread``) and is
+driven by the blocking client — the same topology as production.  The
+executor runs in-process (``workers=0``) so tests can monkeypatch
+``repro.service.executor.simulate_counts`` to count, delay, or gate
+simulations deterministically.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+import repro.service.executor as executor_mod
+from repro.runtime.supervisor import RetryPolicy
+from repro.service import (
+    ArithmeticService,
+    BackpressureError,
+    ResultCache,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    SimulationExecutor,
+)
+from repro.service.executor import CircuitRejected
+
+REQ = dict(
+    operation="add", n=2, m=2, x=[1], y=[2],
+    shots=64, seed=11, error_axis="2q", error_rate=0.002, trajectories=8,
+    method="trajectory",
+)
+
+
+def make_server(
+    max_queue=32, concurrency=2, retry=None, cache=None, lint=True
+):
+    service = ArithmeticService(
+        executor=SimulationExecutor(
+            workers=0,
+            concurrency=concurrency,
+            retry=retry or RetryPolicy(max_attempts=2),
+        ),
+        cache=cache if cache is not None else ResultCache(ttl=0),
+        max_queue=max_queue,
+        concurrency=concurrency,
+        lint_requests=lint,
+    )
+    return ServerThread(service)
+
+
+def _poll(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_round_trip_and_cache_hit():
+    with make_server() as srv:
+        client = ServiceClient(*srv.address)
+        first = client.simulate(dict(REQ))
+        assert first.cache == "miss"
+        assert first.counts and sum(first.counts.values()) == 64
+        assert first.program_fingerprint
+        assert first.method == "trajectory"
+        second = client.simulate(dict(REQ))
+        assert second.cache == "hit"
+        assert second.counts == first.counts
+        assert second.timings_ms["total"] < first.timings_ms["total"] * 10
+
+
+def test_endpoints_health_stats_metrics():
+    with make_server() as srv:
+        client = ServiceClient(*srv.address)
+        client.simulate(dict(REQ))
+        health = client.health()
+        assert health["status"] == "ok"
+        stats = client.stats()
+        assert stats["queue"]["depth"] == 0
+        assert stats["result_cache"]["entries"] == 1
+        assert "compile_cache" in stats and "kernel_cache" in stats
+        assert stats["executor"]["mode"] == "thread"
+        latency = stats["metrics"]["latency"]
+        assert {"queue_wait", "execute", "total"} <= set(latency)
+        assert latency["execute"]["count"] == 1
+        text = client.metrics_text()
+        assert "repro_queue_depth" in text
+        assert 'repro_requests_served_total{cache="miss"} 1' in text
+        assert "repro_latency_execute_seconds_bucket" in text
+        assert "repro_result_cache_bytes" in text
+
+
+def test_unknown_route_and_bad_method():
+    with make_server() as srv:
+        client = ServiceClient(*srv.address)
+        with pytest.raises(ServiceError) as exc:
+            client._json("GET", "/nope")
+        assert exc.value.status == 404
+        with pytest.raises(ServiceError) as exc:
+            client._json("GET", "/v1/simulate")
+        assert exc.value.status == 405
+
+
+def test_server_side_validation_of_raw_bodies():
+    with make_server() as srv:
+        host, port = srv.address
+
+        def post(body: bytes):
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.request(
+                    "POST", "/v1/simulate", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = conn.getresponse()
+                return resp.status, json.loads(resp.read().decode())
+            finally:
+                conn.close()
+
+        status, doc = post(b"{not json")
+        assert status == 400 and "malformed" in doc["error"]
+        status, doc = post(json.dumps({"operation": "add"}).encode())
+        assert status == 400 and any("missing" in d for d in doc["details"])
+        bad = dict(REQ, shots=-5, operation="sub")
+        status, doc = post(json.dumps(bad).encode())
+        assert status == 400 and len(doc["details"]) >= 2
+
+
+def test_lint_gate_rejects_with_422(monkeypatch):
+    import repro.service.server as server_mod
+
+    def reject(request):
+        raise CircuitRejected(["REP999: synthetic rejection"])
+
+    monkeypatch.setattr(server_mod, "lint_gate", reject)
+    with make_server() as srv:
+        client = ServiceClient(*srv.address)
+        from repro.service.client import RequestRejected
+
+        with pytest.raises(RequestRejected) as exc:
+            client.simulate(dict(REQ))
+        assert exc.value.status == 422
+        assert any("REP999" in d for d in exc.value.details)
+
+
+def test_coalescing_collapses_identical_requests(monkeypatch):
+    """N concurrent identical requests run exactly one simulation."""
+    n_clients = 6
+    calls = []
+    release = threading.Event()
+    real = executor_mod.simulate_counts
+
+    def gated(*args, **kwargs):
+        calls.append(threading.get_ident())
+        release.wait(timeout=30)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(executor_mod, "simulate_counts", gated)
+    with make_server(concurrency=4) as srv:
+        client = ServiceClient(*srv.address)
+        results = [None] * n_clients
+        errors = []
+
+        def worker(i):
+            try:
+                results[i] = client.simulate(dict(REQ))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        # Deterministic rendezvous: wait until one simulation started
+        # and the other N-1 requests have attached to it.
+        metrics = srv.service.metrics
+        assert _poll(
+            lambda: len(calls) == 1
+            and metrics.counter_total("requests_coalesced_total")
+            == n_clients - 1
+        ), "requests did not coalesce onto one in-flight simulation"
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+    assert len(calls) == 1, "coalesced requests must share one simulation"
+    sources = sorted(r.cache for r in results)
+    assert sources.count("miss") == 1
+    assert sources.count("coalesced") == n_clients - 1
+    baseline = results[0]
+    for r in results[1:]:
+        assert r.counts == baseline.counts
+        assert r.program_fingerprint == baseline.program_fingerprint
+        assert r.content_key == baseline.content_key
+
+
+def test_backpressure_returns_429_with_retry_after(monkeypatch):
+    release = threading.Event()
+    real = executor_mod.simulate_counts
+
+    def gated(*args, **kwargs):
+        release.wait(timeout=30)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(executor_mod, "simulate_counts", gated)
+    with make_server(max_queue=1, concurrency=1) as srv:
+        client = ServiceClient(*srv.address)
+        threads = []
+        outcomes = []
+
+        def worker(seed):
+            try:
+                outcomes.append(client.simulate(dict(REQ, seed=seed)))
+            except BackpressureError as exc:
+                outcomes.append(exc)
+
+        # Distinct seeds -> distinct content keys -> no coalescing.
+        # One runs, one queues; the queue (depth 1) is then full.
+        for seed in (1, 2):
+            t = threading.Thread(target=worker, args=(seed,))
+            t.start()
+            threads.append(t)
+        stats = srv.service.scheduler.queue_stats
+        assert _poll(lambda: stats()["running"] == 1 and stats()["depth"] == 1)
+        with pytest.raises(BackpressureError) as exc:
+            client.simulate(dict(REQ, seed=3))
+        assert exc.value.retry_after >= 1.0
+        assert (
+            srv.service.metrics.counter_total("requests_rejected_total") == 1
+        )
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert all(not isinstance(o, BackpressureError) for o in outcomes)
+
+
+def test_priority_orders_the_queue(monkeypatch):
+    """Queued jobs drain lowest priority value first."""
+    order = []
+    first_started = threading.Event()
+    release = threading.Event()
+    real = executor_mod.simulate_counts
+
+    def tracking(*args, **kwargs):
+        order.append(kwargs.get("shots"))
+        first_started.set()
+        if len(order) == 1:
+            release.wait(timeout=30)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(executor_mod, "simulate_counts", tracking)
+    with make_server(concurrency=1) as srv:
+        client = ServiceClient(*srv.address)
+        threads = [
+            threading.Thread(
+                target=client.simulate, args=(dict(REQ, shots=10),)
+            )
+        ]
+        threads[0].start()
+        assert first_started.wait(timeout=30)
+        # While the first job blocks the single pump, queue a low-priority
+        # then a high-priority job; the high-priority one must run first.
+        stats = srv.service.scheduler.queue_stats
+        for shots, priority in ((20, 9), (30, 0)):
+            t = threading.Thread(
+                target=client.simulate,
+                args=(dict(REQ, shots=shots, priority=priority),),
+            )
+            t.start()
+            threads.append(t)
+            depth = len(threads) - 1
+            assert _poll(lambda d=depth: stats()["depth"] == d)
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+    assert order == [10, 30, 20]
+
+
+def test_graceful_shutdown_drains_queue(monkeypatch):
+    """Accepted work completes during shutdown; new work is refused."""
+    started = threading.Event()
+    real = executor_mod.simulate_counts
+
+    def slow(*args, **kwargs):
+        started.set()
+        time.sleep(0.3)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(executor_mod, "simulate_counts", slow)
+    srv = make_server(concurrency=1).start()
+    client = ServiceClient(*srv.address)
+    result = {}
+
+    def worker():
+        result["resp"] = client.simulate(dict(REQ))
+
+    t = threading.Thread(target=worker)
+    t.start()
+    assert started.wait(timeout=30)
+    srv.stop(drain=True)  # returns once drained and closed
+    t.join(timeout=30)
+    assert result["resp"].cache == "miss"
+    assert sum(result["resp"].counts.values()) == 64
+
+
+def test_draining_server_refuses_new_requests():
+    with make_server() as srv:
+        client = ServiceClient(*srv.address)
+        client.simulate(dict(REQ))
+        srv.service.draining = True
+        with pytest.raises(ServiceError) as exc:
+            client.simulate(dict(REQ, seed=99))
+        assert exc.value.status == 503
+        assert client.health()["status"] == "draining"
+        srv.service.draining = False
+
+
+def test_execution_failure_maps_to_500(monkeypatch):
+    def broken(*args, **kwargs):
+        raise RuntimeError("engine exploded")
+
+    monkeypatch.setattr(executor_mod, "simulate_counts", broken)
+    with make_server(
+        retry=RetryPolicy(max_attempts=2, backoff_base=0.0)
+    ) as srv:
+        client = ServiceClient(*srv.address)
+        with pytest.raises(ServiceError) as exc:
+            client.simulate(dict(REQ))
+        assert exc.value.status == 500
+        assert "engine exploded" in exc.value.body.get("detail", "")
+        assert exc.value.body.get("attempts") == 2
