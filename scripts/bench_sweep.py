@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Benchmark the sweep scheduler and write the ``BENCH_sweep.json`` trend line.
+
+Times one Fig.-3(a)-shaped QFA 1q rate sweep three ways —
+
+* ``percell``  — the legacy per-cell, per-instance path (``batching="off"``),
+* ``fused``    — cross-cell fusion + error-configuration dedup,
+* ``adaptive`` — fused + dedup + adaptive shot allocation (delta=1e-3)
+
+— and records p50 wall-clock per cell, cells/sec, dedup ratio, and
+batch occupancy, so future PRs have a perf baseline to diff against.
+The committed ``BENCH_sweep.json`` at the repo root was produced at
+``--scale paper`` (n=8, 2048 shots, 2048 trajectories); rerun with the
+same flags to refresh it.
+
+Usage: python scripts/bench_sweep.py [--scale smoke|default|paper]
+       [--instances N] [--repeats R] [--out BENCH_sweep.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.config import SCALES, SweepConfig, current_scale
+from repro.experiments.instances import generate_instances
+from repro.experiments.runner import (
+    build_compiled_program,
+    run_cells_fused,
+    run_point,
+)
+from repro.noise.ibm import P1Q_SWEEP
+
+#: Default instance cap per scale: the per-cell baseline is the slow
+#: side, and one paper instance per cell already takes minutes.
+_DEFAULT_INSTANCES = {"smoke": 4, "default": 8, "paper": 1}
+
+
+def _config(scale, instances: int) -> SweepConfig:
+    return SweepConfig(
+        operation="add",
+        n=scale.qfa_n,
+        m=scale.qfa_n,
+        orders=(1, 1),
+        error_axis="1q",
+        error_rates=tuple(r for r in P1Q_SWEEP if r > 0),
+        depths=(None,),
+        instances=instances,
+        shots=scale.shots,
+        trajectories=scale.trajectories,
+        seed=9000,
+    )
+
+
+def _mode_stats(times, n_cells: int) -> dict:
+    per_cell = [t / n_cells for t in times]
+    return {
+        "runs_s": [round(t, 3) for t in times],
+        "p50_total_s": round(statistics.median(times), 3),
+        "p50_cell_s": round(statistics.median(per_cell), 3),
+        "cells_per_s": round(n_cells / statistics.median(times), 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES))
+    parser.add_argument(
+        "--instances", type=int, help="instances per cell (default per scale)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="timing repeats per mode"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_sweep.json",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    instances = args.instances or _DEFAULT_INSTANCES[scale.name]
+
+    cfg = _config(scale, instances)
+    insts = generate_instances(
+        cfg.operation, cfg.n, cfg.m, cfg.orders, cfg.instances, cfg.seed
+    )
+    cells = [(r, d) for r in cfg.error_rates for d in cfg.depths]
+    programs = [
+        build_compiled_program(
+            cfg.operation, cfg.n, cfg.m, d, cfg.error_axis, r, cfg.convention
+        )
+        for r, d in cells
+    ]
+    print(
+        f"bench_sweep: scale={scale.name} n={cfg.n} shots={cfg.shots} "
+        f"traj={cfg.trajectories} instances={instances} "
+        f"cells={len(cells)}",
+        flush=True,
+    )
+
+    # Warm compile/kernel caches and BLAS threads on a single instance.
+    warm = cfg.with_overrides(instances=1)
+    run_point(warm, insts[:1], *cells[0], program=programs[0])
+    run_cells_fused(warm, insts[:1], cells[:1], programs[:1])
+
+    def time_percell() -> float:
+        start = time.perf_counter()
+        for (r, d), prog in zip(cells, programs):
+            run_point(cfg, insts, r, d, program=prog)
+        return time.perf_counter() - start
+
+    def time_fused(config: SweepConfig) -> float:
+        start = time.perf_counter()
+        run_cells_fused(config, insts, cells, programs)
+        return time.perf_counter() - start
+
+    adaptive_cfg = cfg.with_overrides(adaptive=True, adaptive_delta=1e-3)
+    timings = {}
+    for name, fn in (
+        ("percell", time_percell),
+        ("fused", lambda: time_fused(cfg)),
+        ("adaptive", lambda: time_fused(adaptive_cfg)),
+    ):
+        runs = []
+        for _ in range(max(1, args.repeats)):
+            runs.append(fn())
+            print(f"  {name}: {runs[-1]:.2f}s", flush=True)
+        timings[name] = _mode_stats(runs, len(cells))
+
+    results = run_cells_fused(cfg, insts, cells, programs)
+    adaptive_results = run_cells_fused(adaptive_cfg, insts, cells, programs)
+    per_cell = {
+        f"{rate:g}": {
+            "dedup_ratio": round(p.dedup_ratio, 4),
+            "batch_occupancy": round(p.batch_occupancy, 1),
+            "trajectories_spent": p.trajectories_spent,
+            "adaptive_trajectories_spent": (
+                adaptive_results[(rate, depth)].trajectories_spent
+            ),
+        }
+        for (rate, depth), p in results.items()
+    }
+
+    doc = {
+        "benchmark": "qfa_1q_rate_sweep",
+        "scale": scale.name,
+        "config": {
+            "operation": cfg.operation,
+            "n": cfg.n,
+            "m": cfg.m,
+            "orders": list(cfg.orders),
+            "error_axis": cfg.error_axis,
+            "error_rates": list(cfg.error_rates),
+            "instances": cfg.instances,
+            "shots": cfg.shots,
+            "trajectories": cfg.trajectories,
+            "seed": cfg.seed,
+        },
+        "modes": timings,
+        "speedup": {
+            "fused_vs_percell": round(
+                timings["percell"]["p50_total_s"]
+                / timings["fused"]["p50_total_s"],
+                2,
+            ),
+            "adaptive_vs_percell": round(
+                timings["percell"]["p50_total_s"]
+                / timings["adaptive"]["p50_total_s"],
+                2,
+            ),
+        },
+        "cells": per_cell,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(
+        f"wrote {args.out} "
+        f"(fused {doc['speedup']['fused_vs_percell']}x, "
+        f"adaptive {doc['speedup']['adaptive_vs_percell']}x)",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

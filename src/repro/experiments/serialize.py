@@ -55,6 +55,9 @@ def point_to_dict(pr: PointResult) -> dict:
             [int(o.success), o.min_diff, o.shots] for o in pr.outcomes
         ],
         "program_fingerprint": pr.program_fingerprint,
+        "dedup_ratio": pr.dedup_ratio,
+        "batch_occupancy": pr.batch_occupancy,
+        "trajectories_spent": pr.trajectories_spent,
     }
 
 
@@ -79,6 +82,10 @@ def point_from_dict(p: dict) -> PointResult:
         outcomes=outcomes,
         # Absent in journals written before program compilation existed.
         program_fingerprint=p.get("program_fingerprint", ""),
+        # Absent before the batched scheduler; defaults mean "not used".
+        dedup_ratio=float(p.get("dedup_ratio", 1.0)),
+        batch_occupancy=float(p.get("batch_occupancy", 0.0)),
+        trajectories_spent=int(p.get("trajectories_spent", 0)),
     )
 
 

@@ -36,10 +36,16 @@ from ..runtime import (
     Supervisor,
     config_fingerprint,
     inject,
+    partition_weighted,
 )
 from .config import SweepConfig
 from .instances import ArithmeticInstance, generate_instances
-from .runner import PointResult, build_compiled_program, run_point
+from .runner import (
+    PointResult,
+    build_compiled_program,
+    run_cells_fused,
+    run_point,
+)
 from .serialize import depth_from_json, depth_to_json, point_from_dict, point_to_dict
 
 __all__ = [
@@ -51,6 +57,11 @@ __all__ = [
 ]
 
 CellKey = Tuple[float, Optional[int]]
+
+#: With ``batching="group"``, at most this many fusion-compatible cells
+#: share one supervisor work unit — bounding per-unit runtime (retry and
+#: timeout granularity) while still amortising kernels across cells.
+GROUP_MAX_CELLS = 8
 
 
 def default_workers() -> int:
@@ -174,6 +185,48 @@ def _execute_cell(payload, attempt: int) -> PointResult:
     return point
 
 
+def _execute_cell_batched(payload, attempt: int) -> PointResult:
+    """Supervisor worker for ``batching="cell"``: one fused cell.
+
+    Same payload as :func:`_execute_cell`; the cell's instances run
+    through the batched trajectory scheduler instead of one-by-one.
+    """
+    config, instances, rate, depth, fault_spec, program = payload
+    poison = inject(fault_spec, (rate, depth), attempt)
+    point = run_cells_fused(
+        config, instances, [(rate, depth)], [program]
+    )[(rate, depth)]
+    if poison:
+        point = _poison_point(point)
+    _check_point_health(point)
+    return point
+
+
+def _execute_cell_group(payload, attempt: int) -> Dict[CellKey, PointResult]:
+    """Supervisor worker for ``batching="group"``: fused multi-cell unit.
+
+    The payload carries several fusion-compatible cells; the scheduler
+    packs their trajectory rows into shared batches.  Fault injection
+    stays per member cell (a crash/hang fault in any member retries the
+    whole unit; a nan fault poisons only its member's point).
+    """
+    config, instances, keys, fault_specs, programs = payload
+    poisoned = {
+        key
+        for key, spec in zip(keys, fault_specs)
+        if inject(spec, key, attempt)
+    }
+    ran = run_cells_fused(config, instances, keys, programs)
+    out: Dict[CellKey, PointResult] = {}
+    for key in keys:
+        point = ran[key]
+        if key in poisoned:
+            point = _poison_point(point)
+        _check_point_health(point)
+        out[key] = point
+    return out
+
+
 # ----------------------------------------------------------------------
 # Checkpoint plumbing
 # ----------------------------------------------------------------------
@@ -230,6 +283,14 @@ def run_sweep(
     existing journal first.  ``retry`` tunes the supervisor's recovery
     ladder (attempts, backoff, per-cell timeout, pool respawns);
     ``fault_plan`` deterministically injects failures for chaos testing.
+
+    ``config.batching`` selects the execution path: ``"off"`` (legacy
+    per-cell, per-instance runs, seed-exact with earlier releases),
+    ``"cell"`` (each cell's instances fused into batched trajectory
+    work), or ``"group"`` (fusion-compatible cells additionally share
+    supervisor work units and state buffers).  ``"cell"`` and
+    ``"group"`` are bit-identical to each other; see
+    :func:`~repro.experiments.runner.run_cells_fused`.
     """
     if instances is None:
         instances = generate_instances(
@@ -276,24 +337,14 @@ def run_sweep(
     # lowering per depth (shared across rates via the compile cache) and
     # one cheap bind per rate.  Workers receive the compiled payload and
     # never lower; the picklable op descriptors keep shipping cheap.
-    cells = [
-        (
-            key,
-            (
-                config,
-                instances,
-                key[0],
-                key[1],
-                fault_plan.for_cell(key),
-                build_compiled_program(
-                    config.operation, config.n, config.m, key[1],
-                    config.error_axis, key[0], config.convention,
-                ),
-            ),
+    pending = [key for key in all_keys if key not in points]
+    programs = {
+        key: build_compiled_program(
+            config.operation, config.n, config.m, key[1],
+            config.error_axis, key[0], config.convention,
         )
-        for key in all_keys
-        if key not in points
-    ]
+        for key in pending
+    }
 
     state = {"done": done_count}
 
@@ -308,11 +359,67 @@ def run_sweep(
                 f"depth={point.depth_label}: {point.summary}{note}"
             )
 
-    supervisor = Supervisor(
-        _execute_cell, workers=workers, retry=retry, on_result=on_result
-    )
-    ran, cell_failures = supervisor.run(cells)
-    points.update(ran)
+    if config.batching == "group":
+        # Partition the pending cells into fusion-compatible work units:
+        # cells sharing a circuit skeleton (same fusion key — e.g. the
+        # rates of one depth row) chunk together, bounded in size so the
+        # supervisor's retry/timeout granularity stays per-unit-sane.
+        by_fusion: Dict[tuple, List[CellKey]] = {}
+        for key in pending:
+            by_fusion.setdefault(
+                programs[key].fusion_key, []
+            ).append(key)
+        group_cells = []
+        for keys in by_fusion.values():
+            for chunk in partition_weighted(
+                keys, [1.0] * len(keys), float(GROUP_MAX_CELLS)
+            ):
+                chunk = tuple(chunk)
+                payload = (
+                    config,
+                    instances,
+                    chunk,
+                    tuple(fault_plan.for_cell(k) for k in chunk),
+                    tuple(programs[k] for k in chunk),
+                )
+                group_cells.append((("group",) + chunk, payload))
+
+        def on_group(gkey, ran_points, attempts: int) -> None:
+            for key, point in ran_points.items():
+                on_result(key, point, attempts)
+
+        supervisor = Supervisor(
+            _execute_cell_group, workers=workers, retry=retry,
+            on_result=on_group,
+        )
+        ran, cell_failures = supervisor.run(group_cells)
+        for ran_points in ran.values():
+            points.update(ran_points)
+    else:
+        worker_fn = (
+            _execute_cell_batched
+            if config.batching == "cell"
+            else _execute_cell
+        )
+        cells = [
+            (
+                key,
+                (
+                    config,
+                    instances,
+                    key[0],
+                    key[1],
+                    fault_plan.for_cell(key),
+                    programs[key],
+                ),
+            )
+            for key in pending
+        ]
+        supervisor = Supervisor(
+            worker_fn, workers=workers, retry=retry, on_result=on_result
+        )
+        ran, cell_failures = supervisor.run(cells)
+        points.update(ran)
     # Restored and pooled cells arrive in completion order; re-key into
     # grid order so serialized output is deterministic across runs.
     points = {
@@ -322,18 +429,26 @@ def run_sweep(
         if (rate, depth) in points
     }
 
-    failures = [
-        FailedCell(
-            error_rate=cf.key[0],
-            depth=cf.key[1],
-            error_type=cf.error_type,
-            message=cf.message,
-            traceback=cf.traceback,
-            attempts=cf.attempts,
-            retryable=cf.retryable,
+    failures = []
+    for cf in cell_failures:
+        # A failed group unit expands into one record per member cell.
+        members = (
+            cf.key[1:]
+            if isinstance(cf.key, tuple) and cf.key[:1] == ("group",)
+            else [cf.key]
         )
-        for cf in cell_failures
-    ]
+        for k in members:
+            failures.append(
+                FailedCell(
+                    error_rate=k[0],
+                    depth=k[1],
+                    error_type=cf.error_type,
+                    message=cf.message,
+                    traceback=cf.traceback,
+                    attempts=cf.attempts,
+                    retryable=cf.retryable,
+                )
+            )
     if progress:
         for f in failures:
             progress(f"[FAILED] {f}")

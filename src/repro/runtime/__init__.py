@@ -17,10 +17,17 @@ See ``docs/reliability.md`` for the end-to-end story.
 """
 
 from .checkpoint import CheckpointJournal, config_fingerprint
+from .envutil import env_flag, env_float, env_mb_bytes
 from .errors import CellTimeoutError, NumericalHealthError, classify_retryable
 from .faults import FaultPlan, FaultSpec, InjectedFault, inject
 from .health import check_finite, check_norms, check_trace, norm_tolerance
-from .supervisor import CellFailure, RetryPolicy, Supervisor, run_supervised
+from .supervisor import (
+    CellFailure,
+    RetryPolicy,
+    Supervisor,
+    partition_weighted,
+    run_supervised,
+)
 
 __all__ = [
     "CheckpointJournal",
@@ -40,4 +47,8 @@ __all__ = [
     "RetryPolicy",
     "Supervisor",
     "run_supervised",
+    "partition_weighted",
+    "env_flag",
+    "env_float",
+    "env_mb_bytes",
 ]

@@ -1,0 +1,67 @@
+"""Strict environment-variable parsing shared by the cache/batch knobs.
+
+Every numeric knob in the repo (``REPRO_KERNEL_CACHE_MB``,
+``REPRO_RESULT_CACHE_MB``, ``REPRO_RESULT_CACHE_TTL``,
+``REPRO_BATCH_MB``) goes through :func:`env_float`, which rejects
+non-numeric and out-of-range values with an error that names the
+variable — instead of crashing deep inside ``float()`` or silently
+building a cache with a nonsense (e.g. negative) budget.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["env_float", "env_mb_bytes", "env_flag"]
+
+
+def env_float(
+    name: str,
+    default: float,
+    minimum: Optional[float] = None,
+) -> float:
+    """``float(os.environ[name])`` with validation.
+
+    Unset (or empty/whitespace) values return ``default``.  A value
+    that does not parse as a finite float, or falls below ``minimum``,
+    raises :class:`ValueError` naming the variable.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return float(default)
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError(f"{name} must be finite, got {raw!r}")
+    if minimum is not None and value < minimum:
+        raise ValueError(
+            f"{name} must be >= {minimum:g}, got {raw!r}"
+        )
+    return value
+
+
+def env_mb_bytes(name: str, default_mb: float) -> int:
+    """A megabyte-denominated budget variable, returned in bytes."""
+    return int(env_float(name, default_mb, minimum=0.0) * 1024 * 1024)
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """A boolean variable: 1/true/yes/on (any case) is True, 0/false/no/
+    off is False; anything else raises :class:`ValueError`."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    norm = raw.strip().lower()
+    if norm in ("1", "true", "yes", "on"):
+        return True
+    if norm in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(
+        f"{name} must be a boolean (1/0/true/false/yes/no/on/off), "
+        f"got {raw!r}"
+    )

@@ -15,10 +15,11 @@ expiry).  The clock is injectable for deterministic tests.
 from __future__ import annotations
 
 import json
-import os
 import threading
 import time
 from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..runtime.envutil import env_float, env_mb_bytes
 
 __all__ = ["ResultCache"]
 
@@ -33,10 +34,9 @@ class ResultCache:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if budget_bytes is None:
-            mb = float(os.environ.get("REPRO_RESULT_CACHE_MB", "64"))
-            budget_bytes = int(mb * 1024 * 1024)
+            budget_bytes = env_mb_bytes("REPRO_RESULT_CACHE_MB", 64)
         if ttl is None:
-            ttl = float(os.environ.get("REPRO_RESULT_CACHE_TTL", "600"))
+            ttl = env_float("REPRO_RESULT_CACHE_TTL", 600, minimum=0.0)
         self.budget_bytes = budget_bytes
         self.ttl = ttl
         self._clock = clock

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..experiments.runner import build_compiled_program, noise_model_for
 from ..metrics.success import evaluate_instance
+from ..runtime.envutil import env_flag
 from ..runtime.supervisor import RetryPolicy
 from ..sim.engines import simulate_counts
 from .model import RequestValidationError, SimRequest
@@ -133,6 +134,11 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         trajectories=request.trajectories,
         rng=rng,
         initial_state=instance.initial_statevector(),
+        # Opt-in error-configuration dedup (exact, but a different —
+        # equally valid — random stream than the default path, so it is
+        # a deployment-wide switch rather than a per-request knob:
+        # toggling it must not split the result cache's key space).
+        dedup=env_flag("REPRO_SERVICE_DEDUP", False),
     )
     t_sim = time.perf_counter()
     outcome = evaluate_instance(counts, instance.correct_outcomes())

@@ -90,6 +90,22 @@ class ArithmeticService:
         self.metrics.register_gauge(
             "inflight_requests", lambda: self._inflight_http
         )
+        # Batched-trajectory-scheduler efficiency (process-wide; only
+        # moves when executions run in-process or with dedup enabled).
+        from ..sim.batch import scheduler_stats
+
+        self.metrics.register_gauge(
+            "trajectory_dedup_ratio",
+            lambda: scheduler_stats()["dedup_ratio"],
+        )
+        self.metrics.register_gauge(
+            "trajectory_batch_occupancy",
+            lambda: scheduler_stats()["batch_occupancy"],
+        )
+        self.metrics.register_gauge(
+            "trajectories_spent_total",
+            lambda: scheduler_stats()["trajectories_sampled"],
+        )
 
     # -- lifecycle --------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:

@@ -1,6 +1,13 @@
 """Simulation engines: statevector, density matrix, trajectories,
 perturbative — plus the ``auto`` dispatcher used by the harness."""
 
+from .batch import (
+    FusedTrajectoryScheduler,
+    TaskResult,
+    TrajectoryTask,
+    reset_scheduler_stats,
+    scheduler_stats,
+)
 from .density import DensityMatrix, DensityMatrixEngine
 from .engines import (
     choose_method,
@@ -32,6 +39,11 @@ __all__ = [
     "DensityMatrixEngine",
     "DensityMatrix",
     "TrajectoryEngine",
+    "FusedTrajectoryScheduler",
+    "TrajectoryTask",
+    "TaskResult",
+    "scheduler_stats",
+    "reset_scheduler_stats",
     "PerturbativeEngine",
     "simulate_counts",
     "simulate_distribution",

@@ -122,6 +122,7 @@ def simulate_counts(
     initial_state: Optional[np.ndarray] = None,
     dtype=np.complex128,
     split_clean: bool = True,
+    dedup: bool = False,
 ) -> Counts:
     """Sampled measurement counts over all qubits.
 
@@ -129,8 +130,11 @@ def simulate_counts(
     "statevector", "density", "trajectory", "perturbative"}; non-
     trajectory methods compute the exact distribution and sample it.
     ``split_clean`` toggles the trajectory engine's exact ideal/erred
-    ensemble split (see :mod:`repro.sim.trajectories`).  The resolved
-    engine name is recorded as ``Counts.method``.
+    ensemble split (see :mod:`repro.sim.trajectories`); ``dedup``
+    routes Pauli-only trajectory runs through the batched scheduler,
+    which simulates each distinct error configuration once (exact, but
+    a different — equally valid — random stream).  The resolved engine
+    name is recorded as ``Counts.method``.
 
     ``circuit`` may be a precompiled
     :class:`~repro.sim.program.CompiledProgram` (e.g. from
@@ -148,7 +152,7 @@ def simulate_counts(
     if method == "trajectory":
         engine = TrajectoryEngine(
             trajectories=trajectories, rng=rng, dtype=dtype,
-            split_clean=split_clean,
+            split_clean=split_clean, dedup=dedup,
         )
         counts = engine.run(circuit, noise_model, shots, initial_state)
         counts.method = method

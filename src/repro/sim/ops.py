@@ -28,6 +28,7 @@ __all__ = [
     "apply_diagonal",
     "apply_instruction",
     "apply_pauli_rows",
+    "apply_pauli_string_rows",
     "probabilities",
     "BitCache",
 ]
@@ -314,6 +315,33 @@ def apply_pauli_rows(
         state[rows] = state[np.ix_(rows, perm)] * yfac
         return
     raise ValueError(f"unknown Pauli {pauli!r}")
+
+
+def apply_pauli_string_rows(
+    state: np.ndarray,
+    label: str,
+    qubits: Sequence[int],
+    rows: np.ndarray,
+    n: int,
+    bits: BitCache = _GLOBAL_BITS,
+) -> None:
+    """Apply a multi-qubit Pauli string to a subset of batch rows.
+
+    ``label`` is little-endian over ``qubits`` (``label[k]`` acts on
+    ``qubits[k]``), matching the channel tables of
+    :class:`~repro.noise.channels.PauliError`.  Identity factors are
+    skipped; each non-identity factor reuses :func:`apply_pauli_rows`,
+    so the result is bit-identical to applying the factors one by one.
+    """
+    if len(label) != len(qubits):
+        raise ValueError(
+            f"Pauli string {label!r} does not match {len(qubits)} qubit(s)"
+        )
+    if rows.size == 0:
+        return
+    for pos, ch in enumerate(label):
+        if ch != "I":
+            apply_pauli_rows(state, ch, qubits[pos], rows, n, bits)
 
 
 def probabilities(state: np.ndarray) -> np.ndarray:

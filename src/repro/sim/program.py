@@ -45,7 +45,6 @@ from __future__ import annotations
 
 import cmath
 import hashlib
-import os
 import weakref
 from dataclasses import dataclass
 from functools import lru_cache
@@ -58,6 +57,7 @@ from ..circuits.circuit import Instruction, QuantumCircuit
 from ..circuits.gates import is_diagonal_gate, phase_on_ones
 from ..noise.channels import PauliError, QuantumError, ResetError
 from ..noise.model import NoiseModel
+from ..runtime.envutil import env_mb_bytes
 from .ops import _GLOBAL_BITS, _apply_phase_on_mask, apply_instruction
 
 __all__ = [
@@ -100,8 +100,7 @@ class KernelCache:
 
     def __init__(self, budget_bytes: Optional[int] = None) -> None:
         if budget_bytes is None:
-            mb = float(os.environ.get("REPRO_KERNEL_CACHE_MB", "256"))
-            budget_bytes = int(mb * 1024 * 1024)
+            budget_bytes = env_mb_bytes("REPRO_KERNEL_CACHE_MB", 256)
         self.budget_bytes = budget_bytes
         self._entries: Dict[tuple, object] = {}
         self._nbytes: Dict[tuple, int] = {}
@@ -590,6 +589,24 @@ class _MonoSegment:
             self.key, lambda: _compose_elems((None, None), self.elems, n)
         )
 
+    def partial(self, n: int, start: int, end: int):
+        """The composed monomial of ``elems[start:end]`` (kernel-cached).
+
+        The batched scheduler walks a firing row piecewise between its
+        own fire positions; caching each piece by ``(key, start, end)``
+        shares the composition across rows, rounds and fused tasks.
+        ``partial(n, 0, len(elems))`` is exactly :meth:`full` (same
+        cache entry), so event-free spans pay nothing extra.
+        """
+        if start == 0 and end == len(self.elems):
+            return self.full(n)
+        return _KERNELS.get(
+            (self.key, start, end),
+            lambda: _compose_elems(
+                (None, None), self.elems[start:end], n
+            ),
+        )
+
     def __repr__(self) -> str:
         return (
             f"_MonoSegment({len(self.elems)} elems, "
@@ -632,7 +649,7 @@ class CompiledProgram:
         "optimized",
     )
 
-    __slots__ = _PICKLE_SLOTS + ("_stream",)
+    __slots__ = _PICKLE_SLOTS + ("_stream", "_fusion_key")
 
     def __init__(
         self,
@@ -655,6 +672,7 @@ class CompiledProgram:
             op.is_pauli for op in ops if op.kind == "noise"
         ) and not any(op.kind == "reset" for op in ops)
         self._stream = None
+        self._fusion_key = None
 
     # -- pickling (slots class) -----------------------------------------
     def __getstate__(self):
@@ -664,11 +682,45 @@ class CompiledProgram:
         for s, v in zip(self._PICKLE_SLOTS, state):
             object.__setattr__(self, s, v)
         self._stream = None
+        self._fusion_key = None
 
     # -- introspection ---------------------------------------------------
     @property
     def num_noise_sites(self) -> int:
         return sum(1 for op in self.ops if op.kind == "noise")
+
+    @property
+    def fusion_key(self) -> tuple:
+        """The batching compatibility key of this program.
+
+        Two programs with equal fusion keys lower from the same circuit
+        skeleton and share an identical :meth:`exec_stream` layout —
+        same segment boundaries, same Pauli-site ordinals — differing
+        only in channel weights.  The batched trajectory scheduler may
+        therefore pack their rows into one state buffer: every shared
+        unitary/monomial kernel applies to all rows at once, while
+        per-row Pauli fires are drawn from each task's own channel
+        tables.  Rate-only sweeps (the paper's figures) satisfy this by
+        construction; a 1q-axis and a 2q-axis program of the same
+        circuit do *not* (different sites carry weight).
+        """
+        key = self._fusion_key
+        if key is None:
+            layout = tuple(
+                (op.qubits, op.is_pauli, bool(op.e))
+                for op in self.ops
+                if op.kind == "noise"
+            )
+            key = (
+                "fuse",
+                self.circuit_fingerprint,
+                self.optimized,
+                self.num_qubits,
+                layout,
+                self.pauli_only,
+            )
+            self._fusion_key = key
+        return key
 
     def pauli_sites(self) -> List[Tuple[int, NoiseOp]]:
         """(op index, NoiseOp) for every Pauli noise site with weight."""

@@ -196,3 +196,108 @@ def test_probabilities_normalised(rng):
     p = probabilities(state)
     np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
     assert np.all(p >= 0)
+
+
+class TestPauliStringRows:
+    """apply_pauli_string_rows: the batched scheduler's fire kernel.
+
+    Property-based: any Pauli string on any row subset (empty, single,
+    all, non-contiguous) must match the dense kron'd-matrix reference.
+    """
+
+    def _reference(self, state, label, qubits, rows, n):
+        from functools import reduce
+
+        from repro.noise.pauli import PAULI_MATRICES
+
+        # dense_apply puts qubits[pos] on sub-index bit pos, and
+        # np.kron(A, B) places B on the low bits — so fold factors
+        # low-to-high.
+        U = reduce(
+            lambda acc, ch: np.kron(PAULI_MATRICES[ch], acc),
+            label[1:],
+            PAULI_MATRICES[label[0]],
+        )
+        expected = state.copy()
+        if rows.size:
+            expected[rows] = dense_apply(
+                state[rows], U, list(qubits), n
+            )
+        return expected
+
+    @pytest.mark.parametrize(
+        "rows",
+        [
+            np.array([], dtype=int),          # empty subset
+            np.array([2]),                    # single row
+            np.arange(5),                     # all rows
+            np.array([0, 2, 4]),              # non-contiguous
+        ],
+        ids=["empty", "single", "all", "noncontiguous"],
+    )
+    @pytest.mark.parametrize("label,qubits", [("XZ", (0, 2)), ("YY", (1, 0))])
+    def test_row_subsets_match_dense(self, rng, rows, label, qubits):
+        from repro.sim.ops import apply_pauli_string_rows
+
+        n, batch = 3, 5
+        state = random_state(rng, n, batch)
+        expected = self._reference(state, label, qubits, rows, n)
+        got = state.copy()
+        apply_pauli_string_rows(got, label, qubits, rows, n)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_length_mismatch_raises(self, rng):
+        from repro.sim.ops import apply_pauli_string_rows
+
+        state = random_state(rng, 2, 2)
+        with pytest.raises(ValueError, match="does not match"):
+            apply_pauli_string_rows(state, "XY", (0,), np.array([0]), 2)
+
+    def test_property_matches_dense(self):
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        from repro.sim.ops import apply_pauli_string_rows
+
+        @settings(
+            max_examples=60,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        @given(
+            n=st.integers(2, 4),
+            batch=st.integers(1, 6),
+            seed=st.integers(0, 2**31 - 1),
+            data=st.data(),
+        )
+        def check(n, batch, seed, data):
+            qubits = tuple(
+                data.draw(
+                    st.lists(
+                        st.integers(0, n - 1),
+                        min_size=1,
+                        max_size=2,
+                        unique=True,
+                    )
+                )
+            )
+            label = data.draw(
+                st.text(
+                    alphabet="IXYZ",
+                    min_size=len(qubits),
+                    max_size=len(qubits),
+                )
+            )
+            rows = np.array(
+                sorted(
+                    data.draw(st.sets(st.integers(0, batch - 1)))
+                ),
+                dtype=int,
+            )
+            state = random_state(np.random.default_rng(seed), n, batch)
+            expected = self._reference(state, label, qubits, rows, n)
+            got = state.copy()
+            apply_pauli_string_rows(got, label, qubits, rows, n)
+            np.testing.assert_allclose(got, expected, atol=1e-12)
+
+        check()
