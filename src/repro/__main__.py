@@ -6,6 +6,9 @@ Commands
 ``table1``        — regenerate the paper's Table I and print it.
 ``fig3`` / ``fig4`` — run the figure panels at the current REPRO_SCALE
                     and print each ASCII panel (optionally save JSON).
+``sweep``         — run one ad-hoc (rate x depth) sweep, locally or
+                    distributed over a fabric worker fleet
+                    (``--fabric workers.txt``; docs/distributed.md).
 ``depth-profile`` — AQFT-vs-QFT fidelity per depth (paper §2).
 ``lint``          — static analysis: lint QASM files or the paper
                     corpus, optionally verifying transpiled circuits
@@ -93,6 +96,61 @@ def _cmd_figure(args, which: str) -> int:
             f"partial results above (re-run with --resume to retry them)",
             file=sys.stderr,
         )
+        return 1
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments import render_panel, save_sweep
+    from repro.experiments.config import SweepConfig
+    from repro.experiments.sweep import run_sweep
+    from repro.runtime import RetryPolicy
+
+    try:
+        depths = tuple(
+            None if d in ("full", "none") else int(d) for d in args.depths
+        )
+    except ValueError:
+        print(f"--depths takes integers or 'full', got {args.depths}",
+              file=sys.stderr)
+        return 2
+    config = SweepConfig(
+        operation=args.operation,
+        n=args.n,
+        m=args.m,
+        orders=(1, 1),
+        error_axis=args.error_axis,
+        error_rates=tuple(args.rates),
+        depths=depths,
+        instances=args.instances,
+        shots=args.shots,
+        trajectories=args.trajectories,
+        seed=args.seed,
+        batching=args.batching,
+        label=args.label,
+    )
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        timeout=args.timeout,
+        jitter=args.jitter,
+    )
+    result = run_sweep(
+        config,
+        workers=args.workers,
+        progress=print if args.verbose else None,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        retry=retry,
+        fabric=args.fabric,
+        lease_timeout=args.lease_timeout,
+    )
+    print(render_panel(result))
+    if args.out:
+        save_sweep(result, Path(args.out))
+        print(f"[saved {args.out}]")
+    if result.failures:
+        for f in result.failures:
+            print(f"[FAILED] {f}", file=sys.stderr)
         return 1
     return 0
 
@@ -234,6 +292,61 @@ def main(argv=None) -> int:
             default=3,
             help="attempts per cell before recording it as failed",
         )
+    p = sub.add_parser(
+        "sweep",
+        help="run one (rate x depth) sweep, locally or over a fabric",
+        description="Run a single sweep panel with explicit knobs. "
+        "With --fabric, cells are dispatched to a fleet of "
+        "repro-fabric-worker / repro-serve processes (registry file or "
+        "comma-separated host:port list); the sweep degrades to local "
+        "execution when no worker is reachable, with bit-identical "
+        "results either way.",
+    )
+    p.add_argument("--operation", choices=("add", "mul"), default="add")
+    p.add_argument("-n", type=int, default=3, help="first register width")
+    p.add_argument("-m", type=int, default=3, help="second register width")
+    p.add_argument("--error-axis", choices=("1q", "2q"), default="2q")
+    p.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 0.05],
+        help="error rates to sweep",
+    )
+    p.add_argument(
+        "--depths", nargs="+", default=["2", "full"],
+        help="AQFT depths: integers or 'full'",
+    )
+    p.add_argument("--instances", type=int, default=2)
+    p.add_argument("--shots", type=int, default=64)
+    p.add_argument("--trajectories", type=int, default=4)
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument(
+        "--batching", choices=("off", "cell", "group"), default="off"
+    )
+    p.add_argument("--label", default="sweep")
+    p.add_argument(
+        "--workers", type=int, help="local worker processes (default: cores-1)"
+    )
+    p.add_argument(
+        "--fabric",
+        help="worker fleet: registry file or comma-separated host:port list",
+    )
+    p.add_argument(
+        "--lease-timeout", type=float, default=60.0,
+        help="seconds before a dispatched unit is reassigned",
+    )
+    p.add_argument("--checkpoint", help="JSONL journal file for resume")
+    p.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="discard an existing checkpoint journal instead of resuming",
+    )
+    p.add_argument("--timeout", type=float, help="per-cell timeout (seconds)")
+    p.add_argument("--max-attempts", type=int, default=3)
+    p.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="retry backoff jitter fraction in [0, 1)",
+    )
+    p.add_argument("--out", help="JSON result file")
+    p.add_argument("-v", "--verbose", action="store_true")
+
     p = sub.add_parser("depth-profile", help="AQFT fidelity per depth")
     p.add_argument("-n", type=int, default=8)
     p.add_argument("--trials", type=int, default=8)
@@ -304,6 +417,8 @@ def main(argv=None) -> int:
         return _cmd_table1(args)
     if args.command in ("fig3", "fig4"):
         return _cmd_figure(args, args.command)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "depth-profile":
         return _cmd_depth_profile(args)
     if args.command == "lint":

@@ -16,6 +16,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import dataclasses
+import math
+
 from ..circuits.circuit import QuantumCircuit
 from ..core.adders import qfa_circuit
 from ..core.multipliers import qfm_circuit
@@ -26,6 +29,7 @@ from ..metrics.success import (
     summarize,
 )
 from ..noise.model import NoiseModel
+from ..runtime.errors import NumericalHealthError
 from ..sim.batch import FusedTrajectoryScheduler, TrajectoryTask
 from ..sim.engines import simulate_counts
 from ..sim.program import CompiledProgram, compile_circuit
@@ -40,6 +44,9 @@ __all__ = [
     "run_instance",
     "run_point",
     "run_cells_fused",
+    "run_unit",
+    "poison_point",
+    "check_point_health",
     "PointResult",
 ]
 
@@ -303,3 +310,52 @@ def run_cells_fused(
                 trajectories_spent=sampled,
             )
     return results
+
+
+def run_unit(
+    config: SweepConfig,
+    instances: List[ArithmeticInstance],
+    cells: Sequence[Tuple[float, Optional[int]]],
+    programs: Optional[Sequence[Optional[CompiledProgram]]] = None,
+) -> Dict[Tuple[float, Optional[int]], PointResult]:
+    """Execute one work unit of cells under the config's batching mode.
+
+    This is the single entry point shared by every execution venue —
+    local supervisor workers, the arithmetic service, and fabric
+    workers — so a unit's results are bit-identical no matter where it
+    runs: ``batching="off"`` uses the legacy per-cell stream of
+    :func:`run_point`, ``"cell"``/``"group"`` the per-instance streams
+    of :func:`run_cells_fused` (those two are bit-identical to each
+    other; see the sweep docs for the off/fused distinction).
+    """
+    cells = list(cells)
+    if config.batching == "off":
+        if programs is None:
+            programs = [None] * len(cells)
+        return {
+            (rate, depth): run_point(
+                config, instances, rate, depth, program=program
+            )
+            for (rate, depth), program in zip(cells, programs)
+        }
+    return run_cells_fused(config, instances, cells, programs)
+
+
+def poison_point(point: PointResult) -> PointResult:
+    """A NaN-corrupted copy of a point (the ``nan`` fault payload)."""
+    bad = dataclasses.replace(
+        point.summary, sigma=float("nan"), mean_min_diff=float("nan")
+    )
+    return dataclasses.replace(point, summary=bad)
+
+
+def check_point_health(point: PointResult) -> None:
+    """Reject non-finite aggregates before they enter a result set."""
+    s = point.summary
+    for name in ("sigma", "mean_min_diff"):
+        v = float(getattr(s, name))
+        if not math.isfinite(v):
+            raise NumericalHealthError(
+                f"cell (rate={point.error_rate}, depth={point.depth_label}) "
+                f"produced non-finite {name}={v!r}"
+            )

@@ -21,7 +21,6 @@ to an uninterrupted one.
 from __future__ import annotations
 
 import dataclasses
-import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -31,7 +30,6 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from ..runtime import (
     CheckpointJournal,
     FaultPlan,
-    NumericalHealthError,
     RetryPolicy,
     Supervisor,
     config_fingerprint,
@@ -43,6 +41,8 @@ from .instances import ArithmeticInstance, generate_instances
 from .runner import (
     PointResult,
     build_compiled_program,
+    check_point_health as _check_point_health,
+    poison_point as _poison_point,
     run_cells_fused,
     run_point,
 )
@@ -145,26 +145,6 @@ class SweepResult:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-def _poison_point(point: PointResult) -> PointResult:
-    """A NaN-corrupted copy of a point (the ``nan`` fault payload)."""
-    bad = dataclasses.replace(
-        point.summary, sigma=float("nan"), mean_min_diff=float("nan")
-    )
-    return dataclasses.replace(point, summary=bad)
-
-
-def _check_point_health(point: PointResult) -> None:
-    """Reject non-finite aggregates before they enter a result set."""
-    s = point.summary
-    for name in ("sigma", "mean_min_diff"):
-        v = float(getattr(s, name))
-        if not math.isfinite(v):
-            raise NumericalHealthError(
-                f"cell (rate={point.error_rate}, depth={point.depth_label}) "
-                f"produced non-finite {name}={v!r}"
-            )
-
-
 def _execute_cell(payload, attempt: int) -> PointResult:
     """Supervisor worker: one (rate, depth) cell, fault-injectable.
 
@@ -259,6 +239,95 @@ def _cell_key(jkey: Tuple) -> CellKey:
 
 
 # ----------------------------------------------------------------------
+# Distributed dispatch
+# ----------------------------------------------------------------------
+def _run_fabric(
+    config,
+    instances,
+    fingerprint: str,
+    pending: List[CellKey],
+    programs: Dict[CellKey, object],
+    *,
+    fabric,
+    retry,
+    journal,
+    fault_plan,
+    fabric_fault_plan,
+    lease_timeout: float,
+    on_result,
+    progress,
+    points: Dict[CellKey, PointResult],
+    failures: List[FailedCell],
+) -> List[CellKey]:
+    """Dispatch pending cells over the worker fabric.
+
+    Merges completed points into ``points`` (journalling each through
+    ``on_result``) and unit failures into ``failures``; returns the
+    cells still needing local execution — all of them when no worker is
+    reachable (graceful degradation), the unfinished remainder when the
+    fleet was lost mid-run, or ``[]`` on a fully distributed sweep.
+    """
+    from ..fabric import FabricCoordinator, NoWorkersError, parse_workers
+
+    def note(message: str) -> None:
+        if progress:
+            progress(message)
+
+    addresses = parse_workers(fabric)
+    if not addresses:
+        note("[fabric] empty fleet spec; degrading to local execution")
+        if journal is not None:
+            journal.record_event("downgrade", reason="empty fleet spec")
+        return pending
+    coordinator = FabricCoordinator(
+        config,
+        instances,
+        addresses,
+        fingerprint,
+        retry=retry,
+        journal=journal,
+        fault_plan=fabric_fault_plan,
+        cell_fault_plan=fault_plan,
+        lease_timeout=lease_timeout,
+        on_result=on_result,
+        progress=progress,
+    )
+    try:
+        fabric_points, unit_failures, leftover = coordinator.run(
+            pending, lambda key: programs[key].fusion_key
+        )
+    except NoWorkersError as exc:
+        note(f"[fabric] {exc}; degrading to local execution")
+        if journal is not None:
+            journal.record_event("downgrade", reason=str(exc))
+        return pending
+    points.update(fabric_points)
+    for uf in unit_failures:
+        for k in uf.cells:
+            failures.append(
+                FailedCell(
+                    error_rate=k[0],
+                    depth=k[1],
+                    error_type=uf.error_type,
+                    message=uf.message,
+                    attempts=uf.attempts,
+                    retryable=uf.retryable,
+                )
+            )
+    if leftover:
+        note(
+            f"[fabric] fleet lost mid-run; finishing {len(leftover)} "
+            f"cell(s) locally"
+        )
+        if journal is not None:
+            journal.record_event(
+                "downgrade",
+                reason=f"fleet lost with {len(leftover)} cell(s) pending",
+            )
+    return leftover
+
+
+# ----------------------------------------------------------------------
 def run_sweep(
     config: SweepConfig,
     workers: Optional[int] = None,
@@ -269,6 +338,9 @@ def run_sweep(
     resume: bool = True,
     retry: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    fabric: Optional[Union[str, Path, List[str]]] = None,
+    fabric_fault_plan=None,
+    lease_timeout: float = 60.0,
 ) -> SweepResult:
     """Run every (rate, depth) cell of ``config``.
 
@@ -283,6 +355,17 @@ def run_sweep(
     existing journal first.  ``retry`` tunes the supervisor's recovery
     ladder (attempts, backoff, per-cell timeout, pool respawns);
     ``fault_plan`` deterministically injects failures for chaos testing.
+
+    ``fabric`` switches the dispatch backend from the local process-pool
+    supervisor to the distributed fabric: a registry file path,
+    comma-separated address string, or address list naming the worker
+    fleet (see :mod:`repro.fabric`).  The sweep degrades gracefully —
+    an unreachable fleet, or a fleet lost mid-run, hands the remaining
+    cells back to the local path, and results are bit-identical either
+    way.  ``fabric_fault_plan`` injects deterministic worker faults
+    (kill/partition/slow) for chaos runs; ``lease_timeout`` bounds how
+    long a dispatched unit may stay un-acknowledged before it is
+    reassigned.
 
     ``config.batching`` selects the execution path: ``"off"`` (legacy
     per-cell, per-instance runs, seed-exact with earlier releases),
@@ -302,8 +385,12 @@ def run_sweep(
             config.seed,
         )
     workers = default_workers() if workers is None else max(1, workers)
+    # The fabric defaults to a jittered ladder when no explicit policy
+    # is given (thundering-herd protection); local retries stay exact.
+    fabric_retry = retry
     retry = retry or RetryPolicy()
     fault_plan = fault_plan or FaultPlan()
+    fingerprint = sweep_fingerprint(config, instances)
     all_keys: List[CellKey] = [
         (rate, depth)
         for rate in config.error_rates
@@ -315,9 +402,7 @@ def run_sweep(
     journal: Optional[CheckpointJournal] = None
     points: Dict[CellKey, PointResult] = {}
     if checkpoint is not None:
-        journal = CheckpointJournal(
-            checkpoint, sweep_fingerprint(config, instances)
-        )
+        journal = CheckpointJournal(checkpoint, fingerprint)
         if resume:
             restored = journal.load()
             for key in all_keys:
@@ -359,7 +444,24 @@ def run_sweep(
                 f"depth={point.depth_label}: {point.summary}{note}"
             )
 
-    if config.batching == "group":
+    failures: List[FailedCell] = []
+    if fabric is not None and pending:
+        pending = _run_fabric(
+            config, instances, fingerprint, pending, programs,
+            fabric=fabric,
+            retry=fabric_retry,
+            journal=journal,
+            fault_plan=fault_plan,
+            fabric_fault_plan=fabric_fault_plan,
+            lease_timeout=lease_timeout,
+            on_result=on_result,
+            progress=progress,
+            points=points,
+            failures=failures,
+        )
+
+    cell_failures: List = []
+    if pending and config.batching == "group":
         # Partition the pending cells into fusion-compatible work units:
         # cells sharing a circuit skeleton (same fusion key — e.g. the
         # rates of one depth row) chunk together, bounded in size so the
@@ -395,7 +497,7 @@ def run_sweep(
         ran, cell_failures = supervisor.run(group_cells)
         for ran_points in ran.values():
             points.update(ran_points)
-    else:
+    elif pending:
         worker_fn = (
             _execute_cell_batched
             if config.batching == "cell"
@@ -429,7 +531,6 @@ def run_sweep(
         if (rate, depth) in points
     }
 
-    failures = []
     for cf in cell_failures:
         # A failed group unit expands into one record per member cell.
         members = (

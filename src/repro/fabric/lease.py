@@ -1,0 +1,185 @@
+"""Lease state machine for distributed work units.
+
+Every work unit the coordinator dispatches is governed by one
+:class:`UnitLease`: the single source of truth for who may be running
+the unit, how many attempts it has consumed, and whether its result has
+landed.  The machine is deliberately strict — an operation that makes
+no sense in the current state raises :class:`LeaseError` and leaves the
+lease untouched — because the fault paths (worker loss, lease expiry,
+work stealing, duplicate results) are exactly where silent state
+corruption would be fatal.
+
+States and transitions::
+
+    PENDING --acquire--> LEASED --complete--> COMPLETED
+       ^                   |  ^
+       |                   |  +--acquire(steal=True)--+   (extra holder)
+       +-----release-------+
+       |
+       +------fail-------> FAILED
+
+* ``acquire`` leases a PENDING unit to one worker and charges an
+  attempt.  With ``steal=True`` it *additionally* leases an
+  already-LEASED unit to a second worker (work stealing) — no attempt
+  is charged, because the original dispatch is still in flight.
+* ``release`` drops one holder (worker loss, expiry).  When the last
+  holder is gone the unit returns to PENDING for re-dispatch.
+* ``complete`` records the first arriving result and wins the race:
+  later duplicate completions (a stolen unit finishing twice) are
+  acknowledged as stale with ``False`` instead of raising, since
+  bit-identical duplicates are expected under stealing.
+* ``adopt`` accepts a late result from a worker whose lease was already
+  reclaimed (expiry or reassignment) — safe because results are
+  bit-identical wherever the unit runs.
+* ``fail`` marks a unit whose retry budget is exhausted.
+
+Results are bit-identical wherever a unit runs (per-cell deterministic
+seeding), so "first completion wins" is a pure bookkeeping rule — it
+can never change a sweep's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+__all__ = [
+    "LeaseError",
+    "UnitLease",
+    "PENDING",
+    "LEASED",
+    "COMPLETED",
+    "FAILED",
+]
+
+PENDING = "pending"
+LEASED = "leased"
+COMPLETED = "completed"
+FAILED = "failed"
+
+_STATES = (PENDING, LEASED, COMPLETED, FAILED)
+
+
+class LeaseError(RuntimeError):
+    """An operation illegal in the lease's current state."""
+
+
+@dataclass
+class UnitLease:
+    """Lease bookkeeping for one work unit (see module docs)."""
+
+    unit_id: str
+    state: str = PENDING
+    holders: Set[str] = field(default_factory=set)
+    #: Attempts charged so far (primary acquires, not steals).
+    attempt: int = 0
+    #: Wall-clock (coordinator clock) lease expiry of the oldest holder.
+    deadline: float = 0.0
+    #: Worker whose result completed the unit ("" until completed).
+    completed_by: str = ""
+    #: Earliest time the unit may be re-dispatched (retry backoff).
+    not_before: float = 0.0
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self, worker: str, now: float, timeout: float, steal: bool = False
+    ) -> int:
+        """Lease the unit to ``worker``; returns the attempt number.
+
+        Primary acquires require PENDING; steals require LEASED (and a
+        different worker).  The returned attempt number feeds
+        deterministic fault injection and retry accounting.
+        """
+        if steal:
+            if self.state != LEASED:
+                raise LeaseError(
+                    f"unit {self.unit_id}: cannot steal in state {self.state}"
+                )
+            if worker in self.holders:
+                raise LeaseError(
+                    f"unit {self.unit_id}: {worker} already holds the lease"
+                )
+            self.holders.add(worker)
+            return self.attempt
+        if self.state != PENDING:
+            raise LeaseError(
+                f"unit {self.unit_id}: cannot acquire in state {self.state}"
+            )
+        self.state = LEASED
+        self.holders = {worker}
+        self.attempt += 1
+        self.deadline = now + timeout
+        return self.attempt
+
+    def release(self, worker: str) -> bool:
+        """Drop one holder; True when the unit returned to PENDING."""
+        if self.state != LEASED or worker not in self.holders:
+            raise LeaseError(
+                f"unit {self.unit_id}: {worker!r} holds no lease to release "
+                f"(state={self.state}, holders={sorted(self.holders)})"
+            )
+        self.holders.discard(worker)
+        if not self.holders:
+            self.state = PENDING
+            self.deadline = 0.0
+            return True
+        return False
+
+    def complete(self, worker: str) -> bool:
+        """Record a result arrival; True iff this is the winning (first) one.
+
+        A completion from a worker that never held the lease is a
+        protocol violation and raises; a completion racing in after the
+        unit already completed (stolen duplicates) returns ``False``.
+        """
+        if self.state == COMPLETED:
+            return False
+        if self.state != LEASED or worker not in self.holders:
+            raise LeaseError(
+                f"unit {self.unit_id}: completion from {worker!r} without a "
+                f"lease (state={self.state}, holders={sorted(self.holders)})"
+            )
+        self.state = COMPLETED
+        self.completed_by = worker
+        self.holders = set()
+        return True
+
+    def adopt(self, worker: str) -> bool:
+        """Accept a result from an expired or superseded lease.
+
+        A worker whose lease was reclaimed (expiry, reassignment) may
+        still deliver its result later; since results are bit-identical
+        wherever the unit runs, the coordinator *adopts* the late result
+        rather than wasting it.  Allowed from PENDING (lease reclaimed,
+        not yet re-dispatched) and LEASED (re-dispatch in flight — the
+        current holders' eventual results become stale duplicates).
+        Returns ``False`` without changes once the unit is already
+        COMPLETED or FAILED.
+        """
+        if self.done:
+            return False
+        self.state = COMPLETED
+        self.completed_by = worker
+        self.holders = set()
+        return True
+
+    def fail(self) -> None:
+        """Mark a PENDING unit permanently failed (retries exhausted)."""
+        if self.state != PENDING:
+            raise LeaseError(
+                f"unit {self.unit_id}: cannot fail in state {self.state}"
+            )
+        self.state = FAILED
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.state in (COMPLETED, FAILED)
+
+    def expired(self, now: float) -> bool:
+        """True when the lease has outlived its deadline."""
+        return self.state == LEASED and now > self.deadline
+
+    def snapshot(self) -> Tuple[str, int, Optional[str]]:
+        """(state, attempt, completed_by-or-None) — for reports/tests."""
+        return (self.state, self.attempt, self.completed_by or None)

@@ -1,0 +1,178 @@
+"""Minimal asyncio HTTP/1.1 client for coordinator -> worker calls.
+
+The service speaks ``Connection: close`` HTTP/1.1 over asyncio streams
+(see :mod:`repro.service.server`); this is the matching client — one
+connection per request, stdlib-only, fully async so the coordinator can
+keep dozens of workers busy from a single thread.
+
+Every network failure narrows to :class:`TransportError` so the
+coordinator's recovery ladder has a single exception to classify; HTTP
+error statuses are *returned*, not raised, because the coordinator
+treats "worker answered with an error" differently from "worker is
+gone".
+
+Deterministic fault injection hooks in here: a
+:class:`~repro.runtime.faults.FabricFaultPlan` consulted per call, with
+a per-worker dispatch counter, simulates worker kills, network
+partitions and stragglers at the transport boundary — the coordinator
+above cannot tell an injected partition from a real one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..runtime.faults import FabricFaultPlan
+
+__all__ = ["TransportError", "WorkerTransport", "request_json", "parse_address"]
+
+_MAX_RESPONSE = 64 << 20  # a unit result is bounded; 64 MiB is paranoid
+
+
+class TransportError(RuntimeError):
+    """The worker could not be reached or answered garbage."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``host:port`` (the registry line format)."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"worker address must be host:port, got {address!r}")
+    return host, int(port)
+
+
+async def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+    timeout: float = 30.0,
+) -> Tuple[int, Dict[str, Any]]:
+    """One HTTP round trip; returns ``(status, decoded JSON body)``."""
+    try:
+        return await asyncio.wait_for(
+            _request(host, port, method, path, body), timeout
+        )
+    except asyncio.TimeoutError as exc:
+        raise TransportError(
+            f"{host}:{port} timed out after {timeout:g}s on {method} {path}"
+        ) from exc
+    except (OSError, asyncio.IncompleteReadError, ValueError) as exc:
+        raise TransportError(
+            f"{host}:{port} unreachable on {method} {path}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+async def _request(host, port, method, path, body):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b"" if body is None else json.dumps(body).encode()
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: close",
+            f"Content-Length: {len(payload)}",
+        ]
+        if payload:
+            head.append("Content-Type: application/json")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ValueError(f"bad status line {status_line!r}")
+        status = int(parts[1])
+        content_length = None
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length is not None:
+            if content_length > _MAX_RESPONSE:
+                raise ValueError(f"response of {content_length} bytes")
+            raw = await reader.readexactly(content_length)
+        else:
+            raw = await reader.read(_MAX_RESPONSE)
+        try:
+            doc = json.loads(raw.decode() or "null")
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"non-JSON response body: {exc}") from None
+        if not isinstance(doc, dict):
+            doc = {"body": doc}
+        return status, doc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+class WorkerTransport:
+    """Per-worker request channel with deterministic fault injection.
+
+    Wraps :func:`request_json` with the worker's address and a dispatch
+    counter; a :class:`FabricFaultPlan` spec for this address is applied
+    to every *work* call (health probes stay unfaulted — real partitions
+    drop probes too, but keeping probes honest lets tests separate
+    "lease recovery" from "health detection", and the kill/partition
+    windows are expressed in dispatch counts, which probes must not
+    consume).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        fault_plan: Optional[FabricFaultPlan] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.address = address
+        self.host, self.port = parse_address(address)
+        self.timeout = timeout
+        self._spec = (fault_plan or FabricFaultPlan()).for_worker(address)
+        #: Work dispatches attempted against this worker (1-based in specs).
+        self.dispatches = 0
+
+    async def probe(self, timeout: float = 3.0) -> Dict[str, Any]:
+        """``GET /healthz``; raises :class:`TransportError` when down."""
+        if self._spec is not None and self._spec.kind == "kill" and (
+            self.dispatches >= self._spec.after_units
+        ):
+            # A killed worker is gone for probes as well.
+            raise TransportError(
+                f"{self.address}: injected kill (worker is down)"
+            )
+        status, doc = await request_json(
+            self.host, self.port, "GET", "/healthz", timeout=timeout
+        )
+        if status >= 500:
+            raise TransportError(f"{self.address}: /healthz returned {status}")
+        return doc
+
+    async def work(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/work`` with fault injection on this dispatch."""
+        from .wire import WORK_PATH
+
+        self.dispatches += 1
+        if self._spec is not None:
+            delay = self._spec.delay(self.dispatches)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if self._spec.blocks(self.dispatches):
+                raise TransportError(
+                    f"{self.address}: injected {self._spec.kind} on "
+                    f"dispatch {self.dispatches}"
+                )
+        return await request_json(
+            self.host, self.port, "POST", WORK_PATH, body,
+            timeout=self.timeout,
+        )

@@ -16,10 +16,17 @@ The pieces, bottom-up:
 See ``docs/reliability.md`` for the end-to-end story.
 """
 
-from .checkpoint import CheckpointJournal, config_fingerprint
+from .checkpoint import CheckpointJournal, config_fingerprint, locked_append
 from .envutil import env_flag, env_float, env_mb_bytes
 from .errors import CellTimeoutError, NumericalHealthError, classify_retryable
-from .faults import FaultPlan, FaultSpec, InjectedFault, inject
+from .faults import (
+    FabricFaultPlan,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    WorkerFaultSpec,
+    inject,
+)
 from .health import check_finite, check_norms, check_trace, norm_tolerance
 from .supervisor import (
     CellFailure,
@@ -32,6 +39,9 @@ from .supervisor import (
 __all__ = [
     "CheckpointJournal",
     "config_fingerprint",
+    "locked_append",
+    "FabricFaultPlan",
+    "WorkerFaultSpec",
     "CellTimeoutError",
     "NumericalHealthError",
     "classify_retryable",

@@ -10,9 +10,23 @@ The format is deliberately dumb:
 
     {"v": 1, "fp": "<hex>", "key": [0.003, "full"], "cell": {...}}
 
+Schema v2 adds *event* records — lease/ack bookkeeping written by the
+distributed sweep fabric (see ``docs/distributed.md``):
+
+    {"v": 2, "fp": "<hex>", "type": "lease", "unit": "u0003-...", ...}
+
+v1 readers skip v2 lines (and vice versa: ``load_events`` never yields
+cell records), so journals stay forward- and backward-loadable.
+
 Corrupt or truncated trailing lines (the typical artifact of a hard
 kill mid-write) are skipped, not fatal — the cells they would have
 recorded are simply re-run.
+
+Multi-writer safety: every append goes through :func:`locked_append` —
+an ``O_APPEND`` file descriptor, an ``fcntl`` advisory exclusive lock
+(where the platform provides one), and a single ``os.write`` of the
+whole line — so a restarted coordinator racing a stale writer can never
+interleave partial records inside one line.
 """
 
 from __future__ import annotations
@@ -21,11 +35,24 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["CheckpointJournal", "config_fingerprint", "JOURNAL_VERSION"]
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "CheckpointJournal",
+    "config_fingerprint",
+    "locked_append",
+    "JOURNAL_VERSION",
+    "EVENT_VERSION",
+]
 
 JOURNAL_VERSION = 1
+#: Schema version of unit-level event records (lease/ack bookkeeping).
+EVENT_VERSION = 2
 
 
 def config_fingerprint(payload: Any) -> str:
@@ -39,6 +66,32 @@ def config_fingerprint(payload: Any) -> str:
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:20]
 
 
+def locked_append(path: Union[str, Path], line: str) -> None:
+    """Append ``line`` (newline added) atomically with respect to peers.
+
+    ``O_APPEND`` plus a single ``os.write`` means one record is one
+    write syscall at the end of the file; the advisory ``fcntl`` lock
+    additionally serialises concurrent appenders so even pathological
+    filesystems cannot interleave two records.  Durable: fsynced before
+    the lock is released.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = (line.rstrip("\n") + "\n").encode("utf-8")
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+
+
 class CheckpointJournal:
     """One sweep's journal file (see module docs for the line format)."""
 
@@ -47,16 +100,9 @@ class CheckpointJournal:
         self.fingerprint = str(fingerprint)
 
     # ------------------------------------------------------------------
-    def load(self) -> Dict[Tuple, dict]:
-        """Completed cells recorded for this fingerprint.
-
-        Returns ``{key tuple: cell payload dict}``.  Foreign-fingerprint
-        and undecodable lines are skipped silently; a later record for
-        the same key wins (re-runs overwrite).
-        """
-        out: Dict[Tuple, dict] = {}
+    def _lines(self):
         if not self.path.exists():
-            return out
+            return
         with self.path.open("r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -66,15 +112,25 @@ class CheckpointJournal:
                     rec = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # truncated tail from an interrupted write
-                if (
-                    not isinstance(rec, dict)
-                    or rec.get("v") != JOURNAL_VERSION
-                    or rec.get("fp") != self.fingerprint
-                    or "key" not in rec
-                    or "cell" not in rec
-                ):
-                    continue
-                out[tuple(rec["key"])] = rec["cell"]
+                if isinstance(rec, dict) and rec.get("fp") == self.fingerprint:
+                    yield rec
+
+    def load(self) -> Dict[Tuple, dict]:
+        """Completed cells recorded for this fingerprint.
+
+        Returns ``{key tuple: cell payload dict}``.  Foreign-fingerprint
+        and undecodable lines are skipped silently; a later record for
+        the same key wins (re-runs overwrite).
+        """
+        out: Dict[Tuple, dict] = {}
+        for rec in self._lines():
+            if (
+                rec.get("v") != JOURNAL_VERSION
+                or "key" not in rec
+                or "cell" not in rec
+            ):
+                continue
+            out[tuple(rec["key"])] = rec["cell"]
         return out
 
     def record(self, key: Tuple, cell: dict) -> None:
@@ -85,11 +141,39 @@ class CheckpointJournal:
             "key": list(key),
             "cell": cell,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        locked_append(self.path, json.dumps(rec, separators=(",", ":")))
+
+    # ------------------------------------------------------------------
+    def record_event(self, kind: str, **fields: Any) -> None:
+        """Append one v2 event record (lease/ack/downgrade bookkeeping).
+
+        Events are *observability*, not state the resume path depends
+        on: a journal with every event line stripped resumes exactly
+        the same cells.
+        """
+        rec: Dict[str, Any] = {
+            "v": EVENT_VERSION,
+            "fp": self.fingerprint,
+            "type": str(kind),
+        }
+        rec.update(fields)
+        locked_append(self.path, json.dumps(rec, separators=(",", ":")))
+
+    def load_events(
+        self, kinds: Optional[Sequence[str]] = None
+    ) -> List[Dict[str, Any]]:
+        """Event records for this fingerprint, in write order.
+
+        ``kinds`` filters by event type; ``None`` returns everything.
+        """
+        out: List[Dict[str, Any]] = []
+        for rec in self._lines():
+            if rec.get("v") != EVENT_VERSION or "type" not in rec:
+                continue
+            if kinds is not None and rec["type"] not in kinds:
+                continue
+            out.append(rec)
+        return out
 
     def reset(self) -> None:
         """Discard any existing journal (fresh, non-resumed run)."""

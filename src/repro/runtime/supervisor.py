@@ -29,6 +29,7 @@ injection (:mod:`repro.runtime.faults`) possible across processes.
 
 from __future__ import annotations
 
+import hashlib
 import time
 import traceback
 from collections import deque
@@ -98,15 +99,37 @@ class RetryPolicy:
     timeout: Optional[float] = None
     #: Pool re-creations tolerated before degrading to serial execution.
     max_pool_respawns: int = 2
+    #: Backoff jitter fraction in [0, 1]: each delay is scattered over
+    #: ``[delay * (1 - jitter), delay]`` so a herd of units retrying
+    #: against one recovering worker desynchronises.  The scatter is
+    #: *deterministic* — derived from ``(token, attempt)`` — so runs
+    #: remain exactly reproducible.  0 (the default) keeps the legacy
+    #: pure-exponential schedule.
+    jitter: float = 0.0
 
-    def backoff(self, attempt: int) -> float:
-        """Delay before re-running a cell that failed ``attempt`` times."""
+    def backoff(self, attempt: int, token: Any = None) -> float:
+        """Delay before re-running a cell that failed ``attempt`` times.
+
+        ``token`` identifies the retrying unit (a cell key, a fabric
+        unit id); with ``jitter`` enabled, distinct tokens spread over
+        the jitter window while the same token always lands on the same
+        delay.
+        """
         if self.backoff_base <= 0:
             return 0.0
-        return min(
+        delay = min(
             self.backoff_max,
             self.backoff_base * self.backoff_factor ** (attempt - 1),
         )
+        if self.jitter > 0.0:
+            delay *= 1.0 - self.jitter * _jitter_unit(token, attempt)
+        return delay
+
+
+def _jitter_unit(token: Any, attempt: int) -> float:
+    """Deterministic uniform-ish sample in [0, 1) from (token, attempt)."""
+    seed = f"{token!r}:{attempt}".encode()
+    return int.from_bytes(hashlib.sha256(seed).digest()[:8], "big") / 2**64
 
 
 @dataclass(frozen=True)

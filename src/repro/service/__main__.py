@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds to let the queue drain on shutdown",
     )
+    parser.add_argument(
+        "--registry",
+        default=None,
+        help="fabric registry file to self-register this worker's "
+        "host:port in once listening (see docs/distributed.md)",
+    )
     return parser
 
 
@@ -100,6 +106,12 @@ async def _serve(args) -> int:
         f"max_queue={args.max_queue})",
         flush=True,
     )
+    if args.registry:
+        from ..fabric.registry import WorkerRegistry
+
+        WorkerRegistry(args.registry).register(host, port)
+        print(f"repro-serve: registered {host}:{port} in {args.registry}",
+              flush=True)
 
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
@@ -118,7 +130,15 @@ async def _serve(args) -> int:
     with contextlib.suppress(asyncio.CancelledError):
         await serve_task
     executor.shutdown()
-    print("repro-serve: bye", flush=True)
+    final = service.final_stats or {}
+    served = final.get("metrics", {}).get("counters", {})
+    print(
+        "repro-serve: bye "
+        f"(uptime={final.get('uptime_seconds', 0.0):.1f}s, "
+        f"work_units={final.get('work', {}).get('units_completed', 0)}, "
+        f"requests={sum(v for k, v in served.items() if k.startswith('http_requests_total'))})",
+        flush=True,
+    )
     return 0
 
 

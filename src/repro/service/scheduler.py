@@ -39,6 +39,14 @@ from .model import SimRequest
 
 __all__ = ["AdmissionError", "JobScheduler"]
 
+#: Per-sample clamp feeding the execution-time EWMA: one pathological
+#: job (a hang that eventually returned, a cold compile) must not drag
+#: the average — and with it every Retry-After estimate — to minutes.
+_AVG_EXEC_SAMPLE_CAP = 30.0
+#: Ceiling on the advertised Retry-After: beyond this the estimate is
+#: noise and clients should just re-poll.
+_RETRY_AFTER_CAP = 120.0
+
 
 class AdmissionError(Exception):
     """Queue full — back off for ``retry_after`` seconds."""
@@ -138,9 +146,12 @@ class JobScheduler:
         }
 
     def _retry_after(self) -> float:
-        """Rough drain time of the current backlog, floor 1 second."""
+        """Rough drain time of the current backlog, in [1, cap] seconds."""
         backlog = len(self._heap) + self._running
-        return max(1.0, backlog * self._avg_exec / max(1, self.concurrency))
+        return min(
+            _RETRY_AFTER_CAP,
+            max(1.0, backlog * self._avg_exec / max(1, self.concurrency)),
+        )
 
     # -- submission -------------------------------------------------------
     async def submit(self, request: SimRequest) -> Tuple[Dict[str, Any], str]:
@@ -214,7 +225,9 @@ class JobScheduler:
                 )
             else:
                 elapsed = time.monotonic() - started
-                self._avg_exec = 0.8 * self._avg_exec + 0.2 * elapsed
+                self._avg_exec = 0.8 * self._avg_exec + 0.2 * min(
+                    elapsed, _AVG_EXEC_SAMPLE_CAP
+                )
                 self.metrics.observe("execute", elapsed)
                 self.metrics.inc("jobs_executed_total")
                 self.cache.put(job.request.content_key(), payload)

@@ -12,6 +12,10 @@ Endpoints
     violations; 422 when the circuit fails static analysis; 429 +
     ``Retry-After`` under backpressure; 500 when every execution
     attempt failed; 503 while draining.
+``POST /v1/work``  — a fabric work unit (see :mod:`repro.service.work`
+    and :mod:`repro.fabric`).  200 with per-cell results; 400 on
+    malformed/skewed payloads; 500 on execution failure (retryable
+    from the coordinator's view); 503 while draining.
 ``GET /healthz``  — liveness and drain state.
 ``GET /stats``    — JSON: queue, executor, result-cache, compile-cache,
     kernel-cache counters plus latency summaries.
@@ -24,7 +28,10 @@ import asyncio
 import json
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .work import WorkHandler
 
 from .cache import ResultCache
 from .executor import (
@@ -41,6 +48,9 @@ from .stats import cache_stats_snapshot
 __all__ = ["ArithmeticService", "ServerThread"]
 
 _MAX_BODY = 1 << 20  # 1 MiB of JSON is far beyond any valid request
+#: Work units carry a full sweep config + operand instances per request
+#: (deliberate wire redundancy; see repro.fabric.wire) — allow more.
+_MAX_WORK_BODY = 8 << 20
 
 _STATUS_TEXT = {
     200: "OK",
@@ -66,7 +76,11 @@ class ArithmeticService:
         max_queue: int = 256,
         concurrency: int = 4,
         lint_requests: bool = True,
+        work: Optional["WorkHandler"] = None,
     ) -> None:
+        from .work import WorkHandler
+
+        self.work = work if work is not None else WorkHandler()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.executor = executor if executor is not None else SimulationExecutor(
             workers=0, concurrency=concurrency
@@ -82,6 +96,8 @@ class ArithmeticService:
         self.lint_requests = lint_requests
         self.started_at = time.time()
         self.draining = False
+        #: Stats snapshot flushed by a graceful shutdown (None until then).
+        self.final_stats: Optional[Dict[str, Any]] = None
         self._inflight_http = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self.metrics.register_gauge(
@@ -119,11 +135,26 @@ class ArithmeticService:
         return addr[0], addr[1]
 
     async def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Stop accepting, optionally drain the queue, then close."""
+        """Stop accepting, optionally drain, then close.
+
+        A graceful (``drain=True``) shutdown finishes the work already
+        accepted before the listener closes: new requests get 503 the
+        moment ``draining`` flips, the scheduler queue drains, and then
+        in-flight HTTP requests (including fabric work units executing
+        off-loop) get the rest of the ``timeout`` budget to write their
+        responses.  The final stats snapshot is flushed to
+        :attr:`final_stats` so callers can log it after the loop dies.
+        """
         self.draining = True
+        deadline = time.monotonic() + timeout
         self.scheduler.close()
         if drain:
             await self.scheduler.drain(timeout=timeout)
+            while (
+                self._inflight_http > 0 and time.monotonic() < deadline
+            ):
+                await asyncio.sleep(0.02)
+        self.final_stats = self.stats()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -182,7 +213,14 @@ class ArithmeticService:
             name, _, value = line.decode("latin-1").partition(":")
             if name.strip().lower() == "content-length":
                 content_length = int(value.strip())
-        if content_length > _MAX_BODY:
+        from ..fabric.wire import WORK_PATH
+
+        limit = (
+            _MAX_WORK_BODY
+            if path.split("?", 1)[0] == WORK_PATH
+            else _MAX_BODY
+        )
+        if content_length > limit:
             raise ValueError(f"body of {content_length} bytes exceeds limit")
         body = (
             await reader.readexactly(content_length)
@@ -215,11 +253,19 @@ class ArithmeticService:
     async def _route(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, str], bytes]:
+        from ..fabric.wire import WORK_PATH
+
         path = path.split("?", 1)[0]
         if path == "/v1/simulate":
             if method != "POST":
                 return 405, {"Allow": "POST"}, _err("use POST")
             return await self._handle_simulate(body)
+        if path == WORK_PATH:
+            if method != "POST":
+                return 405, {"Allow": "POST"}, _err("use POST")
+            if self.draining:
+                return 503, {}, _err("server is draining")
+            return await self.work.handle(body)
         if method != "GET":
             return 405, {"Allow": "GET"}, _err("use GET")
         if path == "/healthz":
@@ -313,6 +359,7 @@ class ArithmeticService:
                 "queue": self.scheduler.queue_stats(),
                 "executor": self.executor.describe(),
                 "metrics": self.metrics.stats_dict(),
+                "work": self.work.stats(),
             }
         )
         return snapshot

@@ -1,0 +1,142 @@
+"""Fabric unit execution inside the arithmetic service (``/v1/work``).
+
+Any ``repro-serve`` process can be a fabric worker: this handler turns a
+:func:`~repro.fabric.wire.parse_work_request` payload into results by
+running the unit through :func:`~repro.experiments.runner.run_unit` —
+the exact code path local sweep workers use, so a unit computes
+bit-identical points no matter which venue executes it.
+
+Error contract (what the coordinator's recovery ladder keys on):
+
+* ``400`` — malformed or fingerprint-skewed payload.  Deterministic:
+  the coordinator fails the unit instead of retrying.
+* ``500`` — execution failed (injected cell faults, numerical-health
+  rejections).  Transient from the fabric's point of view: the
+  coordinator requeues under its retry policy, matching the local
+  supervisor's classification of the same errors.
+* ``503`` — the worker is draining; the unit is requeued elsewhere.
+
+Units execute on a thread off the event loop (bounded by
+``max_inflight``), so ``/healthz`` keeps answering while a unit runs —
+the coordinator can tell "busy" from "dead".
+
+``kill_after_units`` arms the real-process crash used by the chaos
+harness: the Nth received unit ``os._exit``\\ s the worker before any
+response is written, indistinguishable from an OOM kill mid-unit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..experiments.runner import check_point_health, poison_point, run_unit
+from ..experiments.serialize import point_to_dict
+from ..fabric.wire import WireError, cell_to_wire, parse_work_request
+from ..runtime.faults import CRASH_EXIT_CODE, inject
+
+__all__ = ["WorkHandler"]
+
+
+class WorkHandler:
+    """Execute fabric work units inside a running service."""
+
+    def __init__(
+        self,
+        max_inflight: int = 1,
+        kill_after_units: Optional[int] = None,
+    ) -> None:
+        self.max_inflight = max(1, int(max_inflight))
+        self.kill_after_units = kill_after_units
+        self.units_received = 0
+        self.units_completed = 0
+        self.units_rejected = 0
+        self.units_failed = 0
+        self.cells_completed = 0
+        self._sem: Optional[asyncio.Semaphore] = None
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "units_received": self.units_received,
+            "units_completed": self.units_completed,
+            "units_rejected": self.units_rejected,
+            "units_failed": self.units_failed,
+            "cells_completed": self.cells_completed,
+            "max_inflight": self.max_inflight,
+        }
+
+    async def handle(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Serve one ``POST /v1/work`` body; returns (status, headers, payload)."""
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self.units_rejected += 1
+            return 400, {}, _json({"error": f"malformed JSON body: {exc}"})
+        try:
+            request = parse_work_request(payload)
+        except WireError as exc:
+            self.units_rejected += 1
+            return 400, {}, _json({"error": str(exc)})
+        self.units_received += 1
+        if (
+            self.kill_after_units is not None
+            and self.units_received >= self.kill_after_units
+        ):
+            # The chaos harness's real worker kill: die before replying,
+            # exactly as an OOM-killed worker would.
+            print(
+                f"repro-fabric-worker: injected kill on unit "
+                f"{self.units_received}",
+                flush=True,
+            )
+            os._exit(CRASH_EXIT_CODE)
+        if self._sem is None:
+            self._sem = asyncio.Semaphore(self.max_inflight)
+        async with self._sem:
+            try:
+                points = await asyncio.get_running_loop().run_in_executor(
+                    None, self._execute, request
+                )
+            except Exception as exc:  # noqa: BLE001 — surfaced as retryable 500
+                self.units_failed += 1
+                return 500, {}, _json(
+                    {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "unit_id": request["unit_id"],
+                    }
+                )
+        self.units_completed += 1
+        self.cells_completed += len(points)
+        return 200, {}, _json(
+            {
+                "unit_id": request["unit_id"],
+                "attempt": request["attempt"],
+                "points": points,
+            }
+        )
+
+    def _execute(self, request: Dict[str, Any]) -> List[List[Any]]:
+        """Run the unit's cells (worker thread; blocking)."""
+        attempt = request["attempt"]
+        poisoned = {
+            key
+            for key, spec in zip(request["cells"], request["faults"])
+            if inject(spec, key, attempt)
+        }
+        ran = run_unit(request["config"], request["instances"], request["cells"])
+        out: List[List[Any]] = []
+        for key in request["cells"]:
+            point = ran[key]
+            if key in poisoned:
+                point = poison_point(point)
+            check_point_health(point)
+            out.append([cell_to_wire(key), point_to_dict(point)])
+        return out
+
+
+def _json(obj: Any) -> bytes:
+    return json.dumps(obj).encode()

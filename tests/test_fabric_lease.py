@@ -1,0 +1,232 @@
+"""Lease state machine: direct transition coverage + hypothesis invariants.
+
+The stateful property test drives a :class:`UnitLease` through random
+legal *and* illegal operation sequences, mirroring what a coordinator
+under chaos does (dispatch, worker loss, expiry release, steal, late
+results), and checks the invariants the coordinator's correctness
+rests on after every step.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.fabric.lease import (
+    COMPLETED,
+    FAILED,
+    LEASED,
+    PENDING,
+    LeaseError,
+    UnitLease,
+)
+
+WORKERS = ["w-a", "w-b", "w-c"]
+
+
+class TestTransitions:
+    def test_acquire_charges_attempt_and_sets_deadline(self):
+        lease = UnitLease("u-1")
+        assert lease.acquire("w-a", now=10.0, timeout=5.0) == 1
+        assert lease.state == LEASED
+        assert lease.holders == {"w-a"}
+        assert lease.deadline == 15.0
+        assert lease.expired(15.1)
+        assert not lease.expired(14.9)
+
+    def test_acquire_requires_pending(self):
+        lease = UnitLease("u-1")
+        lease.acquire("w-a", 0.0, 5.0)
+        with pytest.raises(LeaseError, match="cannot acquire"):
+            lease.acquire("w-b", 0.0, 5.0)
+
+    def test_steal_adds_holder_without_attempt_charge(self):
+        lease = UnitLease("u-1")
+        lease.acquire("w-a", 0.0, 5.0)
+        assert lease.acquire("w-b", 1.0, 5.0, steal=True) == 1
+        assert lease.holders == {"w-a", "w-b"}
+        assert lease.attempt == 1
+
+    def test_steal_requires_leased_and_new_worker(self):
+        lease = UnitLease("u-1")
+        with pytest.raises(LeaseError, match="cannot steal"):
+            lease.acquire("w-a", 0.0, 5.0, steal=True)
+        lease.acquire("w-a", 0.0, 5.0)
+        with pytest.raises(LeaseError, match="already holds"):
+            lease.acquire("w-a", 0.0, 5.0, steal=True)
+
+    def test_release_last_holder_returns_to_pending(self):
+        lease = UnitLease("u-1")
+        lease.acquire("w-a", 0.0, 5.0)
+        lease.acquire("w-b", 0.0, 5.0, steal=True)
+        assert lease.release("w-a") is False
+        assert lease.state == LEASED
+        assert lease.release("w-b") is True
+        assert lease.state == PENDING
+        # Re-dispatch after full release charges the next attempt.
+        assert lease.acquire("w-c", 0.0, 5.0) == 2
+
+    def test_release_requires_holder(self):
+        lease = UnitLease("u-1")
+        with pytest.raises(LeaseError, match="holds no lease"):
+            lease.release("w-a")
+
+    def test_complete_first_wins_then_stale(self):
+        lease = UnitLease("u-1")
+        lease.acquire("w-a", 0.0, 5.0)
+        lease.acquire("w-b", 0.0, 5.0, steal=True)
+        assert lease.complete("w-b") is True
+        assert lease.completed_by == "w-b"
+        assert lease.complete("w-a") is False  # stale duplicate
+        assert lease.state == COMPLETED
+
+    def test_complete_without_lease_raises(self):
+        lease = UnitLease("u-1")
+        lease.acquire("w-a", 0.0, 5.0)
+        with pytest.raises(LeaseError, match="without a"):
+            lease.complete("w-b")
+
+    def test_adopt_accepts_late_results(self):
+        lease = UnitLease("u-1")
+        lease.acquire("w-a", 0.0, 5.0)
+        lease.release("w-a")  # expiry reclaimed the lease
+        assert lease.adopt("w-a") is True  # late result still lands
+        assert lease.state == COMPLETED
+        assert lease.completed_by == "w-a"
+        assert lease.adopt("w-b") is False  # terminal states are final
+
+    def test_adopt_never_resurrects_failed(self):
+        lease = UnitLease("u-1")
+        lease.fail()
+        assert lease.adopt("w-a") is False
+        assert lease.state == FAILED
+
+    def test_fail_requires_pending(self):
+        lease = UnitLease("u-1")
+        lease.acquire("w-a", 0.0, 5.0)
+        with pytest.raises(LeaseError, match="cannot fail"):
+            lease.fail()
+
+
+class LeaseMachine(RuleBasedStateMachine):
+    """Random legal/illegal operation sequences preserve the invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.lease = UnitLease("u-prop")
+        self.max_attempt_seen = 0
+
+    # -- operations (each swallows only the documented LeaseError) ------
+    @rule(worker=st.sampled_from(WORKERS), now=st.floats(0, 100))
+    def acquire(self, worker, now):
+        try:
+            attempt = self.lease.acquire(worker, now, timeout=5.0)
+        except LeaseError:
+            assert self.lease.state != PENDING
+        else:
+            assert attempt == self.lease.attempt
+            assert self.lease.state == LEASED
+
+    @rule(worker=st.sampled_from(WORKERS), now=st.floats(0, 100))
+    def steal(self, worker, now):
+        before = self.lease.attempt
+        try:
+            self.lease.acquire(worker, now, timeout=5.0, steal=True)
+        except LeaseError:
+            assert (
+                self.lease.state != LEASED or worker in self.lease.holders
+            )
+        else:
+            assert self.lease.attempt == before  # steals never charge
+            assert worker in self.lease.holders
+
+    @rule(worker=st.sampled_from(WORKERS))
+    def release(self, worker):
+        held = (
+            self.lease.state == LEASED and worker in self.lease.holders
+        )
+        try:
+            emptied = self.lease.release(worker)
+        except LeaseError:
+            assert not held
+        else:
+            assert held
+            assert emptied == (self.lease.state == PENDING)
+
+    @rule(worker=st.sampled_from(WORKERS))
+    def complete(self, worker):
+        held = (
+            self.lease.state == LEASED and worker in self.lease.holders
+        )
+        was_completed = self.lease.state == COMPLETED
+        try:
+            won = self.lease.complete(worker)
+        except LeaseError:
+            assert not held and not was_completed
+        else:
+            if won:
+                assert held
+                assert self.lease.completed_by == worker
+            else:
+                assert was_completed
+
+    @rule(worker=st.sampled_from(WORKERS))
+    def adopt(self, worker):
+        was_done = self.lease.done
+        adopted = self.lease.adopt(worker)
+        if adopted:
+            assert not was_done
+            assert self.lease.state == COMPLETED
+            assert self.lease.completed_by == worker
+        else:
+            assert was_done
+
+    @rule()
+    def fail(self):
+        try:
+            self.lease.fail()
+        except LeaseError:
+            assert self.lease.state != PENDING
+        else:
+            assert self.lease.state == FAILED
+
+    # -- invariants ------------------------------------------------------
+    @invariant()
+    def state_is_valid(self):
+        assert self.lease.state in (PENDING, LEASED, COMPLETED, FAILED)
+
+    @invariant()
+    def holders_iff_leased(self):
+        if self.lease.state == LEASED:
+            assert self.lease.holders
+        else:
+            assert not self.lease.holders
+
+    @invariant()
+    def attempts_monotone(self):
+        assert self.lease.attempt >= self.max_attempt_seen
+        self.max_attempt_seen = self.lease.attempt
+
+    @invariant()
+    def completed_by_iff_completed(self):
+        if self.lease.state == COMPLETED:
+            assert self.lease.completed_by in WORKERS
+        if self.lease.state in (PENDING, LEASED, FAILED):
+            # completed_by is never set before a completion.
+            assert self.lease.completed_by == "" or self.lease.done
+
+    @invariant()
+    def terminal_states_are_terminal(self):
+        snapshot = self.lease.snapshot()
+        if self.lease.done:
+            assert snapshot[0] in (COMPLETED, FAILED)
+
+
+TestLeaseMachine = LeaseMachine.TestCase
+TestLeaseMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

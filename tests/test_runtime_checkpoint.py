@@ -76,3 +76,73 @@ class TestJournal:
         assert rec["v"] == 1
         assert rec["fp"] == "fp"
         assert rec["key"] == [0.1, "full"]
+
+
+def _journal_writer(path, fingerprint, start, count):
+    """Subprocess target: hammer the journal with cell records."""
+    j = CheckpointJournal(path, fingerprint)
+    for i in range(start, start + count):
+        j.record((0.001 * i, i), {"payload": "x" * 200, "i": i})
+
+
+class TestMultiWriterSafety:
+    def test_concurrent_writers_never_interleave(self, tmp_path):
+        """Two processes appending concurrently produce only whole lines.
+
+        This is the regression test for the locked single-write append:
+        a coordinator and a stale writer (or two racing workers sharing
+        a journal) must never corrupt each other's records.
+        """
+        import multiprocessing
+
+        path = tmp_path / "j.jsonl"
+        count = 150
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(
+                target=_journal_writer, args=(path, "fp", k * count, count)
+            )
+            for k in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2 * count
+        seen = set()
+        for line in lines:
+            rec = json.loads(line)  # every line is whole, valid JSON
+            assert rec["v"] == 1
+            seen.add(rec["cell"]["i"])
+        assert seen == set(range(2 * count))
+        loaded = CheckpointJournal(path, "fp").load()
+        assert len(loaded) == 2 * count
+
+    def test_locked_append_single_line(self, tmp_path):
+        from repro.runtime import locked_append
+
+        path = tmp_path / "a.log"
+        locked_append(path, "one")
+        locked_append(path, "two\n")  # trailing newline not doubled
+        assert path.read_text() == "one\ntwo\n"
+
+
+class TestEventRecords:
+    def test_events_and_cells_do_not_cross_contaminate(self, tmp_path):
+        j = CheckpointJournal(tmp_path / "j.jsonl", "fp")
+        j.record((0.1, 3), {"ok": 1})
+        j.record_event("lease", unit="u-1", worker="w", attempt=1)
+        j.record_event("ack", unit="u-1", worker="w", attempt=1)
+        j.record_event("downgrade", reason="fleet lost")
+        assert j.load() == {(0.1, 3): {"ok": 1}}
+        events = j.load_events()
+        assert [e["type"] for e in events] == ["lease", "ack", "downgrade"]
+        assert j.load_events(["ack"])[0]["unit"] == "u-1"
+
+    def test_events_scoped_by_fingerprint(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal(path, "fp1").record_event("lease", unit="u-1")
+        CheckpointJournal(path, "fp2").record_event("lease", unit="u-2")
+        assert [e["unit"] for e in CheckpointJournal(path, "fp1").load_events()] == ["u-1"]

@@ -336,3 +336,58 @@ def test_execution_failure_maps_to_500(monkeypatch):
         assert exc.value.status == 500
         assert "engine exploded" in exc.value.body.get("detail", "")
         assert exc.value.body.get("attempts") == 2
+
+
+def test_drain_captures_final_stats_and_refuses_after_stop():
+    srv = make_server().start()
+    client = ServiceClient(*srv.address)
+    client.simulate(dict(REQ))
+    assert srv.service.final_stats is None  # only set by shutdown
+    srv.stop(drain=True)
+    final = srv.service.final_stats
+    assert final is not None
+    assert final["queue"]["accepting"] is False
+    assert final["work"]["units_received"] == 0
+    counters = final["metrics"]["counters"]
+    assert sum(
+        v for k, v in counters.items() if k.startswith("http_requests_total")
+    ) >= 1
+    with pytest.raises(OSError):
+        http.client.HTTPConnection(*srv.address, timeout=2).connect()
+
+
+def test_retry_after_estimate_is_capped():
+    from repro.service.scheduler import _RETRY_AFTER_CAP, JobScheduler
+
+    sched = JobScheduler(
+        executor=SimulationExecutor(workers=0), concurrency=1
+    )
+    assert sched._retry_after() == 1.0  # empty queue floors at 1s
+    sched._avg_exec = 1e6
+    sched._heap = [object()] * 50
+    assert sched._retry_after() == _RETRY_AFTER_CAP
+
+
+def test_ewma_clamps_outlier_samples(monkeypatch):
+    """One pathological 10 000 s job must not poison the Retry-After EWMA."""
+    import repro.service.scheduler as scheduler_mod
+    from repro.service.scheduler import _AVG_EXEC_SAMPLE_CAP
+
+    class JumpyClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def monotonic(self):
+            self.now += 10_000.0  # every elapsed measurement looks huge
+            return self.now
+
+        def __getattr__(self, name):
+            return getattr(time, name)
+
+    monkeypatch.setattr(scheduler_mod, "time", JumpyClock())
+    with make_server() as srv:
+        client = ServiceClient(*srv.address)
+        client.simulate(dict(REQ))
+        stats = srv.service.scheduler.queue_stats()
+        ceiling = 0.8 * 0.05 + 0.2 * _AVG_EXEC_SAMPLE_CAP
+        assert stats["avg_exec_seconds"] <= ceiling + 1e-9
