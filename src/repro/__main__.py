@@ -223,6 +223,49 @@ def _cmd_lint(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_audit(args) -> int:
+    from repro import __version__
+    from repro.audit import (
+        RULES,
+        audit_paths,
+        discover_modules,
+        audit_modules,
+        used_suppression_counts,
+        SUPPRESSION_BUDGET,
+        rule_descriptions,
+    )
+
+    if args.list_rules:
+        for r in sorted(RULES.values(), key=lambda r: r.rule_id):
+            print(
+                f"{r.rule_id}  {r.name:<28} {r.severity}  {r.description}"
+            )
+        return 0
+
+    src_root = Path(args.src_root).resolve() if args.src_root else None
+    modules = discover_modules(src_root)
+    report = audit_modules(modules)
+    if args.json or args.sarif:
+        print(
+            report.to_json(
+                tool_version=__version__,
+                tool_name="repro-arith audit",
+                rule_descriptions=rule_descriptions(),
+            )
+        )
+    else:
+        print(report.to_text())
+        used = used_suppression_counts(modules)
+        if used:
+            budget = ", ".join(
+                f"{rid}={used[rid]}/{SUPPRESSION_BUDGET.get(rid, 0)}"
+                for rid in sorted(used)
+            )
+            print(f"suppressions used: {budget}")
+        print(f"modules audited: {len(modules)}")
+    return 0 if report.ok(strict=args.strict) else 1
+
+
 def _cmd_cache_stats(args) -> int:
     import json as _json
 
@@ -395,6 +438,35 @@ def main(argv=None) -> int:
     )
 
     p = sub.add_parser(
+        "audit",
+        help="determinism & concurrency audit of the repro source itself",
+        description="Run the codebase audit (DET/ASYNC/RACE/SUP rule "
+        "families) over src/repro: seed discipline, event-loop hygiene, "
+        "and shared-state locking, with the # repro: allow[...] "
+        "suppression budget enforced. Exits 1 when errors (or, with "
+        "--strict, warnings) survive suppression.",
+    )
+    p.add_argument(
+        "--src-root",
+        help="audit an alternate source tree (default: the installed "
+        "repro package's src/ directory)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="SARIF 2.1.0 JSON instead of text"
+    )
+    p.add_argument(
+        "--sarif",
+        action="store_true",
+        help="alias for --json (the JSON output is SARIF 2.1.0)",
+    )
+    p.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+
+    p = sub.add_parser(
         "cache-stats",
         help="compile/kernel/program cache counters (local or remote)",
         description="Print the cache counters shared with the service's "
@@ -423,6 +495,8 @@ def main(argv=None) -> int:
         return _cmd_depth_profile(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     if args.command == "cache-stats":
         return _cmd_cache_stats(args)
     parser.error(f"unknown command {args.command!r}")

@@ -1,0 +1,132 @@
+"""Parsed-module model and name resolution shared by the audit rules.
+
+The analyzer works on plain :mod:`ast` trees.  :class:`AuditModule`
+bundles one parsed file with its dotted module name, source, and
+suppression annotations; :func:`resolve_imports` flattens every import
+statement (including function-local and relative ones) into a
+``local name -> dotted path`` map, and :func:`dotted_name` renders a
+call target against that map — the primitive every rule uses to
+recognise ``np.random.default_rng`` whatever alias it hides behind.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .suppress import Suppression, parse_suppressions
+
+__all__ = [
+    "AuditModule",
+    "RawFinding",
+    "dotted_name",
+    "load_module",
+    "resolve_imports",
+]
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """One rule hit before suppression filtering."""
+
+    rule_id: str
+    line: int
+    message: str
+    fix_hint: Optional[str] = None
+
+
+@dataclass
+class AuditModule:
+    """One parsed source file under audit."""
+
+    path: Path
+    #: reporting path, repo-relative when possible ("src/repro/...")
+    rel: str
+    #: dotted module name ("repro.sim.batch")
+    module: str
+    tree: ast.Module
+    source: str
+    suppressions: Dict[int, List[Suppression]] = field(default_factory=dict)
+    #: local name -> dotted path, from every import in the file
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    def in_zone(self, prefixes: tuple) -> bool:
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+
+def resolve_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Flatten imports to a ``local -> dotted`` map.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from ..sim.engines
+    import simulate_counts`` maps ``simulate_counts ->
+    repro.sim.engines.simulate_counts`` (relative levels resolved
+    against ``module``).  Function-local imports are folded into the
+    same file-wide map — a sound over-approximation for recognition
+    purposes.
+    """
+    out: Dict[str, str] = {}
+    pkg_parts = module.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                out[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: strip `level` trailing components of
+                # the importing module (the module itself counts as one).
+                base_parts = pkg_parts[: len(pkg_parts) - node.level]
+                base = ".".join(base_parts)
+                src = f"{base}.{node.module}" if node.module else base
+            else:
+                src = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                out[local] = f"{src}.{alias.name}" if src else alias.name
+    return out
+
+
+def dotted_name(
+    node: ast.AST, imports: Optional[Dict[str, str]] = None
+) -> Optional[str]:
+    """The dotted path of a name/attribute chain, resolved via imports.
+
+    Returns ``None`` for anything that is not a plain chain (calls,
+    subscripts, ...).  ``np.random.default_rng`` with ``np -> numpy``
+    resolves to ``numpy.random.default_rng``.
+    """
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    parts.reverse()
+    if imports and parts[0] in imports:
+        parts[0] = imports[parts[0]]
+    return ".".join(parts)
+
+
+def load_module(path: Path, module: str, rel: str) -> AuditModule:
+    """Parse one file into an :class:`AuditModule` (syntax errors raise)."""
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    return AuditModule(
+        path=path,
+        rel=rel,
+        module=module,
+        tree=tree,
+        source=source,
+        suppressions=parse_suppressions(source),
+        imports=resolve_imports(tree, module),
+    )

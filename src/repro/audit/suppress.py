@@ -1,0 +1,105 @@
+"""The ``# repro: allow[RULE]`` suppression syntax.
+
+A finding is suppressed by an inline annotation on the offending line,
+or on a comment-only line directly above it::
+
+    rng = np.random.default_rng(seed)  # repro: allow[DET001] reason=public API; harness always passes rng
+
+    # repro: allow[RACE001] reason=GIL-atomic memoised insert
+    self.cache[key] = value
+
+Several rules may share one annotation (``allow[DET001,DET002]``).  A
+``reason=`` clause is required — the audit reports reason-less
+suppressions (SUP003) so the allowlist stays self-documenting — and
+every *used* suppression is counted against the committed budget in
+:mod:`repro.audit.budget`; unused annotations are reported too
+(SUP001), so stale allowances cannot linger after the code they
+excused is fixed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\["
+    r"(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
+    r"\]"
+    r"(?:\s*reason=(?P<reason>.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[...]`` annotation in a source file."""
+
+    #: line the annotation is written on (1-indexed)
+    comment_line: int
+    #: line the annotation applies to (itself, or the next line when
+    #: the annotation stands alone on a comment-only line)
+    target_line: int
+    rules: Tuple[str, ...]
+    reason: str
+    #: rules of this annotation that suppressed at least one finding
+    used_rules: List[str] = field(default_factory=list)
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rules
+
+    def mark_used(self, rule_id: str) -> None:
+        if rule_id not in self.used_rules:
+            self.used_rules.append(rule_id)
+
+    @property
+    def unused_rules(self) -> Tuple[str, ...]:
+        return tuple(r for r in self.rules if r not in self.used_rules)
+
+
+def _comment_lines(source: str) -> Dict[int, str]:
+    """lineno -> comment text, for real ``#`` comments only.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps annotation
+    *examples* inside docstrings and string literals from registering
+    as live suppressions.  Tokenization errors (should not happen on
+    files that already parsed) fall back to an empty map: no comments,
+    no suppressions.
+    """
+    out: Dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError):
+        return {}
+    return out
+
+
+def parse_suppressions(source: str) -> Dict[int, List[Suppression]]:
+    """All annotations of ``source``, keyed by the line they apply to."""
+    out: Dict[int, List[Suppression]] = {}
+    lines = source.splitlines()
+    for lineno, comment in sorted(_comment_lines(source).items()):
+        match = _ALLOW_RE.search(comment)
+        if match is None:
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        text = lines[lineno - 1] if lineno <= len(lines) else ""
+        own_line = text.split("#", 1)[0].strip()
+        target = lineno if own_line else lineno + 1
+        sup = Suppression(
+            comment_line=lineno,
+            target_line=target,
+            rules=rules,
+            reason=reason,
+        )
+        out.setdefault(target, []).append(sup)
+    return out

@@ -16,9 +16,10 @@ the error axis and its rates, the AQFT depths, and the simulation budget
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
+
+from ..runtime.envutil import env_str
 
 __all__ = ["SweepConfig", "Scale", "current_scale", "SCALES"]
 
@@ -55,7 +56,7 @@ SCALES = {
 
 def current_scale() -> Scale:
     """The tier selected by ``REPRO_SCALE`` (default ``default``)."""
-    name = os.environ.get("REPRO_SCALE", "default").strip().lower()
+    name = env_str("REPRO_SCALE", "default").lower()
     try:
         return SCALES[name]
     except KeyError:

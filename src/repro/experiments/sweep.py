@@ -36,6 +36,7 @@ from ..runtime import (
     inject,
     partition_weighted,
 )
+from ..runtime import sanitizer
 from .config import SweepConfig
 from .instances import ArithmeticInstance, generate_instances
 from .runner import (
@@ -397,7 +398,7 @@ def run_sweep(
         for depth in config.depths
     ]
     total = len(all_keys)
-    t0 = time.time()
+    t0 = time.monotonic()
 
     journal: Optional[CheckpointJournal] = None
     points: Dict[CellKey, PointResult] = {}
@@ -434,6 +435,21 @@ def run_sweep(
     state = {"done": done_count}
 
     def on_result(key: CellKey, point: PointResult, attempts: int) -> None:
+        if sanitizer.enabled():
+            # The single choke point every venue funnels through —
+            # local pool, batched/fused units, and fabric-coordinated
+            # cells all deliver fresh points here, so a local and a
+            # fabric run of one sweep produce comparable "point" traces.
+            # Scheduling-geometry metrics (batch occupancy, dedup
+            # ratio, trajectory spend) legitimately vary between
+            # batching layouts, so only the result-determining fields
+            # enter the portable trace.
+            doc = point_to_dict(point)
+            for geometry in (
+                "batch_occupancy", "dedup_ratio", "trajectories_spent"
+            ):
+                doc.pop(geometry, None)
+            sanitizer.record("point", doc, key=repr(key))
         if journal is not None:
             journal.record(_journal_key(key), point_to_dict(point))
         state["done"] += 1
@@ -558,6 +574,6 @@ def run_sweep(
         config=config,
         points=points,
         instances=instances,
-        elapsed_seconds=time.time() - t0,
+        elapsed_seconds=time.monotonic() - t0,
         failures=failures,
     )

@@ -132,8 +132,8 @@ class FabricCoordinator:
 
     def __init__(
         self,
-        config,
-        instances,
+        config: Any,
+        instances: Sequence[Any],
         workers: Sequence[str],
         fingerprint: str,
         *,
@@ -200,7 +200,11 @@ class FabricCoordinator:
         return asyncio.run(self._run_async(pending, fusion_key_of))
 
     # -- lifecycle ---------------------------------------------------------
-    async def _run_async(self, pending, fusion_key_of):
+    async def _run_async(
+        self,
+        pending: Sequence[CellKey],
+        fusion_key_of: Callable[[CellKey], Any],
+    ) -> Tuple[Dict[CellKey, Any], List[UnitFailure], List[CellKey]]:
         await self._probe_fleet()
         units = partition_units(
             pending, fusion_key_of, self.fingerprint,

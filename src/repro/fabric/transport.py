@@ -67,7 +67,13 @@ async def request_json(
         ) from exc
 
 
-async def _request(host, port, method, path, body):
+async def _request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]],
+) -> Tuple[int, Dict[str, Any]]:
     reader, writer = await asyncio.open_connection(host, port)
     try:
         payload = b"" if body is None else json.dumps(body).encode()

@@ -65,7 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-async def _serve(args) -> int:
+async def _serve(args: argparse.Namespace) -> int:
     from ..service.server import ArithmeticService
     from ..service.work import WorkHandler
 

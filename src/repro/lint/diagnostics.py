@@ -53,6 +53,11 @@ class Diagnostic:
         Name of the linted circuit.
     fix_hint:
         Optional short suggestion for resolving the finding.
+    file:
+        Source file the finding anchors to (codebase-audit findings);
+        empty for circuit findings.
+    line:
+        1-indexed source line within ``file``, when known.
     """
 
     rule_id: str
@@ -62,16 +67,22 @@ class Diagnostic:
     instruction_index: Optional[int] = None
     circuit_name: str = ""
     fix_hint: Optional[str] = None
+    file: str = ""
+    line: Optional[int] = None
 
     def render(self) -> str:
         """One-line text rendering, grep- and editor-friendly."""
-        loc = (
-            f"op {self.instruction_index}"
-            if self.instruction_index is not None
-            else "circuit"
-        )
+        if self.file:
+            where = f"{self.file}:{self.line}" if self.line else self.file
+        else:
+            loc = (
+                f"op {self.instruction_index}"
+                if self.instruction_index is not None
+                else "circuit"
+            )
+            where = f"{self.circuit_name or '<circuit>'}:{loc}"
         out = (
-            f"{self.circuit_name or '<circuit>'}:{loc}: "
+            f"{where}: "
             f"{self.severity}: {self.message} [{self.rule_id}:{self.rule_name}]"
         )
         if self.fix_hint:
@@ -79,22 +90,15 @@ class Diagnostic:
         return out
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable form (used by the SARIF-ish export)."""
+        """JSON-serialisable form (mirrors the SARIF result shape)."""
+        from .sarif import _result_location
+
         out: Dict[str, Any] = {
             "ruleId": self.rule_id,
             "ruleName": self.rule_name,
             "level": self.severity.sarif_level,
             "message": {"text": self.message},
-            "locations": [
-                {
-                    "logicalLocations": [
-                        {
-                            "name": self.circuit_name,
-                            "instructionIndex": self.instruction_index,
-                        }
-                    ]
-                }
-            ],
+            "locations": [_result_location(self)],
         }
         if self.fix_hint:
             out["fixes"] = [{"description": {"text": self.fix_hint}}]
@@ -172,31 +176,25 @@ class LintReport:
         lines.append(self.summary())
         return "\n".join(lines)
 
-    def to_json(self, tool_version: str = "0") -> str:
-        """A SARIF-flavoured JSON document (single run, logical locations)."""
-        rules_seen: Dict[str, Dict[str, Any]] = {}
-        for d in self.diagnostics:
-            rules_seen.setdefault(
-                d.rule_id, {"id": d.rule_id, "name": d.rule_name}
-            )
-        doc = {
-            "version": "2.1.0",
-            "runs": [
-                {
-                    "tool": {
-                        "driver": {
-                            "name": "repro-arith lint",
-                            "version": tool_version,
-                            "rules": sorted(
-                                rules_seen.values(), key=lambda r: r["id"]
-                            ),
-                        }
-                    },
-                    "results": [d.to_dict() for d in self.diagnostics],
-                }
-            ],
-        }
-        return json.dumps(doc, indent=2, sort_keys=True)
+    def to_json(
+        self,
+        tool_version: str = "0",
+        tool_name: str = "repro-arith lint",
+        rule_descriptions: Optional[Dict[str, str]] = None,
+    ) -> str:
+        """A valid SARIF 2.1.0 document (single run) as JSON text."""
+        from .sarif import to_sarif
+
+        return json.dumps(
+            to_sarif(
+                self.diagnostics,
+                tool_name=tool_name,
+                tool_version=tool_version,
+                rule_descriptions=rule_descriptions,
+            ),
+            indent=2,
+            sort_keys=True,
+        )
 
 
 def merge_reports(reports: Sequence[LintReport]) -> LintReport:

@@ -1,0 +1,295 @@
+"""Valid SARIF 2.1.0 serialization shared by circuit lint and the audit.
+
+PR 2 shipped a "SARIF-ish" JSON export; this module upgrades it to a
+document that conforms to the SARIF 2.1.0 schema: ``$schema`` pinned,
+rule metadata carried as ``reportingDescriptor`` objects (with
+``shortDescription`` and ``defaultConfiguration``), every result's
+``ruleIndex`` pointing into the driver's rule table, and locations
+rendered as ``physicalLocation`` (file findings — the codebase audit)
+or ``logicalLocations`` (circuit findings — the instruction-anchored
+lint).  :func:`validate_sarif` is a dependency-free structural
+validator covering the subset of the schema this repository emits; the
+CI image has no ``jsonschema`` package, so the SARIF test suite pins
+conformance through it instead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif", "validate_sarif"]
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+_LEVELS = ("none", "note", "warning", "error")
+
+
+def _result_location(diag: Diagnostic) -> Dict[str, Any]:
+    """One SARIF ``location`` for a finding.
+
+    Audit findings carry a file/line pair and render as a
+    ``physicalLocation``; circuit findings carry a circuit name and an
+    optional instruction index and render as ``logicalLocations``.
+    """
+    if diag.file:
+        physical: Dict[str, Any] = {
+            "artifactLocation": {"uri": diag.file.replace("\\", "/")}
+        }
+        if diag.line is not None:
+            physical["region"] = {"startLine": max(1, int(diag.line))}
+        return {"physicalLocation": physical}
+    logical: Dict[str, Any] = {"name": diag.circuit_name or "<circuit>"}
+    if diag.instruction_index is not None:
+        logical["fullyQualifiedName"] = (
+            f"{diag.circuit_name or '<circuit>'}"
+            f"::op{diag.instruction_index}"
+        )
+        logical["properties"] = {
+            "instructionIndex": diag.instruction_index
+        }
+    return {"logicalLocations": [logical]}
+
+
+def _rule_descriptor(
+    rule_id: str,
+    name: str,
+    description: str,
+    severity: Severity,
+) -> Dict[str, Any]:
+    desc = description or name or rule_id
+    return {
+        "id": rule_id,
+        "name": name or rule_id,
+        "shortDescription": {"text": desc},
+        "defaultConfiguration": {"level": severity.sarif_level},
+    }
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic],
+    tool_name: str,
+    tool_version: str = "0",
+    rule_descriptions: Optional[Dict[str, str]] = None,
+    information_uri: str = "https://arxiv.org/abs/2112.09349",
+) -> Dict[str, Any]:
+    """A SARIF 2.1.0 document (as a plain dict) for one analysis run."""
+    rule_descriptions = rule_descriptions or {}
+    # One reportingDescriptor per rule, in first-seen-then-sorted order;
+    # results refer back through ruleIndex as the spec recommends.
+    rules: List[Dict[str, Any]] = []
+    index_of: Dict[str, int] = {}
+    for diag in diagnostics:
+        if diag.rule_id in index_of:
+            continue
+        index_of[diag.rule_id] = -1  # placeholder until sorted
+        rules.append(
+            _rule_descriptor(
+                diag.rule_id,
+                diag.rule_name,
+                rule_descriptions.get(diag.rule_id, ""),
+                diag.severity,
+            )
+        )
+    rules.sort(key=lambda r: r["id"])
+    index_of = {r["id"]: i for i, r in enumerate(rules)}
+
+    results = []
+    for diag in diagnostics:
+        result: Dict[str, Any] = {
+            "ruleId": diag.rule_id,
+            "ruleIndex": index_of[diag.rule_id],
+            "level": diag.severity.sarif_level,
+            "message": {"text": diag.message},
+            "locations": [_result_location(diag)],
+        }
+        if diag.fix_hint:
+            result["properties"] = {"fixHint": diag.fix_hint}
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": tool_version,
+                        "informationUri": information_uri,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def to_sarif_json(
+    diagnostics: Sequence[Diagnostic],
+    tool_name: str,
+    tool_version: str = "0",
+    rule_descriptions: Optional[Dict[str, str]] = None,
+) -> str:
+    """:func:`to_sarif` rendered as pretty-printed JSON."""
+    return json.dumps(
+        to_sarif(diagnostics, tool_name, tool_version, rule_descriptions),
+        indent=2,
+        sort_keys=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Structural validation (the emitted subset of the 2.1.0 schema)
+# ---------------------------------------------------------------------------
+
+def _err(errors: List[str], path: str, message: str) -> None:
+    errors.append(f"{path}: {message}")
+
+
+def _check_message(obj: Any, path: str, errors: List[str]) -> None:
+    if not isinstance(obj, dict) or not isinstance(obj.get("text"), str):
+        _err(errors, path, "message must be an object with a 'text' string")
+    elif not obj["text"]:
+        _err(errors, path, "message.text must be non-empty")
+
+
+def _check_rule(rule: Any, path: str, errors: List[str]) -> None:
+    if not isinstance(rule, dict):
+        _err(errors, path, "reportingDescriptor must be an object")
+        return
+    if not isinstance(rule.get("id"), str) or not rule["id"]:
+        _err(errors, path, "rule id must be a non-empty string")
+    if "shortDescription" in rule:
+        _check_message(
+            rule["shortDescription"], f"{path}.shortDescription", errors
+        )
+    config = rule.get("defaultConfiguration")
+    if config is not None:
+        if not isinstance(config, dict) or (
+            "level" in config and config["level"] not in _LEVELS
+        ):
+            _err(errors, path, "defaultConfiguration.level invalid")
+
+
+def _check_location(loc: Any, path: str, errors: List[str]) -> None:
+    if not isinstance(loc, dict):
+        _err(errors, path, "location must be an object")
+        return
+    physical = loc.get("physicalLocation")
+    logical = loc.get("logicalLocations")
+    if physical is None and logical is None:
+        _err(
+            errors,
+            path,
+            "location needs physicalLocation or logicalLocations",
+        )
+        return
+    if physical is not None:
+        art = physical.get("artifactLocation") if isinstance(
+            physical, dict
+        ) else None
+        if not isinstance(art, dict) or not isinstance(art.get("uri"), str):
+            _err(errors, path, "physicalLocation.artifactLocation.uri missing")
+        region = physical.get("region") if isinstance(physical, dict) else None
+        if region is not None:
+            start = region.get("startLine")
+            if not isinstance(start, int) or start < 1:
+                _err(errors, path, "region.startLine must be an int >= 1")
+    if logical is not None:
+        if not isinstance(logical, list) or not logical:
+            _err(errors, path, "logicalLocations must be a non-empty array")
+        else:
+            for i, entry in enumerate(logical):
+                if not isinstance(entry, dict) or not isinstance(
+                    entry.get("name"), str
+                ):
+                    _err(errors, f"{path}[{i}]", "logicalLocation.name missing")
+
+
+def validate_sarif(doc: Any) -> List[str]:
+    """Structural errors of ``doc`` against the emitted SARIF subset.
+
+    Returns an empty list for a conforming document.  Checks the
+    invariants the 2.1.0 schema mandates for everything this repo
+    emits: top-level ``$schema``/``version``/``runs``, driver name and
+    rule descriptors, result ``ruleId``/``ruleIndex`` consistency,
+    ``level`` vocabulary, message and location shapes.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    if doc.get("version") != SARIF_VERSION:
+        _err(errors, "version", f"must be {SARIF_VERSION!r}")
+    schema = doc.get("$schema")
+    if schema is not None and "sarif" not in str(schema):
+        _err(errors, "$schema", "does not reference a SARIF schema")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        _err(errors, "runs", "must be a non-empty array")
+        return errors
+    for ri, run in enumerate(runs):
+        rpath = f"runs[{ri}]"
+        if not isinstance(run, dict):
+            _err(errors, rpath, "run must be an object")
+            continue
+        driver = (run.get("tool") or {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not isinstance(driver, dict) or not isinstance(
+            driver.get("name"), str
+        ):
+            _err(errors, f"{rpath}.tool.driver", "driver.name missing")
+            continue
+        rules = driver.get("rules", [])
+        if not isinstance(rules, list):
+            _err(errors, f"{rpath}.tool.driver.rules", "must be an array")
+            rules = []
+        rule_ids = []
+        for i, rule in enumerate(rules):
+            _check_rule(rule, f"{rpath}.tool.driver.rules[{i}]", errors)
+            if isinstance(rule, dict) and isinstance(rule.get("id"), str):
+                rule_ids.append(rule["id"])
+        if len(set(rule_ids)) != len(rule_ids):
+            _err(errors, f"{rpath}.tool.driver.rules", "duplicate rule ids")
+        results = run.get("results")
+        if not isinstance(results, list):
+            _err(errors, f"{rpath}.results", "must be an array")
+            continue
+        for i, result in enumerate(results):
+            path = f"{rpath}.results[{i}]"
+            if not isinstance(result, dict):
+                _err(errors, path, "result must be an object")
+                continue
+            rule_id = result.get("ruleId")
+            if not isinstance(rule_id, str) or not rule_id:
+                _err(errors, path, "ruleId must be a non-empty string")
+            if result.get("level") not in _LEVELS:
+                _err(errors, path, f"level must be one of {_LEVELS}")
+            _check_message(result.get("message"), f"{path}.message", errors)
+            idx = result.get("ruleIndex")
+            if idx is not None:
+                if (
+                    not isinstance(idx, int)
+                    or not 0 <= idx < len(rule_ids)
+                    or rule_ids[idx] != rule_id
+                ):
+                    _err(errors, path, "ruleIndex inconsistent with ruleId")
+            locations = result.get("locations")
+            if locations is not None:
+                if not isinstance(locations, list):
+                    _err(errors, f"{path}.locations", "must be an array")
+                else:
+                    for li, loc in enumerate(locations):
+                        _check_location(
+                            loc, f"{path}.locations[{li}]", errors
+                        )
+    return errors

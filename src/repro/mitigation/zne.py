@@ -121,6 +121,7 @@ def zne_expectation(
     1.0 (the physical noise level) by convention, though any distinct
     positive values work.
     """
+    # repro: allow[DET001] reason=public API convenience; the experiment harness always passes a derived integer seed
     rng = np.random.default_rng(seed)
     values = []
     for s in scales:

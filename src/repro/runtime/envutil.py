@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-__all__ = ["env_float", "env_mb_bytes", "env_flag"]
+__all__ = ["env_float", "env_int", "env_mb_bytes", "env_flag", "env_str"]
 
 
 def env_float(
@@ -43,6 +43,41 @@ def env_float(
             f"{name} must be >= {minimum:g}, got {raw!r}"
         )
     return value
+
+
+def env_int(
+    name: str,
+    default: int,
+    minimum: Optional[int] = None,
+) -> int:
+    """``int(os.environ[name])`` with validation (same policy as
+    :func:`env_float`; rejects non-integer values rather than
+    truncating)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return int(default)
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {raw!r}")
+    return value
+
+
+def env_str(name: str, default: str) -> str:
+    """``os.environ[name]`` stripped, or ``default`` when unset/blank.
+
+    The single sanctioned entry point for string-valued knobs in
+    result-path modules; the audit's DET004 flags direct
+    ``os.environ`` reads outside this module.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip()
 
 
 def env_mb_bytes(name: str, default_mb: float) -> int:

@@ -83,7 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-async def _serve(args) -> int:
+async def _serve(args: argparse.Namespace) -> int:
     from ..runtime.supervisor import RetryPolicy
     from .executor import SimulationExecutor
     from .server import ArithmeticService

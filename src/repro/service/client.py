@@ -27,7 +27,9 @@ __all__ = [
 class ServiceError(RuntimeError):
     """Base failure talking to the service; carries the HTTP status."""
 
-    def __init__(self, status: int, message: str, body: Optional[dict] = None):
+    def __init__(
+        self, status: int, message: str, body: Optional[dict] = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.body = body or {}
@@ -36,7 +38,9 @@ class ServiceError(RuntimeError):
 class BackpressureError(ServiceError):
     """429: the queue is full — retry after ``retry_after`` seconds."""
 
-    def __init__(self, retry_after: float, body: Optional[dict] = None):
+    def __init__(
+        self, retry_after: float, body: Optional[dict] = None
+    ) -> None:
         super().__init__(429, f"queue full, retry after {retry_after}s", body)
         self.retry_after = retry_after
 
@@ -44,7 +48,9 @@ class BackpressureError(ServiceError):
 class RequestRejected(ServiceError):
     """400/422: the request is invalid or its circuit failed lint."""
 
-    def __init__(self, status: int, details, body: Optional[dict] = None):
+    def __init__(
+        self, status: int, details: Any, body: Optional[dict] = None
+    ) -> None:
         super().__init__(status, f"rejected: {details}", body)
         self.details = details
 
@@ -62,7 +68,7 @@ class ServiceClient:
     # -- transport --------------------------------------------------------
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ):
+    ) -> Dict[str, Any]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -97,7 +103,9 @@ class ServiceClient:
 
     # -- API --------------------------------------------------------------
     def simulate(
-        self, request: Union[SimRequest, Dict[str, Any], None] = None, **kwargs
+        self,
+        request: Union[SimRequest, Dict[str, Any], None] = None,
+        **kwargs: Any,
     ) -> SimResponse:
         """Run one simulation; keyword form builds the request inline.
 

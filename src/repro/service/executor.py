@@ -23,16 +23,20 @@ from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from functools import lru_cache
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 import numpy as np
 
 from ..experiments.runner import build_compiled_program, noise_model_for
 from ..metrics.success import evaluate_instance
+from ..runtime import sanitizer
 from ..runtime.envutil import env_flag
 from ..runtime.supervisor import RetryPolicy
 from ..sim.engines import simulate_counts
 from .model import RequestValidationError, SimRequest
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from ..lint import LintReport
 
 __all__ = [
     "CircuitRejected",
@@ -62,7 +66,9 @@ class ExecutionFailed(RuntimeError):
 
 
 @lru_cache(maxsize=256)
-def _lint_report(operation: str, n: int, m: int, depth: Optional[int]):
+def _lint_report(
+    operation: str, n: int, m: int, depth: Optional[int]
+) -> "LintReport":
     """Lint verdict for one circuit shape (operand-independent, cached)."""
     from ..experiments.runner import build_arithmetic_circuit
     from ..lint import LintContext, lint_circuit
@@ -102,6 +108,16 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     JSON-able values; the server layers cache/queue bookkeeping on top.
     """
     request = SimRequest.from_dict(payload)
+    if sanitizer.enabled():
+        with sanitizer.capture() as events:
+            with sanitizer.trace_scope(request.content_key()):
+                result = _execute_payload_inner(request)
+        result["sanitizer_events"] = [list(e) for e in events]
+        return result
+    return _execute_payload_inner(request)
+
+
+def _execute_payload_inner(request: SimRequest) -> Dict[str, Any]:
     t0 = time.perf_counter()
     program = build_compiled_program(
         request.operation,
@@ -219,8 +235,19 @@ class SimulationExecutor:
                     self._pool, _execute_payload, payload
                 )
                 if self.retry.timeout is not None:
-                    return await asyncio.wait_for(future, self.retry.timeout)
-                return await future
+                    result = await asyncio.wait_for(
+                        future, self.retry.timeout
+                    )
+                else:
+                    result = await future
+                # Worker-side sanitizer events ride home on the result
+                # (that is how they cross the process boundary); fold
+                # them into the parent trace and keep the response
+                # payload tier-independent.
+                events = result.pop("sanitizer_events", None)
+                if events:
+                    sanitizer.merge_events(events)
+                return result
             except (RequestValidationError, ValueError):
                 # Deterministic input errors cannot succeed on retry.
                 raise

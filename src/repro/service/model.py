@@ -21,12 +21,15 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import asdict, dataclass, field
 from functools import cached_property
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from ..runtime.envutil import env_int
 from ..sim.result import Counts
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from ..experiments.instances import ArithmeticInstance
 
 __all__ = [
     "MAX_PRIORITY",
@@ -55,7 +58,7 @@ def service_max_qubits() -> int:
     ``2*(n + m)`` for mul) so a single request cannot exhaust the
     server's memory with a ``2**n`` statevector.
     """
-    return int(os.environ.get("REPRO_SERVICE_MAX_QUBITS", "16"))
+    return env_int("REPRO_SERVICE_MAX_QUBITS", 16, minimum=1)
 
 
 class RequestValidationError(ValueError):
@@ -283,7 +286,7 @@ class SimRequest:
         req.validate()
         return req
 
-    def instance(self):
+    def instance(self) -> "ArithmeticInstance":
         """The :class:`~repro.experiments.instances.ArithmeticInstance`."""
         from ..core.qint import QInteger
         from ..experiments.instances import ArithmeticInstance

@@ -94,7 +94,7 @@ class ArithmeticService:
             concurrency=concurrency,
         )
         self.lint_requests = lint_requests
-        self.started_at = time.time()
+        self.started_at = time.monotonic()
         self.draining = False
         #: Stats snapshot flushed by a graceful shutdown (None until then).
         self.final_stats: Optional[Dict[str, Any]] = None
@@ -345,7 +345,7 @@ class ArithmeticService:
         return status, {}, _json_bytes(
             {
                 "status": "draining" if self.draining else "ok",
-                "uptime_seconds": time.time() - self.started_at,
+                "uptime_seconds": time.monotonic() - self.started_at,
                 "executor": self.executor.mode,
             }
         )
@@ -355,7 +355,7 @@ class ArithmeticService:
         snapshot = cache_stats_snapshot(result_cache=self.cache)
         snapshot.update(
             {
-                "uptime_seconds": time.time() - self.started_at,
+                "uptime_seconds": time.monotonic() - self.started_at,
                 "queue": self.scheduler.queue_stats(),
                 "executor": self.executor.describe(),
                 "metrics": self.metrics.stats_dict(),
@@ -406,7 +406,7 @@ class ServerThread:
         asyncio.set_event_loop(loop)
         self._loop = loop
 
-        async def boot():
+        async def boot() -> None:
             self.address = await self.service.start(self._host, self._port)
             self._ready.set()
 
@@ -422,7 +422,7 @@ class ServerThread:
         if loop is None or not loop.is_running():
             return
 
-        async def teardown():
+        async def teardown() -> None:
             await self.service.shutdown(drain=drain, timeout=timeout)
             asyncio.get_running_loop().stop()
 
@@ -434,5 +434,5 @@ class ServerThread:
     def __enter__(self) -> "ServerThread":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()

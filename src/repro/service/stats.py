@@ -8,12 +8,17 @@ names whether they scrape a live server or inspect a batch process.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from .cache import ResultCache
 
 __all__ = ["cache_stats_snapshot", "render_cache_stats"]
 
 
-def cache_stats_snapshot(result_cache=None) -> Dict[str, Any]:
+def cache_stats_snapshot(
+    result_cache: Optional["ResultCache"] = None,
+) -> Dict[str, Any]:
     """Counters for every cache layer in this process.
 
     * ``compile_cache`` — the two-level lowering/bind cache of
@@ -30,7 +35,7 @@ def cache_stats_snapshot(result_cache=None) -> Dict[str, Any]:
     )
     from ..sim.program import compile_cache_stats, kernel_cache_stats
 
-    def _lru(fn) -> Dict[str, int]:
+    def _lru(fn: Any) -> Dict[str, int]:
         info = fn.cache_info()
         return {
             "hits": info.hits,

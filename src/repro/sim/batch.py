@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..runtime import sanitizer
 from ..runtime.envutil import env_mb_bytes
 from ..runtime.health import check_norms, norm_tolerance
 from .ops import BitCache, apply_pauli_string_rows, probabilities
@@ -659,6 +660,16 @@ class FusedTrajectoryScheduler:
                 plan.probs[ref] = p[start]
             for j, r in enumerate(eventful):
                 plan.probs[r] = p[start + 1 + j]
+        if sanitizer.enabled():
+            # Geometry-tagged (chunk height varies with batching mode
+            # and REPRO_BATCH_MB), so this stage is excluded from
+            # cross-path comparison; it localises a divergence to the
+            # first differing evolution when the portable stages split.
+            sanitizer.record(
+                "chunk",
+                {"height": height, "probs": p},
+                key=repr(sorted({repr(pl.task.key) for pl, _ in chunk})),
+            )
 
     # ------------------------------------------------------------------
     # Phase C: outcome sampling (per task, fixed draw order)
@@ -695,6 +706,20 @@ class FusedTrajectoryScheduler:
         outcomes = self._apply_readout(
             rng, outcomes, task.program.readout
         )
+        if sanitizer.enabled():
+            # One portable event per (task, round): the sampled outcome
+            # stream plus the RNG state it left behind.  Identical
+            # across batching="cell" and "group" by the determinism
+            # contract — chunk geometry must never leak into draws.
+            sanitizer.record(
+                "task",
+                {
+                    "outcomes": outcomes,
+                    "rng": rng.bit_generator.state,
+                    "shots": plan.shots,
+                },
+                key=repr(task.key),
+            )
         state.outcomes.append(outcomes)
         state.shots_spent += plan.shots
 

@@ -12,6 +12,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..runtime import sanitizer
 from ..circuits.circuit import QuantumCircuit
 from ..noise.model import NoiseModel
 from .density import DensityMatrixEngine
@@ -146,6 +147,7 @@ def simulate_counts(
     if trajectories < 1:
         raise ValueError(f"trajectories must be >= 1, got {trajectories}")
     if rng is None:
+        # repro: allow[DET001] reason=public API convenience; every result path (runner, batch, executor) threads an explicit (seed, content_key)-derived Generator
         rng = np.random.default_rng(seed)
     if method == "auto":
         method = choose_method(circuit, noise_model)
@@ -156,10 +158,19 @@ def simulate_counts(
         )
         counts = engine.run(circuit, noise_model, shots, initial_state)
         counts.method = method
-        return counts
-    dist = simulate_distribution(
-        circuit, noise_model, method=method, initial_state=initial_state
-    )
-    counts = dist.sample(shots, rng)
-    counts.method = dist.method
+    else:
+        dist = simulate_distribution(
+            circuit, noise_model, method=method, initial_state=initial_state
+        )
+        counts = dist.sample(shots, rng)
+        counts.method = dist.method
+    if sanitizer.enabled():
+        sanitizer.record(
+            "counts",
+            {
+                "data": dict(counts.items()),
+                "num_qubits": counts.num_qubits,
+                "method": counts.method,
+            },
+        )
     return counts

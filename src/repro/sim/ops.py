@@ -54,6 +54,7 @@ class BitCache:
             idx = np.arange(1 << n, dtype=np.intp)
             m = ((idx >> q) & 1).astype(bool)
             m.setflags(write=False)
+            # repro: allow[RACE001] reason=GIL-atomic memoised insert of an immutable value; duplicate builds are identical and a lock would serialise every gate application
             self._masks[key] = m
         return m
 
@@ -64,6 +65,7 @@ class BitCache:
             idx = np.arange(1 << n, dtype=np.intp)
             p = idx ^ (1 << q)
             p.setflags(write=False)
+            # repro: allow[RACE001] reason=GIL-atomic memoised insert of an immutable value; see mask_bit
             self._perms[key] = p
         return p
 
@@ -74,6 +76,7 @@ class BitCache:
         if s is None:
             s = np.where(self.mask_bit(n, q), -1.0, 1.0)
             s.setflags(write=False)
+            # repro: allow[RACE001] reason=GIL-atomic memoised insert of an immutable value; see mask_bit
             self._signs[key] = s
         return s
 

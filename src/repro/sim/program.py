@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import cmath
 import hashlib
+import threading
 import weakref
 from dataclasses import dataclass
 from functools import lru_cache
@@ -104,39 +105,50 @@ class KernelCache:
         self.budget_bytes = budget_bytes
         self._entries: Dict[tuple, object] = {}
         self._nbytes: Dict[tuple, int] = {}
+        self._lock = threading.RLock()
         self.total_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: tuple, builder) -> object:
-        value = self._entries.get(key)
-        if value is not None:
-            self.hits += 1
-            # Refresh recency (dicts preserve insertion order).
-            del self._entries[key]
+        # The whole read-modify-write (recency refresh, eviction loop,
+        # byte accounting) must be atomic: thread-tier executor workers
+        # share this instance.  A duplicate builder() run under
+        # contention would be wasteful but correct; a torn eviction
+        # would corrupt total_bytes forever.
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self.hits += 1
+                # Refresh recency (dicts preserve insertion order).
+                del self._entries[key]
+                self._entries[key] = value
+                return value
+            self.misses += 1
+            value = builder()
+            nbytes = sum(
+                getattr(a, "nbytes", 0)
+                for a in (value if isinstance(value, tuple) else (value,))
+            )
+            while (
+                self.total_bytes + nbytes > self.budget_bytes
+                and self._entries
+            ):
+                old_key = next(iter(self._entries))
+                self.total_bytes -= self._nbytes.pop(old_key)
+                del self._entries[old_key]
+                self.evictions += 1
             self._entries[key] = value
+            self._nbytes[key] = nbytes
+            self.total_bytes += nbytes
             return value
-        self.misses += 1
-        value = builder()
-        nbytes = sum(
-            getattr(a, "nbytes", 0)
-            for a in (value if isinstance(value, tuple) else (value,))
-        )
-        while self.total_bytes + nbytes > self.budget_bytes and self._entries:
-            old_key = next(iter(self._entries))
-            self.total_bytes -= self._nbytes.pop(old_key)
-            del self._entries[old_key]
-            self.evictions += 1
-        self._entries[key] = value
-        self._nbytes[key] = nbytes
-        self.total_bytes += nbytes
-        return value
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._nbytes.clear()
-        self.total_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._nbytes.clear()
+            self.total_bytes = 0
 
 
 _KERNELS = KernelCache()
@@ -144,13 +156,14 @@ _KERNELS = KernelCache()
 
 def kernel_cache_stats() -> Dict[str, int]:
     """Hit/miss/byte counters of the process-wide kernel cache."""
-    return {
-        "hits": _KERNELS.hits,
-        "misses": _KERNELS.misses,
-        "evictions": _KERNELS.evictions,
-        "total_bytes": _KERNELS.total_bytes,
-        "entries": len(_KERNELS._entries),
-    }
+    with _KERNELS._lock:
+        return {
+            "hits": _KERNELS.hits,
+            "misses": _KERNELS.misses,
+            "evictions": _KERNELS.evictions,
+            "total_bytes": _KERNELS.total_bytes,
+            "entries": len(_KERNELS._entries),
+        }
 
 
 def _build_diag(n: int, terms: Tuple[Term, ...]) -> np.ndarray:
@@ -838,16 +851,18 @@ class _Skeleton:
 class CompileStats:
     """Counters for the two cache levels (sweep-wide, process-local)."""
 
-    __slots__ = ("lowerings", "lower_hits", "binds", "bind_hits")
+    __slots__ = ("lowerings", "lower_hits", "binds", "bind_hits", "_lock")
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.reset()
 
     def reset(self) -> None:
-        self.lowerings = 0
-        self.lower_hits = 0
-        self.binds = 0
-        self.bind_hits = 0
+        with self._lock:
+            self.lowerings = 0
+            self.lower_hits = 0
+            self.binds = 0
+            self.bind_hits = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -868,6 +883,13 @@ _LOWER_CACHE: "weakref.WeakKeyDictionary[QuantumCircuit, Dict[tuple, _Skeleton]]
 _FP_CACHE: "weakref.WeakKeyDictionary[QuantumCircuit, str]" = (
     weakref.WeakKeyDictionary()
 )
+#: Guards the compile caches (_LOWER_CACHE/_FP_CACHE/skeleton binds) and
+#: the _STATS counters.  Reentrant: compile_circuit -> _lower ->
+#: circuit_fingerprint all touch cached state.  Holding it across the
+#: lowering serialises compilation, which is deliberate — lowering is
+#: rare (cache-keyed per structure) and a duplicate concurrent lowering
+#: would waste far more than the lock costs.
+_COMPILE_LOCK = threading.RLock()
 
 
 def compile_cache_stats() -> CompileStats:
@@ -877,10 +899,11 @@ def compile_cache_stats() -> CompileStats:
 
 def reset_compile_caches() -> None:
     """Drop every cached skeleton/bind/kernel and zero the counters."""
-    _LOWER_CACHE.clear()
-    _FP_CACHE.clear()
-    _KERNELS.clear()
-    _STATS.reset()
+    with _COMPILE_LOCK:
+        _LOWER_CACHE.clear()
+        _FP_CACHE.clear()
+        _KERNELS.clear()
+        _STATS.reset()
 
 
 def circuit_fingerprint(circuit: QuantumCircuit) -> str:
@@ -895,10 +918,11 @@ def circuit_fingerprint(circuit: QuantumCircuit) -> str:
                 f"|{instr.clbits}".encode()
             )
         fp = h.hexdigest()[:16]
-        try:
-            _FP_CACHE[circuit] = fp
-        except TypeError:  # unhashable/non-weakrefable circuit subclass
-            pass
+        with _COMPILE_LOCK:
+            try:
+                _FP_CACHE[circuit] = fp
+            except TypeError:  # unhashable/non-weakrefable circuit subclass
+                pass
     return fp
 
 
@@ -1023,33 +1047,34 @@ def compile_circuit(
     one circuit therefore performs exactly one lowering.
     """
     noise = noise_model or NoiseModel.ideal()
-    per_circuit = _LOWER_CACHE.get(circuit)
-    if per_circuit is None:
-        per_circuit = {}
-        try:
-            _LOWER_CACHE[circuit] = per_circuit
-        except TypeError:
-            pass
-    key = (noise.structure_key(), bool(optimize))
-    skeleton = per_circuit.get(key)
-    if skeleton is None:
-        _STATS.lowerings += 1
-        skeleton = _lower(circuit, noise, bool(optimize))
-        per_circuit[key] = skeleton
-    else:
-        _STATS.lower_hits += 1
+    with _COMPILE_LOCK:
+        per_circuit = _LOWER_CACHE.get(circuit)
+        if per_circuit is None:
+            per_circuit = {}
+            try:
+                _LOWER_CACHE[circuit] = per_circuit
+            except TypeError:
+                pass
+        key = (noise.structure_key(), bool(optimize))
+        skeleton = per_circuit.get(key)
+        if skeleton is None:
+            _STATS.lowerings += 1
+            skeleton = _lower(circuit, noise, bool(optimize))
+            per_circuit[key] = skeleton
+        else:
+            _STATS.lower_hits += 1
 
-    noise_fp = noise.fingerprint()
-    program = skeleton._bound.get(noise_fp)
-    if program is None:
-        _STATS.binds += 1
-        program = _bind(skeleton, noise)
-        if len(skeleton._bound) >= _Skeleton.BIND_CAP:
-            skeleton._bound.pop(next(iter(skeleton._bound)))
-        skeleton._bound[noise_fp] = program
-    else:
-        _STATS.bind_hits += 1
-    return program
+        noise_fp = noise.fingerprint()
+        program = skeleton._bound.get(noise_fp)
+        if program is None:
+            _STATS.binds += 1
+            program = _bind(skeleton, noise)
+            if len(skeleton._bound) >= _Skeleton.BIND_CAP:
+                skeleton._bound.pop(next(iter(skeleton._bound)))
+            skeleton._bound[noise_fp] = program
+        else:
+            _STATS.bind_hits += 1
+        return program
 
 
 def as_program(

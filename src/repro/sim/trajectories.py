@@ -94,6 +94,7 @@ class TrajectoryEngine:
         if trajectories < 1:
             raise ValueError("trajectories must be >= 1")
         self.trajectories = int(trajectories)
+        # repro: allow[DET001] reason=public API convenience; result paths construct the runner with an explicit per-cell Generator
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.dtype = dtype
         self.split_clean = bool(split_clean)

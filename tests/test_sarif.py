@@ -1,0 +1,130 @@
+"""SARIF 2.1.0 output shared by the circuit lint and the code audit.
+
+``validate_sarif`` is the in-repo schema check (the container has no
+jsonschema); these tests pin that both producers emit documents it
+accepts, and that it actually rejects the malformations it claims to.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.audit import audit_source, rule_descriptions
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.sarif import (
+    SARIF_VERSION,
+    to_sarif,
+    validate_sarif,
+)
+
+FIXTURE = """
+import numpy as np
+
+def sample():
+    return np.random.default_rng()
+"""
+
+
+def audit_doc():
+    report = audit_source(FIXTURE)
+    return json.loads(
+        report.to_json(
+            tool_version="1.0.0",
+            tool_name="repro-arith audit",
+            rule_descriptions=rule_descriptions(),
+        )
+    )
+
+
+def test_audit_report_emits_valid_sarif():
+    doc = audit_doc()
+    assert validate_sarif(doc) == []
+    assert doc["version"] == SARIF_VERSION
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-arith audit"
+    (result,) = run["results"]
+    assert result["ruleId"] == "DET001"
+    assert result["level"] == "error"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "fixture.py"
+    assert loc["region"]["startLine"] == 5
+
+
+def test_rule_index_points_back_at_descriptor():
+    doc = audit_doc()
+    run = doc["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_circuit_lint_report_emits_valid_sarif():
+    report = LintReport()
+    report.add(
+        Diagnostic(
+            rule_id="QFT001",
+            rule_name="rotation-below-threshold",
+            severity=Severity.WARNING,
+            message="controlled rotation below precision threshold",
+            file="circuit:adder",
+            line=3,
+        )
+    )
+    doc = json.loads(report.to_json(tool_version="1.0.0"))
+    assert validate_sarif(doc) == []
+    assert doc["runs"][0]["results"][0]["level"] == "warning"
+
+
+def test_empty_report_is_valid():
+    doc = json.loads(LintReport().to_json())
+    assert validate_sarif(doc) == []
+    assert doc["runs"][0]["results"] == []
+
+
+def test_multiple_rules_sorted_and_deduplicated():
+    diags = [
+        Diagnostic("Z9", "z", Severity.ERROR, "m1"),
+        Diagnostic("A1", "a", Severity.WARNING, "m2"),
+        Diagnostic("Z9", "z", Severity.ERROR, "m3"),
+    ]
+    doc = to_sarif(diags, tool_name="t")
+    assert validate_sarif(doc) == []
+    rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == ["A1", "Z9"]
+
+
+class TestValidatorRejects:
+    def test_wrong_version(self):
+        doc = audit_doc()
+        doc["version"] = "2.0.0"
+        assert any("version" in e for e in validate_sarif(doc))
+
+    def test_missing_runs(self):
+        assert validate_sarif({"version": SARIF_VERSION}) != []
+
+    def test_missing_driver_name(self):
+        doc = audit_doc()
+        del doc["runs"][0]["tool"]["driver"]["name"]
+        assert any("driver" in e for e in validate_sarif(doc))
+
+    def test_bad_level_vocabulary(self):
+        doc = audit_doc()
+        doc["runs"][0]["results"][0]["level"] = "fatal"
+        assert any("level" in e for e in validate_sarif(doc))
+
+    def test_inconsistent_rule_index(self):
+        doc = audit_doc()
+        doc["runs"][0]["results"][0]["ruleIndex"] = 99
+        assert any("ruleIndex" in e for e in validate_sarif(doc))
+
+    def test_message_must_have_text(self):
+        doc = audit_doc()
+        doc["runs"][0]["results"][0]["message"] = {}
+        assert any("message" in e for e in validate_sarif(doc))
+
+    def test_valid_doc_unaffected_by_checks(self):
+        doc = audit_doc()
+        snapshot = copy.deepcopy(doc)
+        validate_sarif(doc)
+        assert doc == snapshot
