@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Benchmark the backend tiers and write the ``BENCH_backend.json`` baseline.
+
+Times one 2q-depolarizing rate sweep over a QFA adder cell two ways —
+
+* ``density`` — the exact density-matrix engine, which replays every
+  Pauli label of every noise site at every rate, and
+* ``ptm``     — the PTM-compiled engine, which lowers the circuit's
+  gate superoperators once and re-binds only the rate-dependent
+  channel diagonals per rate
+
+— plus a statevector timing on both precision tiers (``numpy64`` /
+``numpy32``), so future PRs have a backend perf baseline to diff
+against.  The committed ``BENCH_backend.json`` at the repo root
+records the PTM/density speedup the acceptance bar pins (>= 2x on a
+rate sweep); rerun with the same flags to refresh it.
+
+Usage: python scripts/bench_backend.py [--qfa-n N] [--repeats R]
+       [--out BENCH_backend.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core import qfa_circuit
+from repro.experiments.runner import noise_model_for
+from repro.sim.backend import get_backend
+from repro.sim.density import DensityMatrixEngine
+from repro.sim.ptm import PTMEngine, ptm_cache_stats, reset_ptm_cache
+from repro.sim.program import reset_compile_caches
+from repro.sim.statevector import StatevectorEngine
+from repro.transpile import transpile
+
+#: One Fig.-3-shaped 2q error axis (the paper's cx-depolarizing sweep).
+RATES = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05)
+
+
+def _time_sweep(engine_factory, circuit, repeats: int) -> list:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for rate in RATES:
+            engine_factory().distribution(
+                circuit, noise_model_for("2q", rate)
+            )
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _stats(times: list) -> dict:
+    return {
+        "runs_s": [round(t, 4) for t in times],
+        "p50_s": round(statistics.median(times), 4),
+        "best_s": round(min(times), 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--qfa-n", type=int, default=4,
+        help="adder register width (n+n qubits; PTM cap is 12 total)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repeats per lane"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_backend.json",
+    )
+    args = parser.parse_args(argv)
+
+    n = args.qfa_n
+    if 2 * n > PTMEngine.max_qubits:
+        parser.error(
+            f"--qfa-n {n} gives {2 * n} qubits, over the PTM cap of "
+            f"{PTMEngine.max_qubits}"
+        )
+    circuit = transpile(qfa_circuit(n, n))
+    print(
+        f"bench_backend: qfa n={n} ({2 * n} qubits) rates={len(RATES)} "
+        f"repeats={args.repeats}",
+        flush=True,
+    )
+
+    # Warm compile/kernel/plan caches so the timed lanes measure the
+    # steady-state sweep cost, not one-time lowering.
+    reset_compile_caches()
+    reset_ptm_cache()
+    _time_sweep(PTMEngine, circuit, 1)
+    _time_sweep(DensityMatrixEngine, circuit, 1)
+
+    lanes = {}
+    for name, factory in (
+        ("density", DensityMatrixEngine),
+        ("ptm", PTMEngine),
+    ):
+        times = _time_sweep(factory, circuit, args.repeats)
+        lanes[name] = _stats(times)
+        print(f"  {name}: p50={lanes[name]['p50_s']}s", flush=True)
+
+    speedup = round(lanes["density"]["best_s"] / lanes["ptm"]["best_s"], 2)
+    print(f"  ptm speedup over density: {speedup}x", flush=True)
+
+    tiers = {}
+    for backend_name in ("numpy64", "numpy32"):
+        dtype = get_backend(backend_name).complex_dtype
+        times = []
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            StatevectorEngine(dtype=dtype).distribution(circuit)
+            times.append(time.perf_counter() - start)
+        tiers[backend_name] = _stats(times)
+        print(f"  statevector {backend_name}: "
+              f"p50={tiers[backend_name]['p50_s']}s", flush=True)
+
+    payload = {
+        "benchmark": "backend_ptm_rate_sweep",
+        "config": {
+            "operation": "add",
+            "n": n,
+            "m": n,
+            "num_qubits": 2 * n,
+            "error_axis": "2q",
+            "error_rates": list(RATES),
+            "repeats": args.repeats,
+        },
+        "lanes": lanes,
+        "ptm_speedup_over_density": speedup,
+        "ptm_cache": dict(ptm_cache_stats()),
+        "statevector_tiers": tiers,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -126,6 +126,8 @@ def _cmd_sweep(args) -> int:
         shots=args.shots,
         trajectories=args.trajectories,
         seed=args.seed,
+        method=args.method,
+        backend=args.backend,
         batching=args.batching,
         label=args.label,
     )
@@ -363,6 +365,23 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=1234)
     p.add_argument(
         "--batching", choices=("off", "cell", "group"), default="off"
+    )
+    p.add_argument(
+        "--method",
+        choices=(
+            "auto", "statevector", "density", "ptm", "trajectory",
+            "perturbative",
+        ),
+        default="trajectory",
+        help="simulation engine per cell ('ptm' = pre-compiled "
+        "Pauli-transfer-matrix exact lane)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("numpy64", "numpy32", "cupy64", "cupy32"),
+        default="",
+        help="array backend / precision tier (default: REPRO_BACKEND "
+        "or numpy64; GPU tiers degrade gracefully to NumPy)",
     )
     p.add_argument("--label", default="sweep")
     p.add_argument(

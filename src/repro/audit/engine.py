@@ -16,7 +16,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..lint.diagnostics import Diagnostic, LintReport, Severity
-from . import async_rules, det, race
+from . import async_rules, det, dtype, race
 from .budget import budget_for
 from .modinfo import AuditModule, RawFinding, load_module
 from .suppress import Suppression
@@ -85,6 +85,16 @@ RULES: Dict[str, Rule] = {
         _rule(
             "ASYNC004", "sync-io-in-async", Severity.WARNING,
             "synchronous file IO inside an async def",
+        ),
+        _rule(
+            "DTYPE001", "backend-bypass-alloc", Severity.ERROR,
+            "direct NumPy allocation with a hard-coded complex dtype "
+            "in repro.sim, bypassing the ArrayBackend seam",
+        ),
+        _rule(
+            "DTYPE002", "complex-dtype-literal", Severity.WARNING,
+            "complex dtype literal outside repro.sim.backend; dtype "
+            "policy belongs to the backend seam",
         ),
         _rule(
             "RACE001", "unlocked-shared-instance", Severity.ERROR,
@@ -275,6 +285,7 @@ def audit_modules(
     for mod in modules:
         raw: List[RawFinding] = []
         raw.extend(det.check_det(mod))
+        raw.extend(dtype.check_dtype(mod))
         if mod.in_zone(async_rules.ASYNC_ZONE_PREFIXES):
             raw.extend(async_rules.check_async(mod))
         raw.extend(race_findings.get(mod.module, []))

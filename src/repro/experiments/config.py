@@ -20,8 +20,20 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from ..runtime.envutil import env_str
+from ..sim.backend import BACKEND_NAMES
 
-__all__ = ["SweepConfig", "Scale", "current_scale", "SCALES"]
+__all__ = [
+    "SweepConfig",
+    "Scale",
+    "current_scale",
+    "SCALES",
+    "SWEEP_METHODS",
+]
+
+#: Engines a sweep config may name (validated in __post_init__).
+SWEEP_METHODS = (
+    "auto", "statevector", "density", "ptm", "trajectory", "perturbative",
+)
 
 
 @dataclass(frozen=True)
@@ -89,6 +101,10 @@ class SweepConfig:
     method: str = "trajectory"
     convention: str = "qiskit"
     label: str = ""
+    #: Array backend for every engine in the sweep ("" = the process
+    #: default from ``REPRO_BACKEND``).  GPU names degrade gracefully
+    #: to the matching NumPy tier when CuPy/device are absent.
+    backend: str = ""
     #: Batched-scheduler mode: "off" routes every cell through the
     #: legacy per-cell runner (seed-exact with earlier releases);
     #: "cell" fuses the instances of one sweep cell into shared
@@ -117,6 +133,16 @@ class SweepConfig:
             raise ValueError(f"unknown operation {self.operation!r}")
         if self.error_axis not in ("1q", "2q"):
             raise ValueError(f"error_axis must be '1q' or '2q'")
+        if self.method not in SWEEP_METHODS:
+            raise ValueError(
+                f"method must be one of {sorted(SWEEP_METHODS)}, "
+                f"got {self.method!r}"
+            )
+        if self.backend and self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {list(BACKEND_NAMES)} (or '' "
+                f"for the REPRO_BACKEND default), got {self.backend!r}"
+            )
         if self.instances < 1 or self.shots < 1:
             raise ValueError("instances and shots must be >= 1")
         if self.batching not in ("off", "cell", "group"):

@@ -30,6 +30,7 @@ from ..metrics.success import (
 )
 from ..noise.model import NoiseModel
 from ..runtime.errors import NumericalHealthError
+from ..sim.backend import get_backend
 from ..sim.batch import FusedTrajectoryScheduler, TrajectoryTask
 from ..sim.engines import simulate_counts
 from ..sim.program import CompiledProgram, compile_circuit
@@ -41,6 +42,7 @@ __all__ = [
     "build_arithmetic_circuit",
     "build_compiled_program",
     "noise_model_for",
+    "config_dtype",
     "run_instance",
     "run_point",
     "run_cells_fused",
@@ -89,6 +91,14 @@ def noise_model_for(
     raise ValueError(f"unknown error axis {error_axis!r}")
 
 
+def config_dtype(config: SweepConfig):
+    """The state dtype a config's ``backend`` field selects (None = the
+    process default, resolved later by the engines)."""
+    if not config.backend:
+        return None
+    return get_backend(config.backend).complex_dtype
+
+
 @lru_cache(maxsize=128)
 def build_compiled_program(
     operation: str,
@@ -121,6 +131,7 @@ def run_instance(
     rng: np.random.Generator,
     method: str = "trajectory",
     program: Optional[CompiledProgram] = None,
+    dtype=None,
 ) -> InstanceOutcome:
     """Simulate one instance and apply the paper's success criterion.
 
@@ -138,6 +149,7 @@ def run_instance(
         trajectories=trajectories,
         rng=rng,
         initial_state=instance.initial_statevector(),
+        dtype=dtype,
     )
     return evaluate_instance(counts, instance.correct_outcomes())
 
@@ -205,6 +217,7 @@ def run_point(
             rng,
             config.method,
             program=program,
+            dtype=config_dtype(config),
         )
         for inst in instances
     ]
@@ -279,6 +292,7 @@ def run_cells_fused(
     if tasks:
         scheduler = FusedTrajectoryScheduler(
             fuse=True,
+            dtype=config_dtype(config),
             dedup=config.dedup,
             adaptive=config.adaptive,
             rounds=config.adaptive_rounds,

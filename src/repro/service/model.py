@@ -41,7 +41,9 @@ __all__ = [
 
 _OPERATIONS = ("add", "mul")
 _ERROR_AXES = ("1q", "2q")
-_METHODS = ("auto", "statevector", "density", "trajectory", "perturbative")
+_METHODS = (
+    "auto", "statevector", "density", "ptm", "trajectory", "perturbative",
+)
 _CONVENTIONS = ("qiskit", "pauli")
 
 MAX_SHOTS = 1_000_000

@@ -28,7 +28,7 @@ import asyncio
 import json
 import threading
 import time
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from .work import WorkHandler
@@ -122,6 +122,25 @@ class ArithmeticService:
             "trajectories_spent_total",
             lambda: scheduler_stats()["trajectories_sampled"],
         )
+        # Per-backend kernel-cache traffic: one gauge per (tier, field)
+        # so mixed-precision traffic (numpy64 vs numpy32 requests, plus
+        # the dtype-independent "shared" pool) is observable.
+        from ..sim.program import kernel_cache_stats
+
+        def _kernel_tier_gauge(tier: str, field: str) -> Callable[[], float]:
+            def read() -> float:
+                by_backend = kernel_cache_stats()["by_backend"]
+                assert isinstance(by_backend, dict)
+                return float(by_backend.get(tier, {}).get(field, 0))
+
+            return read
+
+        for tier in ("numpy64", "numpy32", "shared"):
+            for field in ("hits", "misses", "bytes"):
+                self.metrics.register_gauge(
+                    f"kernel_cache_{tier}_{field}",
+                    _kernel_tier_gauge(tier, field),
+                )
 
     # -- lifecycle --------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:

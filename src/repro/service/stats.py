@@ -26,14 +26,25 @@ def cache_stats_snapshot(
     * ``kernel_cache`` — the process-wide materialised-kernel LRU;
     * ``program_lru`` — the per-cell memo on
       :func:`repro.experiments.runner.build_compiled_program`;
+    * ``ptm_cache`` — the PTM engine's bound-plan cache;
+    * ``backend`` — the active :mod:`repro.sim.backend` tier (name,
+      dtype, GPU flag, and the requested name when a GPU tier degraded
+      to its NumPy fallback);
     * ``result_cache`` — the service's content-addressed response
       cache, when one is supplied.
+
+    The ``kernel_cache`` entry includes a ``by_backend`` breakdown
+    (hits/misses/entries/bytes per tier) so mixed-precision service
+    traffic is observable.
     """
     from ..experiments.runner import (
         build_arithmetic_circuit,
         build_compiled_program,
     )
+    from ..runtime.envutil import env_str
+    from ..sim.backend import BACKEND_ENV, DEFAULT_BACKEND, active_backend
     from ..sim.program import compile_cache_stats, kernel_cache_stats
+    from ..sim.ptm import ptm_cache_stats
 
     def _lru(fn: Any) -> Dict[str, int]:
         info = fn.cache_info()
@@ -44,9 +55,13 @@ def cache_stats_snapshot(
             "maxsize": info.maxsize,
         }
 
+    backend = active_backend().describe()
+    backend["requested"] = env_str(BACKEND_ENV, DEFAULT_BACKEND).lower()
     snapshot: Dict[str, Any] = {
+        "backend": backend,
         "compile_cache": compile_cache_stats().as_dict(),
         "kernel_cache": kernel_cache_stats(),
+        "ptm_cache": dict(ptm_cache_stats()),
         "program_lru": _lru(build_compiled_program),
         "circuit_lru": _lru(build_arithmetic_circuit),
     }

@@ -52,6 +52,7 @@ import numpy as np
 from ..runtime import sanitizer
 from ..runtime.envutil import env_mb_bytes
 from ..runtime.health import check_norms, norm_tolerance
+from .backend import get_backend, resolve_complex_dtype
 from .ops import BitCache, apply_pauli_string_rows, probabilities
 from .program import CompiledProgram, _mono_apply_rows
 from .result import Counts
@@ -343,7 +344,7 @@ class FusedTrajectoryScheduler:
         rounds: int = 4,
         delta: float = 0.0,
         max_batch_rows: Optional[int] = None,
-        dtype=np.complex128,
+        dtype=None,
     ) -> None:
         if rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
@@ -359,7 +360,7 @@ class FusedTrajectoryScheduler:
         self.rounds = int(rounds) if adaptive else 1
         self.delta = float(delta)
         self.max_batch_rows = max_batch_rows
-        self.dtype = dtype
+        self.dtype = resolve_complex_dtype(dtype)
         self._bits = BitCache()
         self._chunks_run = 0
         self._chunk_rows_run = 0
@@ -569,7 +570,14 @@ class FusedTrajectoryScheduler:
             layouts.append((plan, height, ref, eventful))
             height += 1 + len(eventful)
 
-        buf = np.empty((height, dim), dtype=self.dtype)
+        # Chunk allocation goes through the backend so device tiers
+        # can swap the buffer without touching the walk below.
+        buf = (
+            get_backend().empty((height, dim))
+            if np.dtype(self.dtype)
+            == np.dtype(get_backend().complex_dtype)
+            else np.empty((height, dim), dtype=self.dtype)
+        )
         events: List[tuple] = [()] * height
         for plan, start, _ref, eventful in layouts:
             init = plan.task.initial_state
@@ -632,7 +640,8 @@ class FusedTrajectoryScheduler:
                         p = pos_of[ordinal]
                         if p > pos:
                             _mono_apply_rows(
-                                buf, (i,), seg.partial(n, pos, p),
+                                buf, (i,),
+                                seg.partial(n, pos, p, buf.dtype),
                                 row_scratch,
                             )
                             pos = p
@@ -644,11 +653,14 @@ class FusedTrajectoryScheduler:
                     cursor[i] = c
                     if pos < n_elems:
                         _mono_apply_rows(
-                            buf, (i,), seg.partial(n, pos, n_elems),
+                            buf, (i,),
+                            seg.partial(n, pos, n_elems, buf.dtype),
                             row_scratch,
                         )
             if n_elems and idle:
-                _mono_apply_rows(buf, idle, seg.full(n), row_scratch)
+                _mono_apply_rows(
+                    buf, idle, seg.full(n, buf.dtype), row_scratch
+                )
             ordinal_base = hi
         check_norms(
             buf, "batched trajectory scheduler",

@@ -22,7 +22,8 @@ from ..noise.channels import (
 )
 from ..noise.model import NoiseModel
 from ..noise.pauli import PAULI_MATRICES
-from ..runtime.health import check_trace
+from ..runtime.health import check_trace, norm_tolerance
+from .backend import as_complex, resolve_complex_dtype
 from .ops import apply_gate_matrix
 from .program import CompiledProgram, DiagonalOp, RawGateOp, _term_instruction
 from .result import Distribution
@@ -35,7 +36,7 @@ class DensityMatrix:
 
     def __init__(self, data: np.ndarray, num_qubits: int) -> None:
         dim = 1 << num_qubits
-        data = np.asarray(data, dtype=complex)
+        data = as_complex(data)
         if data.shape != (dim, dim):
             raise ValueError(f"rho has shape {data.shape}, expected {(dim, dim)}")
         self.data = data
@@ -44,7 +45,7 @@ class DensityMatrix:
     @classmethod
     def from_statevector(cls, vec: np.ndarray, num_qubits: int) -> "DensityMatrix":
         """|psi><psi| from a pure state vector."""
-        v = np.asarray(vec, dtype=complex).reshape(-1)
+        v = as_complex(vec).reshape(-1)
         return cls(np.outer(v, v.conj()), num_qubits)
 
     def probabilities(self) -> Distribution:
@@ -59,7 +60,7 @@ class DensityMatrix:
 
     def fidelity_with_pure(self, vec: np.ndarray) -> float:
         """<psi| rho |psi> — Jozsa fidelity against a pure target."""
-        v = np.asarray(vec, dtype=complex).reshape(-1)
+        v = as_complex(vec).reshape(-1)
         return float(np.real(v.conj() @ self.data @ v))
 
     def __repr__(self) -> str:
@@ -96,8 +97,8 @@ class DensityMatrixEngine:
     #: refuse above this size (4**n memory blow-up)
     max_qubits = 13
 
-    def __init__(self, dtype=np.complex128) -> None:
-        self.dtype = dtype
+    def __init__(self, dtype=None) -> None:
+        self.dtype = resolve_complex_dtype(dtype)
 
     def run(
         self,
@@ -129,7 +130,7 @@ class DensityMatrixEngine:
             rho = np.outer(vec, vec.conj())
         if isinstance(circuit, CompiledProgram):
             rho = self._run_program_rho(rho, circuit, n)
-            check_trace(rho, "density engine")
+            check_trace(rho, "density engine", atol=norm_tolerance(rho.dtype))
             return DensityMatrix(rho, n)
         noise = noise_model or NoiseModel.ideal()
 
@@ -143,7 +144,7 @@ class DensityMatrixEngine:
             rho = _apply_unitary_rho(rho, instr.gate.matrix, instr.qubits, n)
             for err in noise.gate_errors(instr):
                 rho = self._apply_error(rho, err, instr, n)
-        check_trace(rho, "density engine")
+        check_trace(rho, "density engine", atol=norm_tolerance(rho.dtype))
         return DensityMatrix(rho, n)
 
     def _run_program_rho(
@@ -156,7 +157,7 @@ class DensityMatrixEngine:
                 if isinstance(op, DiagonalOp):
                     # rho -> D rho D^dag: rho_ij *= d_i conj(d_j),
                     # as two broadcast passes (no dim x dim temporary).
-                    d = op.diag(n)
+                    d = op.diag(n, rho.dtype)
                     rho = rho * d[:, None]
                     rho *= d.conj()[None, :]
                 elif isinstance(op, RawGateOp):
@@ -237,8 +238,8 @@ class DensityMatrixEngine:
         return _apply_kraus_rho(rho, err.kraus_operators(), qubits, n)
 
     def _reset_qubit(self, rho: np.ndarray, q: int, n: int) -> np.ndarray:
-        k0 = np.array([[1, 0], [0, 0]], dtype=complex)
-        k1 = np.array([[0, 1], [0, 0]], dtype=complex)
+        k0 = as_complex([[1, 0], [0, 0]])
+        k1 = as_complex([[0, 1], [0, 0]])
         return _apply_kraus_rho(rho, [k0, k1], (q,), n)
 
 
@@ -250,7 +251,7 @@ def _apply_readout_table_to_distribution(
         return dist
     p = dist.probs.reshape(1, -1).astype(complex)
     for q, p01, p10 in readout:
-        A = np.array([[1 - p01, p10], [p01, 1 - p10]], dtype=complex)
+        A = as_complex([[1 - p01, p10], [p01, 1 - p10]])
         p = apply_gate_matrix(p, A, (q,), n)
     return Distribution(np.real(p[0]), n)
 

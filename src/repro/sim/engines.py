@@ -18,6 +18,7 @@ from ..noise.model import NoiseModel
 from .density import DensityMatrixEngine
 from .perturbative import PerturbativeEngine
 from .program import CompiledProgram
+from .ptm import PTMEngine
 from .result import Counts, Distribution
 from .statevector import StatevectorEngine
 from .trajectories import TrajectoryEngine
@@ -59,14 +60,18 @@ def simulate_distribution(
     method: str = "auto",
     max_order: int = 1,
     initial_state: Optional[np.ndarray] = None,
+    dtype=None,
 ) -> Distribution:
     """Exact (or deterministic-approximate) outcome distribution.
 
-    ``method`` in {"auto", "statevector", "density", "perturbative"}.
-    The trajectory engine is excluded here because its output is
-    stochastic — use :func:`simulate_counts` for sampled results; in
-    auto mode a circuit that would dispatch to the trajectory engine is
-    computed perturbatively instead.  The *resolved* engine name is
+    ``method`` in {"auto", "statevector", "density", "ptm",
+    "perturbative"}.  The trajectory engine is excluded here because
+    its output is stochastic — use :func:`simulate_counts` for sampled
+    results; in auto mode a circuit that would dispatch to the
+    trajectory engine is computed perturbatively instead.  ``"ptm"``
+    is the Pauli-transfer-matrix exact lane (:mod:`repro.sim.ptm`) —
+    identical output contract to ``"density"`` with pre-compiled
+    superoperators.  The *resolved* engine name is
     recorded on the result as ``Distribution.method``, so callers can
     see (and tests can assert) which engine actually ran — previously
     the trajectory->perturbative substitution happened silently.
@@ -86,16 +91,25 @@ def simulate_distribution(
             method = "perturbative"
     is_program = isinstance(circuit, CompiledProgram)
     if method == "statevector":
-        dist = StatevectorEngine().distribution(circuit, initial_state)
+        dist = StatevectorEngine(dtype=dtype).distribution(
+            circuit, initial_state
+        )
     elif method == "density":
         # Readout folding happens inside the density path already.
-        dist = DensityMatrixEngine().distribution(
+        dist = DensityMatrixEngine(dtype=dtype).distribution(
+            circuit, noise_model, initial_state
+        )
+        dist.method = method
+        return dist
+    elif method == "ptm":
+        # Readout folds inside the PTM path too (compiled table).
+        dist = PTMEngine(dtype=dtype).distribution(
             circuit, noise_model, initial_state
         )
         dist.method = method
         return dist
     elif method == "perturbative":
-        dist = PerturbativeEngine(max_order=max_order).distribution(
+        dist = PerturbativeEngine(max_order=max_order, dtype=dtype).distribution(
             circuit, noise_model, initial_state
         )
     else:
@@ -121,15 +135,17 @@ def simulate_counts(
     seed: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     initial_state: Optional[np.ndarray] = None,
-    dtype=np.complex128,
+    dtype=None,
     split_clean: bool = True,
     dedup: bool = False,
 ) -> Counts:
     """Sampled measurement counts over all qubits.
 
     The harness's single entry point.  ``method`` in {"auto",
-    "statevector", "density", "trajectory", "perturbative"}; non-
-    trajectory methods compute the exact distribution and sample it.
+    "statevector", "density", "ptm", "trajectory", "perturbative"};
+    non-trajectory methods compute the exact distribution and sample
+    it.  ``dtype=None`` resolves through the active
+    :mod:`~repro.sim.backend` (``REPRO_BACKEND``).
     ``split_clean`` toggles the trajectory engine's exact ideal/erred
     ensemble split (see :mod:`repro.sim.trajectories`); ``dedup``
     routes Pauli-only trajectory runs through the batched scheduler,
@@ -160,7 +176,8 @@ def simulate_counts(
         counts.method = method
     else:
         dist = simulate_distribution(
-            circuit, noise_model, method=method, initial_state=initial_state
+            circuit, noise_model, method=method,
+            initial_state=initial_state, dtype=dtype,
         )
         counts = dist.sample(shots, rng)
         counts.method = dist.method

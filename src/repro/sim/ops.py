@@ -347,9 +347,21 @@ def apply_pauli_string_rows(
             apply_pauli_rows(state, ch, qubits[pos], rows, n, bits)
 
 
-def probabilities(state: np.ndarray) -> np.ndarray:
-    """Measurement probabilities ``|amp|**2`` per batch row, renormalised."""
+def probabilities(state: np.ndarray, clip_tol: float = 1e-6) -> np.ndarray:
+    """Measurement probabilities ``|amp|**2`` per batch row, renormalised.
+
+    The returned array is always float64: on the low-precision tier
+    (complex64 states) the squared magnitudes are promoted before the
+    row sums, then clipped into ``[0, 1 + clip_tol]`` so float32 drift
+    can never hand the samplers negative or >1 mass.  On complex128
+    input the float64 path is the historical one bit-for-bit (the clip
+    is skipped — ``|amp|**2`` is nonnegative by construction and the
+    renormalising divide already bounds the mass).
+    """
     p = np.abs(state) ** 2
+    if p.dtype != np.float64:
+        p = p.astype(np.float64)
+        np.clip(p, 0.0, 1.0 + clip_tol, out=p)
     norm = p.sum(axis=1, keepdims=True)
     # Guard against drift from long gate sequences.
     np.divide(p, norm, out=p, where=norm > 0)

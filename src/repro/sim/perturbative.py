@@ -32,6 +32,7 @@ from ..circuits.circuit import Instruction, QuantumCircuit
 from ..noise.channels import PauliError
 from ..noise.model import NoiseModel
 from ..runtime.health import NumericalHealthError, check_finite
+from .backend import resolve_complex_dtype
 from .ops import apply_instruction, apply_pauli_rows, probabilities, BitCache
 from .program import CompiledProgram
 from .result import Distribution
@@ -87,11 +88,11 @@ class PerturbativeEngine:
         intentionally not implemented — use the trajectory engine there.)
     """
 
-    def __init__(self, max_order: int = 1, dtype=np.complex128) -> None:
+    def __init__(self, max_order: int = 1, dtype=None) -> None:
         if max_order not in (0, 1):
             raise ValueError("max_order must be 0 or 1")
         self.max_order = int(max_order)
-        self.dtype = dtype
+        self.dtype = resolve_complex_dtype(dtype)
         self._bits = BitCache()
 
     def distribution(

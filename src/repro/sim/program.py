@@ -59,6 +59,7 @@ from ..circuits.gates import is_diagonal_gate, phase_on_ones
 from ..noise.channels import PauliError, QuantumError, ResetError
 from ..noise.model import NoiseModel
 from ..runtime.envutil import env_mb_bytes
+from .backend import canonical_complex, dtype_tag, kernel_group
 from .ops import _GLOBAL_BITS, _apply_phase_on_mask, apply_instruction
 
 __all__ = [
@@ -97,6 +98,11 @@ class KernelCache:
 
     Keys are pure-value tuples (kind, n, descriptors...), so identical
     gates anywhere — across ops, programs, engines — share one array.
+    Dtype-dependent kernels carry their :func:`~repro.sim.backend.
+    dtype_tag` in the key, so a float32 kernel can never collide with
+    a float64 one; ``group`` attributes each entry to a backend tier
+    for the per-backend hit/miss/bytes breakdown ("shared" covers
+    dtype-independent kernels such as index permutations).
     """
 
     def __init__(self, budget_bytes: Optional[int] = None) -> None:
@@ -105,13 +111,25 @@ class KernelCache:
         self.budget_bytes = budget_bytes
         self._entries: Dict[tuple, object] = {}
         self._nbytes: Dict[tuple, int] = {}
+        self._group_of: Dict[tuple, str] = {}
         self._lock = threading.RLock()
         self.total_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.groups: Dict[str, Dict[str, int]] = {}
 
-    def get(self, key: tuple, builder) -> object:
+    def _group_counters(self, group: str) -> Dict[str, int]:
+        # Reentrant: every caller already holds self._lock (an RLock),
+        # so this stands alone safely too.
+        with self._lock:
+            g = self.groups.get(group)
+            if g is None:
+                g = {"hits": 0, "misses": 0, "entries": 0, "bytes": 0}
+                self.groups[group] = g
+            return g
+
+    def get(self, key: tuple, builder, group: str = "shared") -> object:
         # The whole read-modify-write (recency refresh, eviction loop,
         # byte accounting) must be atomic: thread-tier executor workers
         # share this instance.  A duplicate builder() run under
@@ -121,6 +139,7 @@ class KernelCache:
             value = self._entries.get(key)
             if value is not None:
                 self.hits += 1
+                self._group_counters(group)["hits"] += 1
                 # Refresh recency (dicts preserve insertion order).
                 del self._entries[key]
                 self._entries[key] = value
@@ -136,26 +155,44 @@ class KernelCache:
                 and self._entries
             ):
                 old_key = next(iter(self._entries))
-                self.total_bytes -= self._nbytes.pop(old_key)
+                old_bytes = self._nbytes.pop(old_key)
+                self.total_bytes -= old_bytes
                 del self._entries[old_key]
+                old_group = self._group_counters(self._group_of.pop(old_key))
+                old_group["entries"] -= 1
+                old_group["bytes"] -= old_bytes
                 self.evictions += 1
             self._entries[key] = value
             self._nbytes[key] = nbytes
+            self._group_of[key] = group
             self.total_bytes += nbytes
+            g = self._group_counters(group)
+            g["misses"] += 1
+            g["entries"] += 1
+            g["bytes"] += nbytes
             return value
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._nbytes.clear()
+            self._group_of.clear()
             self.total_bytes = 0
+            for g in self.groups.values():
+                g["entries"] = 0
+                g["bytes"] = 0
 
 
 _KERNELS = KernelCache()
 
 
-def kernel_cache_stats() -> Dict[str, int]:
-    """Hit/miss/byte counters of the process-wide kernel cache."""
+def kernel_cache_stats() -> Dict[str, object]:
+    """Hit/miss/byte counters of the process-wide kernel cache.
+
+    ``by_backend`` breaks hits/misses/entries/bytes down per backend
+    tier (``numpy64``/``numpy32``/``shared``) so mixed-tier traffic is
+    observable from ``/stats``, ``/metrics`` and ``cache-stats``.
+    """
     with _KERNELS._lock:
         return {
             "hits": _KERNELS.hits,
@@ -163,18 +200,25 @@ def kernel_cache_stats() -> Dict[str, int]:
             "evictions": _KERNELS.evictions,
             "total_bytes": _KERNELS.total_bytes,
             "entries": len(_KERNELS._entries),
+            "by_backend": {
+                group: dict(g) for group, g in sorted(_KERNELS.groups.items())
+            },
         }
 
 
-def _build_diag(n: int, terms: Tuple[Term, ...]) -> np.ndarray:
+def _build_diag(
+    n: int, terms: Tuple[Term, ...], dtype=None
+) -> np.ndarray:
     """The full ``2**n`` phase vector of a run of diagonal gates.
 
     Each term multiplies in exactly the factor the interpreter kernel
     would have applied (``np.where`` for rz, a masked scalar for the
     phase-on-ones family), so a single-term vector reproduces the
-    interpreter bit-for-bit.
+    interpreter bit-for-bit.  The vector is always *built* at the
+    canonical complex128 and cast once for lower tiers — the float32
+    kernel is the rounded exact kernel, not a float32 accumulation.
     """
-    diag = np.ones(1 << n, dtype=np.complex128)
+    diag = np.ones(1 << n, dtype=canonical_complex)
     for name, qubits, params in terms:
         if name == "rz":
             lam = params[0]
@@ -195,6 +239,8 @@ def _build_diag(n: int, terms: Tuple[Term, ...]) -> np.ndarray:
         for pos, t in enumerate(qubits):
             idx |= ((np.arange(1 << n, dtype=np.intp) >> t) & 1) << pos
         diag *= sub[idx]
+    if dtype is not None and np.dtype(dtype) != np.dtype(canonical_complex):
+        diag = diag.astype(dtype)
     diag.setflags(write=False)
     return diag
 
@@ -247,13 +293,14 @@ def _build_perm_indices(
 
 
 def _perm_indices(n: int, name: str, qubits: Tuple[int, ...]) -> np.ndarray:
+    # Index maps are dtype-independent: one entry serves every tier.
     return _KERNELS.get(
         ("perm", n, name, qubits),
         lambda: _build_perm_indices(n, name, qubits),
     )
 
 
-def _mono_compose(cur, op: "ProgramOp", n: int):
+def _mono_compose(cur, op: "ProgramOp", n: int, dtype=None):
     """Compose ``op`` (applied after) onto the monomial ``cur``.
 
     Cached kernel arrays are never mutated: every step produces fresh
@@ -261,7 +308,7 @@ def _mono_compose(cur, op: "ProgramOp", n: int):
     """
     src, ph = cur
     if isinstance(op, DiagonalOp):
-        d = op.diag(n)
+        d = op.diag(n, dtype)
         return src, (d if ph is None else ph * d)
     t = _perm_indices(n, op.name, op.qubits)
     return (
@@ -270,9 +317,9 @@ def _mono_compose(cur, op: "ProgramOp", n: int):
     )
 
 
-def _compose_elems(cur, elems, n: int):
+def _compose_elems(cur, elems, n: int, dtype=None):
     for op in elems:
-        cur = _mono_compose(cur, op, n)
+        cur = _mono_compose(cur, op, n, dtype)
     return cur
 
 
@@ -364,11 +411,14 @@ class DiagonalOp(ProgramOp):
     def __init__(self, terms: Iterable[Term]) -> None:
         self.terms = tuple(terms)
 
-    def diag(self, n: int) -> np.ndarray:
+    def diag(self, n: int, dtype=None) -> np.ndarray:
+        tag = dtype_tag(canonical_complex if dtype is None else dtype)
         if len(self.terms) == 1:
-            return _build_diag(n, self.terms)
+            return _build_diag(n, self.terms, dtype)
         return _KERNELS.get(
-            ("diag", n, self.terms), lambda: _build_diag(n, self.terms)
+            ("diag", n, self.terms, tag),
+            lambda: _build_diag(n, self.terms, dtype),
+            group=kernel_group(tag),
         )
 
     def apply(self, state: np.ndarray, n: int) -> None:
@@ -385,7 +435,7 @@ class DiagonalOp(ProgramOp):
             if phase is not None:
                 _apply_phase_on_mask(state, phase, qubits, n)
                 return
-        state *= self.diag(n)
+        state *= self.diag(n, state.dtype)
 
     def term_list(self) -> Tuple[Term, ...]:
         return self.terms
@@ -596,13 +646,21 @@ class _MonoSegment:
             for e in elems
         )
 
-    def full(self, n: int):
-        """The run's composed monomial ``(src, ph)`` (kernel-cached)."""
+    def full(self, n: int, dtype=None):
+        """The run's composed monomial ``(src, ph)`` (kernel-cached).
+
+        ``dtype`` selects the precision tier of the phase component;
+        keys carry the dtype tag so tiers never share (or pollute)
+        entries.
+        """
+        tag = dtype_tag(canonical_complex if dtype is None else dtype)
         return _KERNELS.get(
-            self.key, lambda: _compose_elems((None, None), self.elems, n)
+            self.key + (tag,),
+            lambda: _compose_elems((None, None), self.elems, n, dtype),
+            group=kernel_group(tag),
         )
 
-    def partial(self, n: int, start: int, end: int):
+    def partial(self, n: int, start: int, end: int, dtype=None):
         """The composed monomial of ``elems[start:end]`` (kernel-cached).
 
         The batched scheduler walks a firing row piecewise between its
@@ -612,12 +670,14 @@ class _MonoSegment:
         cache entry), so event-free spans pay nothing extra.
         """
         if start == 0 and end == len(self.elems):
-            return self.full(n)
+            return self.full(n, dtype)
+        tag = dtype_tag(canonical_complex if dtype is None else dtype)
         return _KERNELS.get(
-            (self.key, start, end),
+            (self.key, start, end, tag),
             lambda: _compose_elems(
-                (None, None), self.elems[start:end], n
+                (None, None), self.elems[start:end], n, dtype
             ),
+            group=kernel_group(tag),
         )
 
     def __repr__(self) -> str:

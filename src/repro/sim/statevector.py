@@ -13,6 +13,7 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..runtime.health import check_norms
+from .backend import as_complex, get_backend, resolve_complex_dtype
 from .ops import apply_instruction, probabilities
 from .program import CompiledProgram
 from .result import Distribution
@@ -21,10 +22,19 @@ __all__ = ["StatevectorEngine", "Statevector", "zero_state", "evolve_batch"]
 
 
 def zero_state(
-    num_qubits: int, batch: int = 1, dtype=np.complex128
+    num_qubits: int, batch: int = 1, dtype=None
 ) -> np.ndarray:
-    """The ``(batch, 2**n)`` all-|0> state array."""
-    state = np.zeros((batch, 1 << num_qubits), dtype=dtype)
+    """The ``(batch, 2**n)`` all-|0> state array.
+
+    ``dtype=None`` resolves through the active
+    :mod:`~repro.sim.backend` (``REPRO_BACKEND``); an explicit dtype
+    pins the tier for this allocation.
+    """
+    backend = get_backend()
+    if dtype is not None and np.dtype(dtype) != np.dtype(backend.complex_dtype):
+        state = np.zeros((batch, 1 << num_qubits), dtype=dtype)
+    else:
+        state = backend.zeros((batch, 1 << num_qubits))
     state[:, 0] = 1.0
     return state
 
@@ -65,7 +75,7 @@ class Statevector:
     """A single pure state with measurement helpers."""
 
     def __init__(self, data: np.ndarray, num_qubits: int) -> None:
-        data = np.asarray(data, dtype=complex).reshape(-1)
+        data = as_complex(data).reshape(-1)
         if data.shape != (1 << num_qubits,):
             raise ValueError(
                 f"state has {data.shape[0]} amplitudes, expected {1 << num_qubits}"
@@ -76,7 +86,7 @@ class Statevector:
     @classmethod
     def from_int(cls, value: int, num_qubits: int) -> "Statevector":
         """Computational basis state |value>."""
-        data = np.zeros(1 << num_qubits, dtype=complex)
+        data = as_complex(np.zeros(1 << num_qubits))
         data[value] = 1.0
         return cls(data, num_qubits)
 
@@ -100,8 +110,8 @@ class Statevector:
 class StatevectorEngine:
     """Exact, noiseless evolution of a single pure state."""
 
-    def __init__(self, dtype=np.complex128) -> None:
-        self.dtype = dtype
+    def __init__(self, dtype=None) -> None:
+        self.dtype = resolve_complex_dtype(dtype)
 
     def run(
         self,

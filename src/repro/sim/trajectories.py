@@ -51,6 +51,7 @@ from ..noise.channels import (
 )
 from ..noise.model import NoiseModel
 from ..runtime.health import check_norms, norm_tolerance
+from .backend import resolve_complex_dtype
 from .ops import (
     BitCache,
     apply_gate_matrix,
@@ -86,7 +87,7 @@ class TrajectoryEngine:
         trajectories: int = 128,
         seed: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
-        dtype=np.complex128,
+        dtype=None,
         split_clean: bool = True,
         use_program: bool = True,
         dedup: bool = False,
@@ -96,7 +97,7 @@ class TrajectoryEngine:
         self.trajectories = int(trajectories)
         # repro: allow[DET001] reason=public API convenience; result paths construct the runner with an explicit per-cell Generator
         self.rng = rng if rng is not None else np.random.default_rng(seed)
-        self.dtype = dtype
+        self.dtype = resolve_complex_dtype(dtype)
         self.split_clean = bool(split_clean)
         self.use_program = bool(use_program)
         self.dedup = bool(dedup)
@@ -378,7 +379,7 @@ class TrajectoryEngine:
                 kv += m
             if not events:
                 if seg.elems:
-                    _mono_apply(buf[:live], seg.full(n), scratch[:live])
+                    _mono_apply(buf[:live], seg.full(n, buf.dtype), scratch[:live])
                 continue
             # -- active rows: fire rows + fork source/targets ------------
             active = set()
@@ -395,7 +396,8 @@ class TrajectoryEngine:
                         buf,
                         walking,
                         _compose_elems(
-                            (None, None), seg.elems[pos:elem_pos], n
+                            (None, None), seg.elems[pos:elem_pos], n,
+                            buf.dtype,
                         ),
                         row_scratch,
                     )
@@ -414,15 +416,19 @@ class TrajectoryEngine:
                 _mono_apply_rows(
                     buf,
                     walking,
-                    seg.full(n)
+                    seg.full(n, buf.dtype)
                     if pos == 0
-                    else _compose_elems((None, None), seg.elems[pos:], n),
+                    else _compose_elems(
+                        (None, None), seg.elems[pos:], n, buf.dtype
+                    ),
                     row_scratch,
                 )
             if seg.elems:
                 idle = [r for r in range(live) if r not in active]
                 if idle:
-                    _mono_apply_rows(buf, idle, seg.full(n), row_scratch)
+                    _mono_apply_rows(
+                        buf, idle, seg.full(n, buf.dtype), row_scratch
+                    )
         return k
 
     def _scatter_paulis(

@@ -18,7 +18,15 @@ from repro.sim import StatevectorEngine
 
 from conftest import basis_input, register_value
 
-ENG = StatevectorEngine()
+
+@pytest.fixture(autouse=True)
+def _canonical_backend(monkeypatch):
+    """Float64 exactness oracles: pin the canonical tier so a
+    ``REPRO_BACKEND`` matrix lane doesn't widen their tolerances."""
+    monkeypatch.setenv("REPRO_BACKEND", "numpy64")
+
+
+ENG = StatevectorEngine(dtype=np.complex128)
 
 
 def run_add(circ, x, y):

@@ -338,6 +338,138 @@ class TestRace001:
         assert ids(report) == []
 
 
+# ---------------------------------------------------------------------------
+# DTYPE: backend-seam discipline
+# ---------------------------------------------------------------------------
+
+class TestDtype001:
+    def test_alloc_with_dtype_kwarg(self):
+        report = run("""
+            import numpy as np
+
+            def state(n):
+                return np.zeros(1 << n, dtype=np.complex128)
+        """)
+        assert ids(report) == ["DTYPE001"]
+
+    def test_alloc_with_string_dtype(self):
+        report = run("""
+            import numpy as np
+
+            def state(n):
+                return np.empty(1 << n, dtype="complex64")
+        """)
+        assert ids(report) == ["DTYPE001"]
+
+    def test_alloc_with_builtin_complex(self):
+        report = run("""
+            import numpy as np
+
+            def state(n):
+                return np.ones(1 << n, dtype=complex)
+        """)
+        assert ids(report) == ["DTYPE001"]
+
+    def test_positional_dtype(self):
+        report = run("""
+            import numpy as np
+
+            def convert(data):
+                return np.array(data, np.complex64)
+        """)
+        assert ids(report) == ["DTYPE001"]
+
+    def test_from_import_alias(self):
+        report = run("""
+            from numpy import asarray, complex128
+
+            def convert(data):
+                return asarray(data, dtype=complex128)
+        """)
+        assert ids(report) == ["DTYPE001"]
+
+    def test_threaded_dtype_is_clean(self):
+        # The sanctioned pattern: dtype comes from the caller/backend.
+        report = run("""
+            import numpy as np
+
+            def state(n, dtype=None):
+                return np.zeros(1 << n, dtype=dtype)
+        """)
+        assert ids(report) == []
+
+    def test_real_dtype_is_clean(self):
+        report = run("""
+            import numpy as np
+
+            def probs(n):
+                return np.zeros(1 << n, dtype=np.float64)
+        """)
+        assert ids(report) == []
+
+    def test_no_double_count_with_dtype002(self):
+        # A DTYPE001 site must not also report DTYPE002 for the same
+        # literal.
+        report = run("""
+            import numpy as np
+
+            def state(n):
+                return np.zeros(1 << n, dtype=np.complex128)
+        """)
+        assert ids(report).count("DTYPE002") == 0
+
+
+class TestDtype002:
+    def test_bare_literal(self):
+        report = run("""
+            import numpy as np
+
+            def is_wide(state):
+                return state.dtype == np.complex128
+        """)
+        assert ids(report) == ["DTYPE002"]
+
+    def test_shadowed_complex_name_is_clean(self):
+        # ``complex`` imported from elsewhere is not the builtin dtype.
+        report = run("""
+            import numpy as np
+            from mymath import complex
+
+            def convert(data):
+                return np.asarray(data, dtype=complex)
+        """)
+        assert ids(report) == []
+
+    def test_backend_module_exempt(self):
+        report = run("""
+            import numpy as np
+
+            canonical = np.complex128
+
+            def build():
+                return np.zeros(4, dtype=np.complex64)
+        """, module="repro.sim.backend")
+        assert ids(report) == []
+
+    def test_zone_gated(self):
+        report = run("""
+            import numpy as np
+
+            def state(n):
+                return np.zeros(1 << n, dtype=np.complex128)
+        """, module="repro.experiments.fixture")
+        assert ids(report) == []
+
+    def test_suppressible(self):
+        report = run("""
+            import numpy as np
+
+            def exact():
+                return np.complex128  # repro: allow[DTYPE002] reason=t
+        """)
+        assert ids(report) == []
+
+
 class TestRace002:
     def test_unlocked_global_item_write(self):
         report = run("""

@@ -15,7 +15,15 @@ from repro.core import QInteger, qfa_circuit
 from repro.experiments.instances import product_statevector
 from repro.sim import StatevectorEngine
 
-ENG = StatevectorEngine()
+
+@pytest.fixture(autouse=True)
+def _canonical_backend(monkeypatch):
+    """Float64 exactness oracles: pin the canonical tier so a
+    ``REPRO_BACKEND`` matrix lane doesn't widen their tolerances."""
+    monkeypatch.setenv("REPRO_BACKEND", "numpy64")
+
+
+ENG = StatevectorEngine(dtype=np.complex128)
 
 
 def bell_state():

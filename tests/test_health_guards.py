@@ -20,6 +20,13 @@ from repro.sim import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _canonical_backend(monkeypatch):
+    """Float64 exactness oracles: pin the canonical tier so a
+    ``REPRO_BACKEND`` matrix lane doesn't widen their tolerances."""
+    monkeypatch.setenv("REPRO_BACKEND", "numpy64")
+
+
 def _bell_circuit():
     qc = QuantumCircuit(2)
     qc.h(0)

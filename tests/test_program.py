@@ -59,6 +59,14 @@ _SETTINGS = settings(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
+
+@pytest.fixture(autouse=True)
+def _canonical_backend(monkeypatch):
+    """Float64 exactness oracles: pin the canonical tier so a
+    ``REPRO_BACKEND`` matrix lane doesn't widen their tolerances."""
+    monkeypatch.setenv("REPRO_BACKEND", "numpy64")
+
+
 _GATE_POOL = ["h", "x", "s", "t", "sx", "rz", "cp", "cx", "z", "cz",
               "swap", "ccx", "p", "tdg", "sdg"]
 

@@ -29,7 +29,15 @@ from repro.noise import PauliError, depolarizing_error
 from repro.sim import Counts, StatevectorEngine
 from repro.transpile import decompose_to_basis, optimize_circuit, zsx_sequence
 
-ENG = StatevectorEngine()
+
+@pytest.fixture(autouse=True)
+def _canonical_backend(monkeypatch):
+    """Float64 exactness oracles: pin the canonical tier so a
+    ``REPRO_BACKEND`` matrix lane doesn't widen their tolerances."""
+    monkeypatch.setenv("REPRO_BACKEND", "numpy64")
+
+
+ENG = StatevectorEngine(dtype=np.complex128)
 
 _SETTINGS = settings(
     max_examples=30,

@@ -7,7 +7,15 @@ from repro.circuits import QuantumCircuit
 from repro.core import QInteger, initialize_qinteger, mux_rotation_on, prepare_state
 from repro.sim import StatevectorEngine
 
-ENG = StatevectorEngine()
+
+@pytest.fixture(autouse=True)
+def _canonical_backend(monkeypatch):
+    """Float64 exactness oracles: pin the canonical tier so a
+    ``REPRO_BACKEND`` matrix lane doesn't widen their tolerances."""
+    monkeypatch.setenv("REPRO_BACKEND", "numpy64")
+
+
+ENG = StatevectorEngine(dtype=np.complex128)
 
 
 def fidelity_of_prep(target):
