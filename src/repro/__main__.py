@@ -130,6 +130,7 @@ def _cmd_sweep(args) -> int:
         backend=args.backend,
         batching=args.batching,
         label=args.label,
+        max_fragment_qubits=args.max_fragment_qubits,
     )
     retry = RetryPolicy(
         max_attempts=args.max_attempts,
@@ -366,15 +367,20 @@ def main(argv=None) -> int:
     p.add_argument(
         "--batching", choices=("off", "cell", "group"), default="off"
     )
+    from repro.sim.methods import METHODS, method_help
+
     p.add_argument(
         "--method",
-        choices=(
-            "auto", "statevector", "density", "ptm", "trajectory",
-            "perturbative",
-        ),
+        choices=METHODS,
         default="trajectory",
-        help="simulation engine per cell ('ptm' = pre-compiled "
-        "Pauli-transfer-matrix exact lane)",
+        help=f"simulation engine per cell: {method_help()}",
+    )
+    p.add_argument(
+        "--max-fragment-qubits",
+        type=int,
+        default=0,
+        help="method=cut: fragment-width budget for the cut searcher "
+        "(0 = subsystem default; see docs/cutting.md)",
     )
     p.add_argument(
         "--backend",

@@ -31,7 +31,7 @@ from .modinfo import AuditModule, RawFinding, dotted_name
 __all__ = ["check_dtype", "DTYPE_ZONE_PREFIXES", "DTYPE_EXEMPT_MODULES"]
 
 #: Modules whose allocations must route through the ArrayBackend.
-DTYPE_ZONE_PREFIXES = ("repro.sim",)
+DTYPE_ZONE_PREFIXES = ("repro.sim", "repro.cut")
 
 #: The dtype-policy seam itself: the only sim module allowed to name
 #: concrete complex dtypes.

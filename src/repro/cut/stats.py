@@ -1,0 +1,58 @@
+"""Process-wide counters for the cutting subsystem.
+
+Mirrors the compile/kernel/PTM cache counters: a locked module-level
+ledger surfaced through ``repro-arith cache-stats`` and the service's
+``/stats`` endpoint, so fragment traffic is observable wherever cut
+evaluations run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["record", "cut_stats", "reset_cut_stats"]
+
+_LOCK = threading.Lock()
+
+_COUNTERS: Dict[str, int] = {
+    #: cut plans built by the searcher
+    "plans": 0,
+    #: structural plans (register cut) among them
+    "plans_registers": 0,
+    #: generic wire-cut plans among them
+    "plans_wires": 0,
+    #: fragment circuits lowered through compile_circuit
+    "fragments_compiled": 0,
+    #: fragment variants (basis/value conditionings) evaluated
+    "variants_evaluated": 0,
+    #: full-register reconstructions performed
+    "reconstructions": 0,
+    #: fragment jobs executed in-process
+    "jobs_local": 0,
+    #: fragment jobs executed on a process pool
+    "jobs_pool": 0,
+    #: fragment jobs executed by fabric workers
+    "jobs_fabric": 0,
+    #: fabric jobs that fell back to local execution
+    "jobs_fabric_fallback": 0,
+}
+
+
+def record(name: str, amount: int = 1) -> None:
+    """Bump one counter (thread-safe)."""
+    with _LOCK:
+        _COUNTERS[name] += amount
+
+
+def cut_stats() -> Dict[str, int]:
+    """A consistent snapshot of every cut counter."""
+    with _LOCK:
+        return dict(_COUNTERS)
+
+
+def reset_cut_stats() -> None:
+    """Zero the ledger (tests and benchmarks)."""
+    with _LOCK:
+        for key in _COUNTERS:
+            _COUNTERS[key] = 0

@@ -20,7 +20,9 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from ..runtime.envutil import env_str
+from ..runtime.errors import width_limit_error
 from ..sim.backend import BACKEND_NAMES
+from ..sim.methods import METHODS
 
 __all__ = [
     "SweepConfig",
@@ -30,10 +32,21 @@ __all__ = [
     "SWEEP_METHODS",
 ]
 
-#: Engines a sweep config may name (validated in __post_init__).
-SWEEP_METHODS = (
-    "auto", "statevector", "density", "ptm", "trajectory", "perturbative",
-)
+#: Engines a sweep config may name (validated in __post_init__) — the
+#: single method registry, shared with the service and the CLI.
+SWEEP_METHODS = METHODS
+
+def _dense_width_cap(method: str) -> Optional[int]:
+    """The dense engine's qubit cap for ``method`` (None = uncapped)."""
+    if method == "density":
+        from ..sim.density import DensityMatrixEngine
+
+        return DensityMatrixEngine.max_qubits
+    if method == "ptm":
+        from ..sim.ptm import PTMEngine
+
+        return PTMEngine.max_qubits
+    return None
 
 
 @dataclass(frozen=True)
@@ -127,6 +140,16 @@ class SweepConfig:
     #: Max rows per fused state-buffer chunk; 0 = auto from the
     #: REPRO_BATCH_MB memory budget.
     batch_rows: int = 0
+    #: method="cut": fragment-width budget for the cut searcher
+    #: (0 = the subsystem default).  Ignored by other methods.
+    max_fragment_qubits: int = 0
+
+    @property
+    def total_qubits(self) -> int:
+        """Full register width of this config's circuit."""
+        if self.operation == "add":
+            return self.n + self.m
+        return 2 * (self.n + self.m)
 
     def __post_init__(self):
         if self.operation not in ("add", "mul"):
@@ -156,6 +179,13 @@ class SweepConfig:
             raise ValueError("adaptive_delta must be in [0, 1)")
         if self.batch_rows < 0:
             raise ValueError("batch_rows must be >= 0")
+        if self.max_fragment_qubits < 0:
+            raise ValueError("max_fragment_qubits must be >= 0")
+        cap = _dense_width_cap(self.method)
+        if cap is not None and self.total_qubits > cap:
+            raise width_limit_error(
+                f"{self.method} sweep admission", cap, self.total_qubits
+            )
 
     def with_overrides(self, **kwargs) -> "SweepConfig":
         """A copy with the given fields replaced."""

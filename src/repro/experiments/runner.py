@@ -85,10 +85,15 @@ def noise_model_for(
     if rate <= 0.0:
         return NoiseModel.ideal()
     if error_axis == "1q":
-        return NoiseModel.depolarizing(p1q=rate, convention=convention)
-    if error_axis == "2q":
-        return NoiseModel.depolarizing(p2q=rate, convention=convention)
-    raise ValueError(f"unknown error axis {error_axis!r}")
+        model = NoiseModel.depolarizing(p1q=rate, convention=convention)
+    elif error_axis == "2q":
+        model = NoiseModel.depolarizing(p2q=rate, convention=convention)
+    else:
+        raise ValueError(f"unknown error axis {error_axis!r}")
+    # Tag the sweep spec so fragment jobs (repro.cut) can ship this
+    # model to fabric workers by value.
+    model.sweep_spec = (error_axis, float(rate), convention)
+    return model
 
 
 def config_dtype(config: SweepConfig):
@@ -132,17 +137,21 @@ def run_instance(
     method: str = "trajectory",
     program: Optional[CompiledProgram] = None,
     dtype=None,
+    cut=None,
 ) -> InstanceOutcome:
     """Simulate one instance and apply the paper's success criterion.
 
     When ``program`` is given the precompiled form is executed directly
     (skipping per-instance lowering); ``circuit``/``noise`` still define
     the semantics and must be the pair the program was compiled from.
+    ``method="cut"`` always takes the raw circuit (fragments re-lower
+    individually) and ideal rows stay on the cut path so wide registers
+    never touch a full-width statevector.
     """
-    if noise.is_ideal:
+    if noise.is_ideal and method != "cut":
         method = "statevector"
     counts = simulate_counts(
-        program if program is not None else circuit,
+        circuit if method == "cut" or program is None else program,
         noise,
         shots=shots,
         method=method,
@@ -150,6 +159,7 @@ def run_instance(
         rng=rng,
         initial_state=instance.initial_statevector(),
         dtype=dtype,
+        cut=cut,
     )
     return evaluate_instance(counts, instance.correct_outcomes())
 
@@ -177,6 +187,12 @@ class PointResult:
     #: adaptive allocation, decided-early instances spend fewer.  0 when
     #: unknown (legacy / non-batched results).
     trajectories_spent: int = 0
+    #: method="cut": fragments in the cut plan (0 = point not cut).
+    num_fragments: int = 0
+    #: method="cut": wire/register cuts the plan made.
+    cut_count: int = 0
+    #: method="cut": fragment variants evaluated across all instances.
+    variants_evaluated: int = 0
 
 
 def run_point(
@@ -202,6 +218,10 @@ def run_point(
         config.operation, config.n, config.m, depth
     )
     noise = noise_model_for(config.error_axis, error_rate, config.convention)
+    if config.method == "cut":
+        return _run_point_cut(
+            config, instances, error_rate, depth, circuit, noise, rng
+        )
     if program is None:
         program = build_compiled_program(
             config.operation, config.n, config.m, depth,
@@ -228,6 +248,60 @@ def run_point(
         summary=summarize(outcomes),
         outcomes=tuple(outcomes),
         program_fingerprint=program.fingerprint,
+    )
+
+
+def _run_point_cut(
+    config: SweepConfig,
+    instances: List[ArithmeticInstance],
+    error_rate: float,
+    depth: Optional[int],
+    circuit: QuantumCircuit,
+    noise: NoiseModel,
+    rng: np.random.Generator,
+) -> PointResult:
+    """The cut-method cell path: fragments instead of full-width engines.
+
+    Never compiles the full-width program (a >=16-qubit register is the
+    whole point); fragment metadata from the actual evaluations lands on
+    the :class:`PointResult` so journals record cut traffic.
+    """
+    from ..cut import CutConfig
+
+    cut_cfg = (
+        CutConfig(max_fragment_qubits=config.max_fragment_qubits)
+        if config.max_fragment_qubits
+        else CutConfig()
+    )
+    outcomes = []
+    num_fragments = cut_count = variants = 0
+    for inst in instances:
+        counts = simulate_counts(
+            circuit,
+            noise,
+            shots=config.shots,
+            method="cut",
+            trajectories=config.trajectories,
+            rng=rng,
+            initial_state=inst.initial_statevector(),
+            dtype=config_dtype(config),
+            cut=cut_cfg,
+        )
+        info = counts.cut_info
+        num_fragments = info["num_fragments"]
+        cut_count = info["cut_count"]
+        variants += info["variants_evaluated"]
+        outcomes.append(evaluate_instance(counts, inst.correct_outcomes()))
+    return PointResult(
+        error_rate=error_rate,
+        depth=depth,
+        depth_label=config.depth_label(depth),
+        summary=summarize(outcomes),
+        outcomes=tuple(outcomes),
+        program_fingerprint="",
+        num_fragments=num_fragments,
+        cut_count=cut_count,
+        variants_evaluated=variants,
     )
 
 
@@ -259,6 +333,13 @@ def run_cells_fused(
     tasks: List[TrajectoryTask] = []
     fused: Dict[Tuple[float, Optional[int]], CompiledProgram] = {}
     for (rate, depth), program in zip(cells, programs):
+        if config.method == "cut":
+            # Fragments re-lower individually; never build (or ship)
+            # the full-width program for a cut cell.
+            results[(rate, depth)] = run_point(
+                config, instances, rate, depth
+            )
+            continue
         if program is None:
             program = build_compiled_program(
                 config.operation, config.n, config.m, depth,

@@ -58,6 +58,9 @@ def point_to_dict(pr: PointResult) -> dict:
         "dedup_ratio": pr.dedup_ratio,
         "batch_occupancy": pr.batch_occupancy,
         "trajectories_spent": pr.trajectories_spent,
+        "num_fragments": pr.num_fragments,
+        "cut_count": pr.cut_count,
+        "variants_evaluated": pr.variants_evaluated,
     }
 
 
@@ -86,6 +89,10 @@ def point_from_dict(p: dict) -> PointResult:
         dedup_ratio=float(p.get("dedup_ratio", 1.0)),
         batch_occupancy=float(p.get("batch_occupancy", 0.0)),
         trajectories_spent=int(p.get("trajectories_spent", 0)),
+        # Absent before circuit cutting; zeros mean "point not cut".
+        num_fragments=int(p.get("num_fragments", 0)),
+        cut_count=int(p.get("cut_count", 0)),
+        variants_evaluated=int(p.get("variants_evaluated", 0)),
     )
 
 

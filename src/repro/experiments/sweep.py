@@ -239,6 +239,19 @@ def _cell_key(jkey: Tuple) -> CellKey:
     return (float(jkey[0]), depth_from_json(jkey[1]))
 
 
+def _cell_fusion_key(config, programs, key) -> tuple:
+    """The unit-grouping key of one cell.
+
+    Compiled cells group by the program's ``fusion_key``; cut cells
+    carry no full-width program (``programs[key] is None``) and group
+    by circuit skeleton — same operation/widths/depth.
+    """
+    program = programs[key]
+    if program is None:
+        return ("cut", config.operation, config.n, config.m, key[1])
+    return program.fusion_key
+
+
 # ----------------------------------------------------------------------
 # Distributed dispatch
 # ----------------------------------------------------------------------
@@ -295,7 +308,7 @@ def _run_fabric(
     )
     try:
         fabric_points, unit_failures, leftover = coordinator.run(
-            pending, lambda key: programs[key].fusion_key
+            pending, lambda key: _cell_fusion_key(config, programs, key)
         )
     except NoWorkersError as exc:
         note(f"[fabric] {exc}; degrading to local execution")
@@ -425,9 +438,15 @@ def run_sweep(
     # never lower; the picklable op descriptors keep shipping cheap.
     pending = [key for key in all_keys if key not in points]
     programs = {
-        key: build_compiled_program(
-            config.operation, config.n, config.m, key[1],
-            config.error_axis, key[0], config.convention,
+        key: (
+            None
+            if config.method == "cut"
+            # Cut cells never lower the full-width program — fragments
+            # compile individually inside the evaluation.
+            else build_compiled_program(
+                config.operation, config.n, config.m, key[1],
+                config.error_axis, key[0], config.convention,
+            )
         )
         for key in pending
     }
@@ -485,7 +504,7 @@ def run_sweep(
         by_fusion: Dict[tuple, List[CellKey]] = {}
         for key in pending:
             by_fusion.setdefault(
-                programs[key].fusion_key, []
+                _cell_fusion_key(config, programs, key), []
             ).append(key)
         group_cells = []
         for keys in by_fusion.values():

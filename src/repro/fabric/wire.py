@@ -87,6 +87,7 @@ def config_from_wire(d: Dict[str, Any]) -> SweepConfig:
             adaptive_rounds=int(d.get("adaptive_rounds", 4)),
             adaptive_delta=float(d.get("adaptive_delta", 0.0)),
             batch_rows=int(d.get("batch_rows", 0)),
+            max_fragment_qubits=int(d.get("max_fragment_qubits", 0)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireError(f"bad sweep config payload: {exc}") from exc

@@ -15,6 +15,8 @@ from concurrent.futures.process import BrokenProcessPool
 __all__ = [
     "NumericalHealthError",
     "CellTimeoutError",
+    "WidthLimitError",
+    "width_limit_error",
     "classify_retryable",
 ]
 
@@ -35,6 +37,43 @@ class CellTimeoutError(RuntimeError):
     so the supervisor classifies them as retryable and recycles the
     process pool to reclaim the stuck worker.
     """
+
+
+class WidthLimitError(ValueError):
+    """A register is wider than the requested engine can represent.
+
+    Raised uniformly — from the dense engines themselves, from service
+    admission, and from sweep-config validation — instead of the raw
+    ``MemoryError``/silent ``4**n`` blow-up a too-wide dense request
+    used to produce.  As a ``ValueError`` subclass it is classified
+    non-retryable: the same request can only fail the same way.
+
+    Use :func:`width_limit_error` to build one with the standard
+    actionable message.
+    """
+
+    def __init__(
+        self, message: str, engine: str = "", limit: int = 0, requested: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.engine = engine
+        self.limit = limit
+        self.requested = requested
+
+
+def width_limit_error(
+    engine: str, limit: int, requested: int
+) -> WidthLimitError:
+    """The uniform width-cap failure, naming the cut escape hatch."""
+    return WidthLimitError(
+        f"{engine} is limited to {limit} qubits, got {requested} — "
+        f"evaluate wide registers by cutting into fragments instead: "
+        f"method=\"cut\" with max_fragment_qubits <= {limit} "
+        f"(see docs/cutting.md)",
+        engine=engine,
+        limit=limit,
+        requested=requested,
+    )
 
 
 #: Exception types whose re-execution is pointless: the same inputs

@@ -119,21 +119,35 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 def _execute_payload_inner(request: SimRequest) -> Dict[str, Any]:
     t0 = time.perf_counter()
-    program = build_compiled_program(
-        request.operation,
-        request.n,
-        request.m,
-        request.depth,
-        request.error_axis,
-        request.error_rate,
-        request.convention,
-    )
+    method = request.method
+    if method == "cut":
+        # Fragment evaluation lowers each fragment variant through
+        # compile_circuit itself; the full-width compiled program is
+        # never built (that is the point — its kernels would be as wide
+        # as the statevector we are avoiding).
+        from ..experiments.runner import build_arithmetic_circuit
+
+        target: Any = build_arithmetic_circuit(
+            request.operation, request.n, request.m, request.depth
+        )
+        fingerprint = ""
+    else:
+        program = build_compiled_program(
+            request.operation,
+            request.n,
+            request.m,
+            request.depth,
+            request.error_axis,
+            request.error_rate,
+            request.convention,
+        )
+        target = program
+        fingerprint = program.fingerprint
     noise = noise_model_for(
         request.error_axis, request.error_rate, request.convention
     )
     t_compile = time.perf_counter()
     instance = request.instance()
-    method = request.method
     if noise.is_ideal and method in ("auto", "trajectory"):
         # Mirror the batch runner: an ideal point is exact — never
         # spend trajectories on it (an explicit density/perturbative
@@ -143,7 +157,7 @@ def _execute_payload_inner(request: SimRequest) -> Dict[str, Any]:
     # bit-identically from (seed, content_key).
     rng = np.random.default_rng(request.rng_seed())
     counts = simulate_counts(
-        program,
+        target,
         noise,
         shots=request.shots,
         method=method,
@@ -165,7 +179,7 @@ def _execute_payload_inner(request: SimRequest) -> Dict[str, Any]:
         "num_qubits": counts.num_qubits,
         "shots": request.shots,
         "method": counts.method or method,
-        "program_fingerprint": program.fingerprint,
+        "program_fingerprint": fingerprint,
         "seed": request.seed,
         "success": bool(outcome.success),
         "min_diff": int(outcome.min_diff),

@@ -26,6 +26,8 @@ from functools import cached_property
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..runtime.envutil import env_int
+from ..runtime.errors import width_limit_error
+from ..sim.methods import METHODS
 from ..sim.result import Counts
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only import
@@ -41,10 +43,23 @@ __all__ = [
 
 _OPERATIONS = ("add", "mul")
 _ERROR_AXES = ("1q", "2q")
-_METHODS = (
-    "auto", "statevector", "density", "ptm", "trajectory", "perturbative",
-)
+#: Admitted method names come from the single registry — the service
+#: schema can never lag behind a newly added engine.
+_METHODS = METHODS
 _CONVENTIONS = ("qiskit", "pauli")
+
+
+def _dense_method_cap(method: str) -> Optional[int]:
+    """Qubit cap of an explicitly requested dense engine (else None)."""
+    if method == "density":
+        from ..sim.density import DensityMatrixEngine
+
+        return DensityMatrixEngine.max_qubits
+    if method == "ptm":
+        from ..sim.ptm import PTMEngine
+
+        return PTMEngine.max_qubits
+    return None
 
 MAX_SHOTS = 1_000_000
 MAX_TRAJECTORIES = 65_536
@@ -194,6 +209,19 @@ class SimRequest:
             errors.append(f"trajectories: must be in [1, {MAX_TRAJECTORIES}]")
         if self.method not in _METHODS:
             errors.append(f"method: {self.method!r} not in {_METHODS}")
+        else:
+            # Dense-engine admission: reject at the door, with the same
+            # actionable message the engine itself would raise, instead
+            # of queueing a request that can only fail (or OOM) later.
+            cap = _dense_method_cap(self.method)
+            if cap is not None and self.total_qubits > cap:
+                errors.append(
+                    str(width_limit_error(
+                        f"{self.method} service admission",
+                        cap,
+                        self.total_qubits,
+                    ))
+                )
         if not 0 <= self.seed <= MAX_SEED:
             errors.append("seed: must be in [0, 2**63)")
         if self.convention not in _CONVENTIONS:

@@ -30,6 +30,8 @@ def cache_stats_snapshot(
     * ``backend`` — the active :mod:`repro.sim.backend` tier (name,
       dtype, GPU flag, and the requested name when a GPU tier degraded
       to its NumPy fallback);
+    * ``cut`` — the circuit-cutting subsystem's counters (plans found,
+      fragments compiled, variants evaluated, job routing);
     * ``result_cache`` — the service's content-addressed response
       cache, when one is supplied.
 
@@ -43,6 +45,7 @@ def cache_stats_snapshot(
     )
     from ..runtime.envutil import env_str
     from ..sim.backend import BACKEND_ENV, DEFAULT_BACKEND, active_backend
+    from ..cut import cut_stats
     from ..sim.program import compile_cache_stats, kernel_cache_stats
     from ..sim.ptm import ptm_cache_stats
 
@@ -62,6 +65,7 @@ def cache_stats_snapshot(
         "compile_cache": compile_cache_stats().as_dict(),
         "kernel_cache": kernel_cache_stats(),
         "ptm_cache": dict(ptm_cache_stats()),
+        "cut": dict(cut_stats()),
         "program_lru": _lru(build_compiled_program),
         "circuit_lru": _lru(build_arithmetic_circuit),
     }

@@ -32,6 +32,7 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..cut.parallel import FRAGMENT_KINDS
 from ..experiments.runner import check_point_health, poison_point, run_unit
 from ..experiments.serialize import point_to_dict
 from ..fabric.wire import WireError, cell_to_wire, parse_work_request
@@ -76,6 +77,11 @@ class WorkHandler:
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             self.units_rejected += 1
             return 400, {}, _json({"error": f"malformed JSON body: {exc}"})
+        if (
+            isinstance(payload, dict)
+            and payload.get("kind") in FRAGMENT_KINDS
+        ):
+            return await self._handle_fragment(payload)
         try:
             request = parse_work_request(payload)
         except WireError as exc:
@@ -117,6 +123,41 @@ class WorkHandler:
                 "attempt": request["attempt"],
                 "points": points,
             }
+        )
+
+    async def _handle_fragment(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Serve one circuit-cutting fragment job (``kind`` dispatch).
+
+        Fragment jobs share the sweep units' endpoint and error
+        contract: malformed payloads are a deterministic 400, execution
+        failures a retryable 500 (the cut runner falls back to local
+        evaluation on either).
+        """
+        from ..cut.parallel import execute_wire_job
+
+        self.units_received += 1
+        if self._sem is None:
+            self._sem = asyncio.Semaphore(self.max_inflight)
+        async with self._sem:
+            try:
+                result = await asyncio.get_running_loop().run_in_executor(
+                    None, execute_wire_job, payload
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                self.units_rejected += 1
+                return 400, {}, _json(
+                    {"error": f"bad fragment payload: {exc}"}
+                )
+            except Exception as exc:  # noqa: BLE001 — surfaced as retryable 500
+                self.units_failed += 1
+                return 500, {}, _json(
+                    {"error": f"{type(exc).__name__}: {exc}"}
+                )
+        self.units_completed += 1
+        return 200, {}, _json(
+            {"kind": payload["kind"], "result": result}
         )
 
     def _execute(self, request: Dict[str, Any]) -> List[List[Any]]:

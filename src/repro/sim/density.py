@@ -22,6 +22,7 @@ from ..noise.channels import (
 )
 from ..noise.model import NoiseModel
 from ..noise.pauli import PAULI_MATRICES
+from ..runtime.errors import width_limit_error
 from ..runtime.health import check_trace, norm_tolerance
 from .backend import as_complex, resolve_complex_dtype
 from .ops import apply_gate_matrix
@@ -115,10 +116,7 @@ class DensityMatrixEngine:
         """
         n = circuit.num_qubits
         if n > self.max_qubits:
-            raise ValueError(
-                f"DensityMatrixEngine limited to {self.max_qubits} qubits, "
-                f"got {n} — use the trajectory engine"
-            )
+            raise width_limit_error("DensityMatrixEngine", self.max_qubits, n)
         dim = 1 << n
         if initial_state is None:
             rho = np.zeros((dim, dim), dtype=self.dtype)

@@ -54,6 +54,33 @@ def choose_method(
     return "trajectory"
 
 
+def _cut_distribution(
+    circuit: Simulatable,
+    noise_model: Optional[NoiseModel],
+    initial_state: Optional[np.ndarray],
+    trajectories: int,
+    rng: Optional[np.random.Generator],
+    cut,
+) -> Distribution:
+    """Dispatch ``method="cut"`` to :mod:`repro.cut` (lazy import)."""
+    from ..cut import CutConfig, cut_distribution
+
+    if isinstance(circuit, CompiledProgram):
+        raise ValueError(
+            "method='cut' needs the raw QuantumCircuit — fragments are "
+            "re-lowered individually (pass the circuit, not the "
+            "compiled program)"
+        )
+    return cut_distribution(
+        circuit,
+        noise_model,
+        config=cut if cut is not None else CutConfig(),
+        initial_state=initial_state,
+        trajectories=trajectories,
+        rng=rng,
+    )
+
+
 def simulate_distribution(
     circuit: Simulatable,
     noise_model: Optional[NoiseModel] = None,
@@ -61,11 +88,14 @@ def simulate_distribution(
     max_order: int = 1,
     initial_state: Optional[np.ndarray] = None,
     dtype=None,
+    trajectories: int = 128,
+    rng: Optional[np.random.Generator] = None,
+    cut=None,
 ) -> Distribution:
     """Exact (or deterministic-approximate) outcome distribution.
 
     ``method`` in {"auto", "statevector", "density", "ptm",
-    "perturbative"}.  The trajectory engine is excluded here because
+    "perturbative", "cut"}.  The trajectory engine is excluded here because
     its output is stochastic — use :func:`simulate_counts` for sampled
     results; in auto mode a circuit that would dispatch to the
     trajectory engine is computed perturbatively instead.  ``"ptm"``
@@ -89,6 +119,11 @@ def simulate_distribution(
         method = choose_method(circuit, noise_model)
         if method == "trajectory":
             method = "perturbative"
+    if method == "cut":
+        # Readout folds inside the cut path (on the reconstruction).
+        return _cut_distribution(
+            circuit, noise_model, initial_state, trajectories, rng, cut
+        )
     is_program = isinstance(circuit, CompiledProgram)
     if method == "statevector":
         dist = StatevectorEngine(dtype=dtype).distribution(
@@ -138,13 +173,16 @@ def simulate_counts(
     dtype=None,
     split_clean: bool = True,
     dedup: bool = False,
+    cut=None,
 ) -> Counts:
     """Sampled measurement counts over all qubits.
 
     The harness's single entry point.  ``method`` in {"auto",
-    "statevector", "density", "ptm", "trajectory", "perturbative"};
-    non-trajectory methods compute the exact distribution and sample
-    it.  ``dtype=None`` resolves through the active
+    "statevector", "density", "ptm", "trajectory", "perturbative",
+    "cut"}; non-trajectory methods compute the exact distribution and
+    sample it.  ``method="cut"`` routes through :mod:`repro.cut`
+    (fragment evaluation + tensor reconstruction; ``cut`` may carry a
+    :class:`~repro.cut.CutConfig`) and needs the raw circuit.  ``dtype=None`` resolves through the active
     :mod:`~repro.sim.backend` (``REPRO_BACKEND``).
     ``split_clean`` toggles the trajectory engine's exact ideal/erred
     ensemble split (see :mod:`repro.sim.trajectories`); ``dedup``
@@ -174,6 +212,13 @@ def simulate_counts(
         )
         counts = engine.run(circuit, noise_model, shots, initial_state)
         counts.method = method
+    elif method == "cut":
+        dist = _cut_distribution(
+            circuit, noise_model, initial_state, trajectories, rng, cut
+        )
+        counts = dist.sample(shots, rng)
+        counts.method = "cut"
+        counts.cut_info = dist.cut_info
     else:
         dist = simulate_distribution(
             circuit, noise_model, method=method,

@@ -46,6 +46,7 @@ from ..noise.channels import PauliError, QuantumError
 from ..noise.model import NoiseModel
 from ..noise.pauli import PAULI_CHARS, PAULI_MATRICES, pauli_matrix
 from ..runtime import sanitizer
+from ..runtime.errors import width_limit_error
 from ..runtime.health import NumericalHealthError, check_finite, norm_tolerance
 from .backend import (
     as_complex,
@@ -358,10 +359,7 @@ class PTMEngine:
         program = as_program(circuit, noise_model)
         n = program.num_qubits
         if n > self.max_qubits:
-            raise ValueError(
-                f"PTMEngine limited to {self.max_qubits} qubits, got {n} "
-                f"— use the density or trajectory engine"
-            )
+            raise width_limit_error("PTMEngine", self.max_qubits, n)
         plan = _plan_for(program, self.real_dtype, self.tag)
         if initial_state is None:
             state_t = _zero_state_coeffs(n, self.real_dtype)

@@ -53,3 +53,45 @@ def test_design_mentions_all_packages():
             assert f"repro.{pkg.name}" in design, (
                 f"package repro.{pkg.name} missing from DESIGN.md inventory"
             )
+
+
+def test_cli_method_choices_follow_registry():
+    """`--method` choices and help text come from the single registry."""
+    import os
+    import subprocess
+    import sys
+
+    from repro.sim.methods import METHOD_SPECS, METHODS
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", "--help"],
+        capture_output=True, text=True, timeout=120, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for name in METHODS:
+        assert f"'{name}'" in proc.stdout or name in proc.stdout, (
+            f"method {name!r} missing from `repro sweep --help`"
+        )
+    assert "max-fragment-qubits" in proc.stdout
+    # The example that demos wide registers enumerates the same registry.
+    example = (ROOT / "examples" / "circuit_cutting.py").read_text()
+    assert "METHOD_SPECS" in example
+    assert len(METHOD_SPECS) == len(METHODS)
+
+
+def test_registry_is_single_source_for_all_surfaces():
+    from repro.experiments.config import SWEEP_METHODS
+    from repro.service import model as service_model
+    from repro.sim.methods import METHODS
+
+    assert SWEEP_METHODS == METHODS
+    assert tuple(service_model._METHODS) == METHODS
+    # The cutting docs page documents the escape hatch the width guards
+    # point at.
+    cutting = (ROOT / "docs" / "cutting.md").read_text()
+    for needle in ("method=\"cut\"", "REPRO_CUT_MB", "max_fragment_qubits"):
+        assert needle in cutting

@@ -62,3 +62,10 @@ def test_error_mitigation():
 def test_noise_landscape():
     out = run_example("noise_landscape.py")
     assert "best depth at" in out
+
+
+def test_circuit_cutting():
+    out = run_example("circuit_cutting.py")
+    assert "cut into 2 fragments" in out
+    assert 'method="cut"' in out  # the WidthLimitError pointer
+    assert out.count("success=True") == 2  # ideal and noisy 16q adds
