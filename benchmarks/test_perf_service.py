@@ -27,15 +27,24 @@ from conftest import save_artifact
 import repro.service.executor as executor_mod
 from repro.service import (
     ArithmeticService,
+    FusionGate,
     ResultCache,
     ServerThread,
     ServiceClient,
     SimulationExecutor,
+    fusion_stats,
+    reset_fusion_stats,
 )
 
 N_HOLD = 56  # > the 50-in-flight acceptance bar
 N_BURST = 120
 DISTINCT = 8  # distinct request contents inside the burst
+
+# Mixed-tenant fusion profile.
+N_TENANTS = 4
+CELLS_PER_TENANT = 12
+N_ONE_OFFS = 8
+FAIRNESS_K = 3.0  # no tenant p99 may exceed K x the median tenant p99
 
 
 def _request(seed=0, shots=96):
@@ -167,3 +176,132 @@ def test_service_load_smoke(artifact_dir, monkeypatch):
     # The burst must complete at interactive latency: nearly all of it
     # is coalesced/cache traffic over just DISTINCT real simulations.
     assert p99 < 30.0
+
+
+def test_service_fusion_mixed_tenants(artifact_dir):
+    """Mixed-tenant load through the fusion gate: hit rate + fairness.
+
+    ``N_TENANTS`` tenants sweep the same circuit family at (disjoint)
+    error-rate grids while an interactive tenant interleaves one-off
+    ideal-noise requests that bypass the gate.  The sweeping tenants'
+    requests are all fusion-eligible and arrive in overlapping windows,
+    so most of them must execute fused (hit rate >= 0.5), and
+    deficit-round-robin must keep per-tenant latency balanced: no
+    tenant's p99 beyond ``FAIRNESS_K`` x the median tenant p99.
+    """
+    reset_fusion_stats()
+    executor = SimulationExecutor(workers=0, concurrency=8)
+    service = ArithmeticService(
+        executor=executor,
+        cache=ResultCache(ttl=0),
+        max_queue=512,
+        concurrency=8,
+        lint_requests=False,
+        fusion=FusionGate(executor, window_ms=40, min_batch=N_TENANTS),
+    )
+    latencies = {}
+    lat_lock = threading.Lock()
+
+    def timed(client, tenant, payload):
+        t0 = time.perf_counter()
+        resp = client.simulate(payload)
+        dt = time.perf_counter() - t0
+        with lat_lock:
+            latencies.setdefault(tenant, []).append(dt)
+        return resp
+
+    with ServerThread(service) as srv:
+        client = ServiceClient(*srv.address, timeout=120)
+
+        def sweep_tenant(idx):
+            tenant = f"team-{idx}"
+            for c in range(CELLS_PER_TENANT):
+                # Disjoint per-tenant grids: nothing coalesces, every
+                # cell is real fusable work.
+                rate = 0.001 * (c + 1) + 0.0001 * (idx + 1)
+                timed(
+                    client,
+                    tenant,
+                    dict(_request(seed=idx), error_rate=rate, tenant=tenant),
+                )
+
+        def interactive():
+            for k in range(N_ONE_OFFS):
+                # Ideal-noise one-offs are not fusion-eligible: they
+                # bypass the gate entirely and must stay interactive.
+                timed(
+                    client,
+                    "interactive",
+                    dict(
+                        _request(seed=100 + k),
+                        error_rate=0.0,
+                        tenant="interactive",
+                    ),
+                )
+                time.sleep(0.02)
+
+        threads = [
+            threading.Thread(target=sweep_tenant, args=(i,))
+            for i in range(N_TENANTS)
+        ]
+        threads.append(threading.Thread(target=interactive))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = client.stats()
+
+    totals = fusion_stats()
+    assert totals["executed"] == N_TENANTS * CELLS_PER_TENANT
+    assert totals["hit_rate"] >= 0.5, (
+        f"fusion hit rate {totals['hit_rate']:.2f} < 0.5 "
+        f"(batches={totals['batches']}, "
+        f"occupancy={totals['batch_occupancy']:.1f})"
+    )
+    # Every sweeping tenant shows up in the DRR accounting.
+    for i in range(N_TENANTS):
+        assert f"team-{i}" in totals["tenants"]
+    assert "interactive" not in totals["tenants"]
+
+    p99 = {
+        tenant: _percentile(sorted(values), 0.99)
+        for tenant, values in latencies.items()
+    }
+    sweep_p99 = sorted(p99[f"team-{i}"] for i in range(N_TENANTS))
+    median_p99 = sweep_p99[len(sweep_p99) // 2]
+    worst_p99 = sweep_p99[-1]
+    assert worst_p99 <= FAIRNESS_K * max(median_p99, 1e-3), (
+        f"tenant p99 spread {worst_p99:.3f}s vs median {median_p99:.3f}s "
+        f"exceeds the {FAIRNESS_K}x fairness bound"
+    )
+
+    lines = [
+        "service fusion mixed-tenant profile",
+        f"  tenants            {N_TENANTS} x {CELLS_PER_TENANT} cells "
+        f"+ {N_ONE_OFFS} interactive one-offs",
+        f"  fusion hit rate    {totals['hit_rate']:.2%} (bar: >= 50%)",
+        f"  batches            {totals['batches']} "
+        f"(occupancy {totals['batch_occupancy']:.1f})",
+        f"  tenant p99 (s)     "
+        + " ".join(
+            f"{t}={p99[t] * 1000:.0f}ms" for t in sorted(p99)
+        ),
+        f"  fairness           worst/median = "
+        f"{worst_p99 / max(median_p99, 1e-9):.2f} (bound {FAIRNESS_K}x)",
+        f"  window wait p99    "
+        f"{stats['metrics']['latency']['fusion_window_wait']['p99_seconds'] * 1000:.1f} ms",
+    ]
+    save_artifact(artifact_dir, "service_fusion_load.txt", "\n".join(lines))
+    save_artifact(
+        artifact_dir,
+        "service_fusion_load.json",
+        json.dumps(
+            {
+                "totals": totals,
+                "tenant_p99_seconds": p99,
+                "fairness_ratio": worst_p99 / max(median_p99, 1e-9),
+                "fairness_bound": FAIRNESS_K,
+            },
+            indent=2,
+        ),
+    )

@@ -13,14 +13,22 @@ runtime retry/timeout semantics — as a long-lived asyncio service:
 * :mod:`repro.service.scheduler` — bounded priority queue with
   admission control, backpressure, and **request coalescing**
   (concurrent identical requests collapse into one simulation);
+* :mod:`repro.service.fusion` — the cross-request fusion gate:
+  eligible requests are held for a bounded window
+  (``REPRO_FUSION_WINDOW_MS``) and executed as fused micro-batches
+  through one :mod:`repro.sim.batch` scheduler pass, with
+  deficit-round-robin fairness across tenants — bit-identical per
+  request to running alone;
 * :mod:`repro.service.executor` — the worker tier (in-process threads
   or a process pool) reusing
   :func:`repro.experiments.runner.build_compiled_program` and the
   supervisor's retry ladder;
 * :mod:`repro.service.server` — asyncio-streams HTTP/JSON server with
-  ``/v1/simulate``, ``/healthz``, ``/stats`` and Prometheus-text
-  ``/metrics`` endpoints;
-* :mod:`repro.service.client` — a blocking Python client;
+  ``/v1/simulate``, ``/v1/sweep`` (chunked JSON-lines streaming),
+  ``/healthz``, ``/stats`` and Prometheus-text ``/metrics`` endpoints;
+* :mod:`repro.service.client` — a blocking Python client (including
+  the streaming :meth:`~repro.service.client.ServiceClient.submit_sweep`
+  iterator with Retry-After-honouring resume);
 * ``repro-serve`` — the console entry point
   (:mod:`repro.service.__main__`).
 
@@ -34,12 +42,15 @@ from .client import (
     ServiceClient,
     ServiceError,
 )
-from .executor import SimulationExecutor
+from .client import SweepPartial
+from .executor import SimulationExecutor, fusion_eligible
+from .fusion import FusionGate, fusion_stats, reset_fusion_stats
 from .metrics import LatencyHistogram, ServiceMetrics
 from .model import (
     RequestValidationError,
     SimRequest,
     SimResponse,
+    SweepRequest,
 )
 from .scheduler import AdmissionError, JobScheduler
 from .server import ArithmeticService, ServerThread
@@ -49,6 +60,7 @@ __all__ = [
     "AdmissionError",
     "ArithmeticService",
     "BackpressureError",
+    "FusionGate",
     "JobScheduler",
     "LatencyHistogram",
     "RequestRejected",
@@ -61,6 +73,11 @@ __all__ = [
     "SimRequest",
     "SimResponse",
     "SimulationExecutor",
+    "SweepPartial",
+    "SweepRequest",
     "cache_stats_snapshot",
+    "fusion_eligible",
+    "fusion_stats",
     "render_cache_stats",
+    "reset_fusion_stats",
 ]

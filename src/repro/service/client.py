@@ -4,7 +4,14 @@ Stdlib-only (``http.client``); one connection per call, matching the
 server's ``Connection: close`` discipline.  The client maps the
 service's HTTP status contract onto typed exceptions so callers can
 distinguish "back off and retry" (:class:`BackpressureError`) from
-"fix your request" (:class:`RequestRejected`).
+"fix your request" (:class:`RequestRejected`); every error carries the
+server's ``X-Request-Id`` (``.request_id``) for log correlation.
+
+Sweeps: :meth:`ServiceClient.submit_sweep` drives the chunked
+``/v1/sweep`` stream and yields :class:`SweepPartial` objects as cells
+complete server-side — with transparent resume: on a dropped
+connection or a backpressured cell the client re-POSTs only the rates
+it has not yet received, honouring ``Retry-After``.
 """
 
 from __future__ import annotations
@@ -12,7 +19,8 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Any, Dict, Optional, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .model import SimRequest, SimResponse
 
@@ -21,6 +29,7 @@ __all__ = [
     "RequestRejected",
     "ServiceClient",
     "ServiceError",
+    "SweepPartial",
 ]
 
 
@@ -33,6 +42,8 @@ class ServiceError(RuntimeError):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.body = body or {}
+        #: The server's ``X-Request-Id`` when the response carried one.
+        self.request_id: Optional[str] = None
 
 
 class BackpressureError(ServiceError):
@@ -55,6 +66,32 @@ class RequestRejected(ServiceError):
         self.details = details
 
 
+@dataclass
+class SweepPartial:
+    """One streamed sweep-cell result (or its terminal error)."""
+
+    error_rate: float
+    content_key: str
+    response: Optional[SimResponse] = None
+    error: Optional[Dict[str, Any]] = None
+    request_id: str = ""
+    #: 1-based resume attempt that produced this partial.
+    attempt: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.response is not None
+
+
+@dataclass
+class _SweepProgress:
+    """Mutable cursor shared between resume attempts."""
+
+    remaining: List[float] = field(default_factory=list)
+    retry_after: float = 1.0
+    request_id: str = ""
+
+
 class ServiceClient:
     """Synchronous HTTP client bound to one server address."""
 
@@ -68,7 +105,7 @@ class ServiceClient:
     # -- transport --------------------------------------------------------
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
+    ) -> Tuple[int, Dict[str, str], bytes]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -90,16 +127,35 @@ class ServiceClient:
             doc = json.loads(raw.decode() or "null")
         except json.JSONDecodeError:
             doc = {"error": raw.decode(errors="replace")}
+        error = self._error_for(status, headers, doc)
+        if error is not None:
+            raise error
+        return doc
+
+    @staticmethod
+    def _error_for(
+        status: int, headers: Dict[str, str], doc: Dict[str, Any]
+    ) -> Optional[ServiceError]:
+        """Map an HTTP failure onto the typed exception, tagged with
+        the server's request id; ``None`` for success statuses."""
+        if status < 400:
+            return None
+        error: ServiceError
         if status == 429:
             retry_after = float(
                 headers.get("Retry-After", doc.get("retry_after", 1.0))
             )
-            raise BackpressureError(retry_after, doc)
-        if status in (400, 422):
-            raise RequestRejected(status, doc.get("details", doc.get("error")), doc)
-        if status >= 400:
-            raise ServiceError(status, doc.get("error", "request failed"), doc)
-        return doc
+            error = BackpressureError(retry_after, doc)
+        elif status in (400, 422):
+            error = RequestRejected(
+                status, doc.get("details", doc.get("error")), doc
+            )
+        else:
+            error = ServiceError(
+                status, doc.get("error", "request failed"), doc
+            )
+        error.request_id = headers.get("X-Request-Id")
+        return error
 
     # -- API --------------------------------------------------------------
     def simulate(
@@ -138,6 +194,143 @@ class ServiceClient:
                 time.sleep(delay)
                 waited += delay
         raise AssertionError("unreachable")
+
+    # -- sweeps -----------------------------------------------------------
+    def submit_sweep(
+        self,
+        base: Union[SimRequest, Dict[str, Any]],
+        rates: Sequence[float],
+        max_attempts: int = 5,
+        max_wait: float = 60.0,
+    ) -> Iterator[SweepPartial]:
+        """Stream a multi-cell sweep; yields cells in completion order.
+
+        ``base`` is the cell template (its ``error_rate`` is ignored);
+        ``rates`` the per-cell error rates.  Resumes transparently: a
+        dropped stream or a 429 (whole sweep or single cell) re-POSTs
+        the not-yet-delivered rates after honouring ``Retry-After``,
+        up to ``max_attempts`` passes within a ``max_wait`` seconds
+        sleep budget.  Non-retryable per-cell failures (e.g. a cell
+        that exhausted server-side execution attempts) are yielded as
+        ``SweepPartial(error=...)`` and not retried.
+        """
+        if isinstance(base, dict):
+            base = SimRequest.from_dict(base)
+        progress = _SweepProgress(
+            remaining=list(dict.fromkeys(float(r) for r in rates))
+        )
+        if not progress.remaining:
+            return
+        waited = 0.0
+        last_error: Optional[ServiceError] = None
+        for attempt in range(1, max_attempts + 1):
+            try:
+                yield from self._stream_attempt(base, progress, attempt)
+                last_error = None
+            except BackpressureError as exc:
+                progress.retry_after = max(progress.retry_after, exc.retry_after)
+                last_error = exc
+            except (
+                ConnectionError,
+                http.client.HTTPException,
+                OSError,
+                json.JSONDecodeError,
+            ) as exc:
+                # Transport drop mid-stream: everything already yielded
+                # stays delivered; resume with the rest.
+                last_error = ServiceError(0, f"stream dropped: {exc}")
+                last_error.request_id = progress.request_id or None
+            if not progress.remaining:
+                return
+            if attempt == max_attempts:
+                break
+            delay = min(progress.retry_after, max_wait - waited)
+            if delay < 0:
+                break
+            time.sleep(delay)
+            waited += delay
+        if last_error is not None:
+            raise last_error
+        error = ServiceError(
+            0,
+            f"sweep incomplete after {max_attempts} attempts "
+            f"({len(progress.remaining)} cells undelivered)",
+        )
+        error.request_id = progress.request_id or None
+        raise error
+
+    def _stream_attempt(
+        self,
+        base: SimRequest,
+        progress: _SweepProgress,
+        attempt: int,
+    ) -> Iterator[SweepPartial]:
+        """One POST of the remaining rates, yielding delivered cells."""
+        spec = {"base": base.to_dict(), "rates": list(progress.remaining)}
+        spec["base"].pop("error_rate", None)
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "POST",
+                "/v1/sweep",
+                body=json.dumps(spec),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            headers = dict(resp.getheaders())
+            progress.request_id = headers.get("X-Request-Id", "")
+            if resp.status != 200:
+                raw = resp.read()
+                try:
+                    doc = json.loads(raw.decode() or "null")
+                except json.JSONDecodeError:
+                    doc = {"error": raw.decode(errors="replace")}
+                error = self._error_for(resp.status, headers, doc)
+                assert error is not None
+                raise error
+            # http.client decodes the chunked framing transparently;
+            # each readline() is one JSON document.
+            while True:
+                line = resp.readline()
+                if not line:
+                    return
+                doc = json.loads(line)
+                if "cell" not in doc:
+                    continue  # header / done lines
+                rate = float(doc["cell"]["error_rate"])
+                error = doc.get("error")
+                if error is not None and int(error.get("status", 0)) in (
+                    429,
+                    503,
+                ):
+                    # Retryable cell: keep its rate for the next pass.
+                    progress.retry_after = max(
+                        progress.retry_after,
+                        float(error.get("retry_after", 1.0)),
+                    )
+                    continue
+                if rate in progress.remaining:
+                    progress.remaining.remove(rate)
+                if error is not None:
+                    yield SweepPartial(
+                        error_rate=rate,
+                        content_key=str(doc["cell"].get("content_key", "")),
+                        error=dict(error),
+                        request_id=progress.request_id,
+                        attempt=attempt,
+                    )
+                    continue
+                yield SweepPartial(
+                    error_rate=rate,
+                    content_key=str(doc["cell"].get("content_key", "")),
+                    response=SimResponse.from_dict(doc["response"]),
+                    request_id=progress.request_id,
+                    attempt=attempt,
+                )
+        finally:
+            conn.close()
 
     def health(self) -> Dict[str, Any]:
         """The health document (returned even while draining / 503)."""

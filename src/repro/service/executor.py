@@ -23,7 +23,7 @@ from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from functools import lru_cache
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,7 +32,8 @@ from ..metrics.success import evaluate_instance
 from ..runtime import sanitizer
 from ..runtime.envutil import env_flag
 from ..runtime.supervisor import RetryPolicy
-from ..sim.engines import simulate_counts
+from ..sim.batch import TrajectoryTask, run_request_tasks
+from ..sim.engines import DENSITY_MAX_QUBITS, simulate_counts
 from .model import RequestValidationError, SimRequest
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only import
@@ -42,6 +43,7 @@ __all__ = [
     "CircuitRejected",
     "ExecutionFailed",
     "SimulationExecutor",
+    "fusion_eligible",
     "lint_gate",
 ]
 
@@ -191,6 +193,158 @@ def _execute_payload_inner(request: SimRequest) -> Dict[str, Any]:
     }
 
 
+def fusion_eligible(request: SimRequest) -> bool:
+    """Whether a request may ride the cross-request fusion tier.
+
+    Cheap, request-shape-only screen used at admission: noisy
+    trajectory work (explicit, or what ``method="auto"`` will resolve
+    to once the width rules out density simulation).  The batch
+    executor re-checks against the *compiled program* (Pauli-only
+    sites, resolved method) and falls back to the per-request path for
+    any survivor that turns out not to fit — eligibility here may
+    over-approximate, never under-deliver.
+    """
+    if request.error_rate <= 0.0:
+        return False
+    if request.method == "trajectory":
+        return True
+    return (
+        request.method == "auto"
+        and request.total_qubits > DENSITY_MAX_QUBITS
+    )
+
+
+def _fused_task_for(request: SimRequest) -> Optional[TrajectoryTask]:
+    """Build the request's scheduler task, or ``None`` if not fusable.
+
+    ``None`` means the compiled program refused the trajectory
+    scheduler (non-Pauli noise, no noise sites, or ``auto`` resolving
+    to an exact method) — the caller then runs the request through the
+    ordinary per-request path inside the same batch.
+    """
+    noise = noise_model_for(
+        request.error_axis, request.error_rate, request.convention
+    )
+    if noise.is_ideal:
+        return None
+    program = build_compiled_program(
+        request.operation,
+        request.n,
+        request.m,
+        request.depth,
+        request.error_axis,
+        request.error_rate,
+        request.convention,
+    )
+    if not program.pauli_only or program.num_noise_sites == 0:
+        return None
+    if request.method == "auto" and program.num_qubits <= DENSITY_MAX_QUBITS:
+        return None
+    return TrajectoryTask(
+        key=request.content_key(),
+        program=program,
+        shots=request.shots,
+        trajectories=request.trajectories,
+        # Fresh stream from (seed, content_key), exactly as the
+        # per-request path builds it — fusion must be bit-invisible.
+        rng=np.random.default_rng(request.rng_seed()),
+        initial_state=request.instance().initial_statevector(),
+    )
+
+
+def _execute_fused_batch(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Run one micro-batch of requests (top level: picklable for pools).
+
+    All fusable requests share a single
+    :func:`repro.sim.batch.run_request_tasks` pass — one chunked state
+    buffer per fusion group, kernel caches and error-configuration
+    dedup shared across tenants — while requests that compile out of
+    the trajectory scheduler fall back to the per-request path inside
+    the same call.  Returns ``{"results": [...]}`` with one
+    response-shaped payload per request in input order; batch-level
+    sanitizer events ride home under ``"sanitizer_events"``.
+
+    Per-request results are bit-identical to running each request
+    alone through the dedup path: every task draws from its own
+    ``(seed, content_key)`` stream in a fixed order, so batch
+    membership and chunk geometry never leak into results.
+    """
+    if sanitizer.enabled():
+        with sanitizer.capture() as events:
+            results = _execute_fused_batch_inner(payloads)
+        return {
+            "results": results,
+            "sanitizer_events": [list(e) for e in events],
+        }
+    return {"results": _execute_fused_batch_inner(payloads)}
+
+
+def _execute_fused_batch_inner(
+    payloads: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    t0 = time.perf_counter()
+    requests = [SimRequest.from_dict(p) for p in payloads]
+    results: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+    fused: List[Tuple[int, SimRequest, TrajectoryTask]] = []
+    for i, request in enumerate(requests):
+        task = _fused_task_for(request)
+        if task is None:
+            with sanitizer.trace_scope(request.content_key()):
+                results[i] = _execute_payload_inner(request)
+            continue
+        fused.append((i, request, task))
+    t_compile = time.perf_counter()
+    if fused:
+        task_results = run_request_tasks(
+            [task for _, _, task in fused], fuse=True, dedup=True
+        )
+        t_sim = time.perf_counter()
+        compile_ms = (t_compile - t0) * 1000.0
+        simulate_ms = (t_sim - t_compile) * 1000.0
+        for i, request, task in fused:
+            task_result = task_results[task.key]
+            counts = task_result.counts
+            counts.method = "trajectory"
+            if sanitizer.enabled():
+                # Mirror the per-request engine's ``counts`` event so
+                # fused and unfused traces compare equal on the
+                # portable stages (keys are content keys either way).
+                sanitizer.record(
+                    "counts",
+                    {
+                        "data": dict(counts.items()),
+                        "num_qubits": counts.num_qubits,
+                        "method": counts.method,
+                    },
+                    key=request.content_key(),
+                )
+            instance = request.instance()
+            outcome = evaluate_instance(counts, instance.correct_outcomes())
+            correct = sum(
+                counts.get(o) for o in instance.correct_outcomes()
+            )
+            results[i] = {
+                "content_key": request.content_key(),
+                "counts": {int(k): int(v) for k, v in counts.items()},
+                "num_qubits": counts.num_qubits,
+                "shots": request.shots,
+                "method": counts.method,
+                "program_fingerprint": task.program.fingerprint,
+                "seed": request.seed,
+                "success": bool(outcome.success),
+                "min_diff": int(outcome.min_diff),
+                "success_probability": correct / max(1, counts.shots),
+                # Batch-level costs: compile covers task construction
+                # for the whole group, simulate the shared scheduler
+                # pass (identical for every member by construction).
+                "timings_ms": {
+                    "compile": compile_ms,
+                    "simulate": simulate_ms,
+                },
+            }
+    return [r for r in results if r is not None]
+
+
 class SimulationExecutor:
     """Async facade over the worker pool with the retry ladder.
 
@@ -264,6 +418,48 @@ class SimulationExecutor:
                 return result
             except (RequestValidationError, ValueError):
                 # Deterministic input errors cannot succeed on retry.
+                raise
+            except BrokenProcessPool as exc:
+                last_error = f"BrokenProcessPool: {exc}"
+                self._respawn()
+            except asyncio.TimeoutError:
+                last_error = (
+                    f"timeout after {self.retry.timeout}s "
+                    f"(attempt {attempt})"
+                )
+            except Exception as exc:  # noqa: BLE001 — ladder mirrors Supervisor
+                last_error = f"{type(exc).__name__}: {exc}"
+            if attempt < self.retry.max_attempts:
+                await asyncio.sleep(self.retry.backoff(attempt))
+        raise ExecutionFailed(self.retry.max_attempts, last_error)
+
+    async def run_batch(
+        self, requests: List[SimRequest]
+    ) -> List[Dict[str, Any]]:
+        """Execute a fused micro-batch with the same retry ladder as
+        :meth:`run`; returns one result payload per request, in order.
+
+        The whole batch is one unit of work (that is the point — the
+        scheduler pass is shared), so the whole batch retries together;
+        determinism makes the replay bit-identical per request.
+        """
+        payloads = [request.to_dict() for request in requests]
+        loop = asyncio.get_running_loop()
+        last_error = "unknown"
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                future = loop.run_in_executor(
+                    self._pool, _execute_fused_batch, payloads
+                )
+                if self.retry.timeout is not None:
+                    doc = await asyncio.wait_for(future, self.retry.timeout)
+                else:
+                    doc = await future
+                events = doc.get("sanitizer_events")
+                if events:
+                    sanitizer.merge_events(events)
+                return list(doc["results"])
+            except (RequestValidationError, ValueError):
                 raise
             except BrokenProcessPool as exc:
                 last_error = f"BrokenProcessPool: {exc}"

@@ -87,6 +87,9 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
         self._gauges: Dict[str, Callable[[], float]] = {}
+        self._labeled_gauges: Dict[
+            str, Tuple[str, Callable[[], Dict[str, float]]]
+        ] = {}
         self.histograms: Dict[str, LatencyHistogram] = {}
         #: peak of the ``inflight_requests`` gauge, maintained by the
         #: server; proves sustained concurrency in the load smoke.
@@ -121,6 +124,20 @@ class ServiceMetrics:
     def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
         self._gauges[name] = fn
 
+    def register_labeled_gauge(
+        self,
+        name: str,
+        label: str,
+        fn: Callable[[], Dict[str, float]],
+    ) -> None:
+        """A gauge family: ``fn`` yields ``{label_value: gauge_value}``.
+
+        Rendered as ``name{label="value"} x`` per entry (e.g. the
+        per-tenant fusion deficit counters), sampled at render time
+        like the scalar gauges.
+        """
+        self._labeled_gauges[name] = (label, fn)
+
     def note_inflight(self, current: int) -> None:
         with self._lock:
             if current > self.peak_inflight:
@@ -147,6 +164,10 @@ class ServiceMetrics:
         return {
             "counters": counters,
             "gauges": {name: fn() for name, fn in self._gauges.items()},
+            "labeled_gauges": {
+                name: dict(sorted(fn().items()))
+                for name, (_, fn) in sorted(self._labeled_gauges.items())
+            },
             "latency": {
                 stage: hist.as_dict()
                 for stage, hist in sorted(self.histograms.items())
@@ -175,6 +196,11 @@ class ServiceMetrics:
             full = f"{ns}_{name}"
             lines.append(f"# TYPE {full} gauge")
             lines.append(f"{full} {fn()}")
+        for name, (label, lfn) in sorted(self._labeled_gauges.items()):
+            full = f"{ns}_{name}"
+            lines.append(f"# TYPE {full} gauge")
+            for value_label, value in sorted(lfn().items()):
+                lines.append(f'{full}{{{label}="{value_label}"}} {value}')
         lines.append(f"# TYPE {ns}_peak_inflight_requests gauge")
         lines.append(f"{ns}_peak_inflight_requests {self.peak_inflight}")
         for stage, hist in sorted(self.histograms.items()):

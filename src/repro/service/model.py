@@ -35,9 +35,12 @@ if TYPE_CHECKING:  # pragma: no cover — annotation-only import
 
 __all__ = [
     "MAX_PRIORITY",
+    "MAX_SWEEP_CELLS",
+    "MAX_TENANT_LENGTH",
     "RequestValidationError",
     "SimRequest",
     "SimResponse",
+    "SweepRequest",
     "service_max_qubits",
 ]
 
@@ -66,6 +69,10 @@ MAX_TRAJECTORIES = 65_536
 MAX_PRIORITY = 9
 MAX_DEPTH = 64
 MAX_SEED = 2**63 - 1
+#: Cells one ``/v1/sweep`` request may carry; wider sweeps split client-side.
+MAX_SWEEP_CELLS = 256
+#: Tenant identifiers are accounting labels, not payloads.
+MAX_TENANT_LENGTH = 64
 
 
 def service_max_qubits() -> int:
@@ -106,8 +113,10 @@ class SimRequest:
 
     ``x``/``y`` are operand superpositions: tuples of distinct basis
     values given uniform amplitude (order-1 tuples are classical
-    operands).  ``priority`` orders the queue (0 = most urgent) and is
-    the only field excluded from the content key.
+    operands).  ``priority`` orders the queue (0 = most urgent) and
+    ``tenant`` labels the request for fair-share accounting in the
+    fusion tier; both affect scheduling, never results, so both are
+    excluded from the content key.
     """
 
     operation: str
@@ -124,6 +133,7 @@ class SimRequest:
     seed: int = 0
     convention: str = "qiskit"
     priority: int = 5
+    tenant: str = ""
 
     # -- derived ----------------------------------------------------------
     @property
@@ -228,6 +238,12 @@ class SimRequest:
             errors.append(f"convention: {self.convention!r} not in {_CONVENTIONS}")
         if not 0 <= self.priority <= MAX_PRIORITY:
             errors.append(f"priority: must be in [0, {MAX_PRIORITY}]")
+        if not isinstance(self.tenant, str):
+            errors.append("tenant: expected a string label")
+        elif len(self.tenant) > MAX_TENANT_LENGTH:
+            errors.append(
+                f"tenant: label exceeds {MAX_TENANT_LENGTH} characters"
+            )
         if self.n >= 1 and self.m >= 1:
             errors.extend(self._validate_operands())
         if errors:
@@ -310,6 +326,7 @@ class SimRequest:
             seed=geti("seed", 0),
             convention=str(payload.get("convention", "qiskit")),
             priority=geti("priority", 5),
+            tenant=str(payload.get("tenant", "")),
         )
         if errors:
             raise RequestValidationError(errors)
@@ -372,3 +389,88 @@ class SimResponse:
         d = dict(payload)
         d["counts"] = {int(k): int(v) for k, v in payload["counts"].items()}
         return cls(**d)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A multi-cell rate sweep over one circuit family (``/v1/sweep``).
+
+    ``base`` carries every :class:`SimRequest` field except the error
+    rate; ``rates`` names the cells.  All cells share the base's
+    fusion-relevant shape (operation, widths, depth, axis), which is
+    exactly what makes a sweep the fusion tier's best customer: its
+    cells land in one micro-batch window and ride shared chunks.
+    ``tenant``/``priority`` on the sweep override the base's.
+    """
+
+    base: SimRequest
+    rates: Tuple[float, ...]
+
+    def cells(self) -> List[SimRequest]:
+        """One validated :class:`SimRequest` per rate, in rate order."""
+        import dataclasses
+
+        return [
+            dataclasses.replace(self.base, error_rate=float(rate))
+            for rate in self.rates
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        base = self.base.to_dict()
+        base.pop("error_rate", None)
+        return {"base": base, "rates": list(self.rates)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SweepRequest":
+        """Build and validate a sweep spec from a decoded JSON object."""
+        if not isinstance(payload, dict):
+            raise RequestValidationError(
+                [
+                    "sweep body must be a JSON object, got "
+                    f"{type(payload).__name__}"
+                ]
+            )
+        errors: List[str] = []
+        unknown = sorted(set(payload) - {"base", "rates", "tenant", "priority"})
+        if unknown:
+            errors.append(f"unknown fields: {unknown}")
+        base_raw = payload.get("base")
+        rates_raw = payload.get("rates")
+        if not isinstance(base_raw, dict):
+            errors.append("base: expected a SimRequest JSON object")
+        if not isinstance(rates_raw, (list, tuple)) or not rates_raw:
+            errors.append("rates: expected a non-empty list of numbers")
+        elif len(rates_raw) > MAX_SWEEP_CELLS:
+            errors.append(
+                f"rates: {len(rates_raw)} cells exceed the per-request "
+                f"cap {MAX_SWEEP_CELLS} (split the sweep client-side)"
+            )
+        if errors:
+            raise RequestValidationError(errors)
+        assert isinstance(base_raw, dict) and isinstance(rates_raw, (list, tuple))
+        rates: List[float] = []
+        for i, raw in enumerate(rates_raw):
+            try:
+                rate = float(raw)
+            except (TypeError, ValueError):
+                errors.append(f"rates[{i}]: expected number, got {raw!r}")
+                continue
+            if not 0.0 <= rate < 1.0:
+                errors.append(f"rates[{i}]: {raw!r} not in [0, 1)")
+            rates.append(rate)
+        if len(set(rates)) != len(rates):
+            errors.append("rates: duplicate cells")
+        base_payload = dict(base_raw)
+        base_payload.setdefault("error_rate", rates[0] if rates else 0.0)
+        if "tenant" in payload:
+            base_payload["tenant"] = payload["tenant"]
+        if "priority" in payload:
+            base_payload["priority"] = payload["priority"]
+        try:
+            base = SimRequest.from_dict(base_payload)
+        except RequestValidationError as exc:
+            errors.extend(f"base.{e}" for e in exc.errors)
+            raise RequestValidationError(errors) from None
+        if errors:
+            raise RequestValidationError(errors)
+        return cls(base=base, rates=tuple(rates))

@@ -33,7 +33,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from .cache import ResultCache
-from .executor import SimulationExecutor
+from .executor import SimulationExecutor, fusion_eligible
+from .fusion import FusionGate, FusionSaturated
 from .metrics import ServiceMetrics
 from .model import SimRequest
 
@@ -78,12 +79,20 @@ class JobScheduler:
         metrics: Optional[ServiceMetrics] = None,
         max_queue: int = 256,
         concurrency: int = 4,
+        fusion: Optional[FusionGate] = None,
     ) -> None:
         self.executor = executor
         self.cache = cache if cache is not None else ResultCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.max_queue = max_queue
         self.concurrency = concurrency
+        self.fusion = fusion
+        if fusion is not None:
+            # Gate batches settle outside the pump loop; this keeps the
+            # coalescing map from pinning resolved futures forever.
+            fusion.done_hooks.append(
+                lambda key: self._inflight.pop(key, None)
+            )
         self._heap: list = []
         self._seq = 0
         self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
@@ -110,19 +119,32 @@ class JobScheduler:
             asyncio.create_task(self._pump(), name=f"repro-pump-{i}")
             for i in range(self.concurrency)
         ]
+        if self.fusion is not None:
+            self.fusion.start()
         self._started = True
 
     def close(self) -> None:
         """Stop admitting new jobs; queued jobs keep draining."""
         self._accepting = False
+        if self.fusion is not None:
+            # Stop holding fusion windows: pending batches flush now so
+            # the drain below only waits on real work.
+            self.fusion.close()
 
     async def drain(self, timeout: Optional[float] = None) -> None:
         """Wait for the queue and every running job to finish."""
         deadline = None if timeout is None else time.monotonic() + timeout
-        while self._heap or self._running or self._inflight:
+        while (
+            self._heap
+            or self._running
+            or self._inflight
+            or (self.fusion is not None and self.fusion.depth())
+        ):
             if deadline is not None and time.monotonic() > deadline:
                 break
             await asyncio.sleep(0.01)
+        if self.fusion is not None:
+            await self.fusion.stop()
         for task in self._pumps:
             task.cancel()
         for task in self._pumps:
@@ -143,6 +165,9 @@ class JobScheduler:
             "accepting": self._accepting,
             "concurrency": self.concurrency,
             "avg_exec_seconds": self._avg_exec,
+            "fusion_pending": (
+                self.fusion.depth() if self.fusion is not None else 0
+            ),
         }
 
     def _retry_after(self) -> float:
@@ -158,7 +183,7 @@ class JobScheduler:
         """Resolve one admitted request.
 
         Returns ``(payload, source)`` with ``source`` in
-        ``{"hit", "coalesced", "miss"}``.  Raises
+        ``{"hit", "coalesced", "fused", "miss"}``.  Raises
         :class:`AdmissionError` on a full queue and ``RuntimeError``
         when the scheduler is closed.
         """
@@ -177,9 +202,45 @@ class JobScheduler:
         if existing is not None:
             self.metrics.inc("requests_coalesced_total")
             # A shielded wait: one coalesced caller disconnecting must
-            # not cancel the shared simulation.
-            payload = await asyncio.shield(existing)
+            # not cancel the shared simulation.  If the duplicate is
+            # still *held* in the fusion gate, register as a waiter so
+            # the entry survives the original caller hanging up.
+            retained = (
+                self.fusion is not None and self.fusion.retain(key)
+            )
+            try:
+                payload = await asyncio.shield(existing)
+            except asyncio.CancelledError:
+                if retained and self.fusion is not None:
+                    if self.fusion.release(key):
+                        self._inflight.pop(key, None)
+                raise
             return payload, "coalesced"
+
+        if (
+            self.fusion is not None
+            and self.fusion.enabled
+            and fusion_eligible(request)
+        ):
+            try:
+                future = self.fusion.enqueue(request)
+            except FusionSaturated as exc:
+                self.metrics.inc("requests_rejected_total")
+                raise AdmissionError(
+                    exc.depth, self._retry_after()
+                ) from None
+            self._inflight[key] = future
+            try:
+                payload = await asyncio.shield(future)
+            except asyncio.CancelledError:
+                # Last waiter gone before the flush: withdraw the entry
+                # so the batch never carries orphaned rows.  Post-flush
+                # this is a no-op — running batches always complete and
+                # cache their results.
+                if self.fusion.release(key):
+                    self._inflight.pop(key, None)
+                raise
+            return payload, "fused"
 
         backlog = len(self._heap) + self._running
         if backlog >= self.max_queue + self.concurrency:

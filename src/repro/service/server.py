@@ -12,23 +12,38 @@ Endpoints
     violations; 422 when the circuit fails static analysis; 429 +
     ``Retry-After`` under backpressure; 500 when every execution
     attempt failed; 503 while draining.
+``POST /v1/sweep``  — body: a :class:`~repro.service.model.SweepRequest`
+    JSON object (one base request + a list of error rates).  Streams
+    per-cell partial results as chunked JSON-lines
+    (``application/x-ndjson``): one header line, one line per cell *in
+    completion order*, one trailing ``done`` line — so adaptive
+    early-stoppers can act on partials.  Pre-stream failures use the
+    same status codes as ``/v1/simulate``; per-cell failures ride the
+    stream as ``error`` lines.  A mid-stream client disconnect cancels
+    the not-yet-executed cells without touching batches already
+    running.
 ``POST /v1/work``  — a fabric work unit (see :mod:`repro.service.work`
     and :mod:`repro.fabric`).  200 with per-cell results; 400 on
     malformed/skewed payloads; 500 on execution failure (retryable
     from the coordinator's view); 503 while draining.
 ``GET /healthz``  — liveness and drain state.
 ``GET /stats``    — JSON: queue, executor, result-cache, compile-cache,
-    kernel-cache counters plus latency summaries.
+    kernel-cache, fusion-gate counters plus latency summaries.
 ``GET /metrics``  — Prometheus text exposition.
+
+Every response carries an ``X-Request-Id`` header (pid + monotone
+sequence — no clock, no RNG) for log correlation; the client surfaces
+it on errors.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from .work import WorkHandler
@@ -40,8 +55,14 @@ from .executor import (
     SimulationExecutor,
     lint_gate,
 )
+from .fusion import FusionGate, fusion_stats
 from .metrics import ServiceMetrics
-from .model import RequestValidationError, SimRequest, SimResponse
+from .model import (
+    RequestValidationError,
+    SimRequest,
+    SimResponse,
+    SweepRequest,
+)
 from .scheduler import AdmissionError, JobScheduler
 from .stats import cache_stats_snapshot
 
@@ -77,6 +98,7 @@ class ArithmeticService:
         concurrency: int = 4,
         lint_requests: bool = True,
         work: Optional["WorkHandler"] = None,
+        fusion: Optional[FusionGate] = None,
     ) -> None:
         from .work import WorkHandler
 
@@ -86,12 +108,25 @@ class ArithmeticService:
             workers=0, concurrency=concurrency
         )
         self.cache = cache if cache is not None else ResultCache()
+        # Default gate reads the REPRO_FUSION_* knobs; with
+        # REPRO_FUSION_WINDOW_MS unset/0 it is inert and every request
+        # takes the per-request path, byte-identically to a build
+        # without the gate.
+        self.fusion = fusion if fusion is not None else FusionGate(
+            self.executor, metrics=self.metrics, cache=self.cache
+        )
+        # An externally built gate (repro-serve flags) still shares the
+        # service's registry and result cache.
+        self.fusion.metrics = self.metrics
+        if self.fusion.cache is None:
+            self.fusion.cache = self.cache
         self.scheduler = JobScheduler(
             self.executor,
             cache=self.cache,
             metrics=self.metrics,
             max_queue=max_queue,
             concurrency=concurrency,
+            fusion=self.fusion,
         )
         self.lint_requests = lint_requests
         self.started_at = time.monotonic()
@@ -99,6 +134,7 @@ class ArithmeticService:
         #: Stats snapshot flushed by a graceful shutdown (None until then).
         self.final_stats: Optional[Dict[str, Any]] = None
         self._inflight_http = 0
+        self._request_seq = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self.metrics.register_gauge(
             "result_cache_bytes", lambda: self.cache.total_bytes
@@ -141,6 +177,30 @@ class ArithmeticService:
                     f"kernel_cache_{tier}_{field}",
                     _kernel_tier_gauge(tier, field),
                 )
+        # Fusion-gate observability: hit rate / occupancy come from the
+        # process-wide counters, depth and deficits from the live gate.
+        # Window-wait p50/p99 ride the "fusion_window_wait" histogram.
+        self.metrics.register_gauge(
+            "fusion_hit_rate", lambda: fusion_stats()["hit_rate"]
+        )
+        self.metrics.register_gauge(
+            "fusion_batch_occupancy",
+            lambda: fusion_stats()["batch_occupancy"],
+        )
+        self.metrics.register_gauge(
+            "fusion_pending", lambda: float(self.fusion.depth())
+        )
+        self.metrics.register_labeled_gauge(
+            "fusion_tenant_deficit", "tenant", self.fusion.tenant_deficits
+        )
+        self.metrics.register_labeled_gauge(
+            "fusion_tenant_served_cost",
+            "tenant",
+            lambda: {
+                tenant: row["served_cost"]
+                for tenant, row in fusion_stats()["tenants"].items()
+            },
+        )
 
     # -- lifecycle --------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
@@ -185,15 +245,34 @@ class ArithmeticService:
             await self._server.serve_forever()
 
     # -- HTTP plumbing ----------------------------------------------------
+    def _next_request_id(self) -> str:
+        """Correlation id: pid + monotone counter (no clock, no RNG)."""
+        self._request_seq += 1
+        return f"{os.getpid():x}-{self._request_seq:08x}"
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._inflight_http += 1
         self.metrics.note_inflight(self._inflight_http)
         t0 = time.perf_counter()
+        rid = self._next_request_id()
+        streamed = False
+        status, headers, payload = 500, {}, b""
         try:
             method, path, body = await self._read_request(reader)
-            status, headers, payload = await self._route(method, path, body)
+            if path.split("?", 1)[0] == "/v1/sweep":
+                early = await self._handle_sweep(
+                    method, body, reader, writer, rid
+                )
+                if early is None:
+                    streamed, status = True, 200
+                else:
+                    status, headers, payload = early
+            else:
+                status, headers, payload = await self._route(
+                    method, path, body
+                )
         except asyncio.IncompleteReadError:
             status, headers, payload = 400, {}, _err("truncated request")
         except Exception as exc:  # noqa: BLE001 — last-resort 500
@@ -201,7 +280,9 @@ class ArithmeticService:
                 f"{type(exc).__name__}: {exc}"
             )
         try:
-            await self._write_response(writer, status, headers, payload)
+            if not streamed:
+                headers.setdefault("X-Request-Id", rid)
+                await self._write_response(writer, status, headers, payload)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -359,6 +440,182 @@ class ArithmeticService:
         self.metrics.inc("requests_served_total", labels={"cache": source})
         return 200, {}, _json_bytes(response.to_dict())
 
+    # -- sweep streaming --------------------------------------------------
+    async def _handle_sweep(
+        self,
+        method: str,
+        body: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        rid: str,
+    ) -> Optional[Tuple[int, Dict[str, str], bytes]]:
+        """Validate a sweep; stream it if well-formed.
+
+        Returns an ``(status, headers, payload)`` triple for
+        pre-stream failures (written by the ordinary response path) or
+        ``None`` once the chunked stream has been written.
+        """
+        if method != "POST":
+            return 405, {"Allow": "POST"}, _err("use POST")
+        if self.draining:
+            return 503, {}, _err("server is draining")
+        try:
+            sweep = SweepRequest.from_dict(
+                json.loads(body.decode() or "null")
+            )
+        except RequestValidationError as exc:
+            self.metrics.inc("requests_invalid_total")
+            return 400, {}, _json_bytes(
+                {"error": "validation failed", "details": exc.errors}
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self.metrics.inc("requests_invalid_total")
+            return 400, {}, _err(f"malformed JSON body: {exc}")
+        if self.lint_requests:
+            try:
+                # One lint covers every cell: rates only change noise
+                # strength, never the circuit shape the lint inspects.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, lint_gate, sweep.base
+                )
+            except CircuitRejected as exc:
+                self.metrics.inc("requests_lint_rejected_total")
+                return 422, {}, _json_bytes(
+                    {"error": "circuit rejected", "details": exc.messages}
+                )
+        self.metrics.inc("sweep_requests_total")
+        await self._stream_sweep(sweep, reader, writer, rid)
+        return None
+
+    async def _stream_sweep(
+        self,
+        sweep: SweepRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        rid: str,
+    ) -> None:
+        cells = sweep.cells()
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            f"X-Request-Id: {rid}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        tasks: Dict["asyncio.Task[Dict[str, Any]]", SimRequest] = {
+            asyncio.create_task(self._run_cell(cell)): cell
+            for cell in cells
+        }
+        pending: Set["asyncio.Task[Dict[str, Any]]"] = set(tasks)
+        # EOF watchdog: with every cell still queued (e.g. held in the
+        # fusion window) no write happens for a while, so a vanished
+        # client would otherwise go unnoticed until the next chunk.
+        watch: "asyncio.Task[bytes]" = asyncio.create_task(reader.read(1))
+        ok = errors = 0
+        try:
+            await writer.drain()
+            await self._write_chunk(
+                writer,
+                {
+                    "sweep": {
+                        "cells": len(cells),
+                        "tenant": sweep.base.tenant,
+                        "request_id": rid,
+                    }
+                },
+            )
+            while pending:
+                done, _ = await asyncio.wait(
+                    pending | {watch}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if watch in done:
+                    raise ConnectionResetError("client closed the stream")
+                for task in done:
+                    pending.discard(task)
+                    doc = await task  # already done; never blocks
+                    if "error" in doc:
+                        errors += 1
+                    else:
+                        ok += 1
+                    self.metrics.inc("sweep_cells_total")
+                    await self._write_chunk(writer, doc)
+            await self._write_chunk(
+                writer,
+                {"done": {"cells": len(cells), "ok": ok, "errors": errors}},
+            )
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # Mid-stream disconnect: withdraw the cells nobody is
+            # waiting for.  Cells already fused into a running batch
+            # complete anyway (the batch is shared; its results are
+            # cached for the client's retry) — cancellation only
+            # removes still-queued work, so an orphaned sweep can
+            # never poison neighbours' batches.
+            self.metrics.inc("sweep_disconnects_total")
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            watch.cancel()
+
+    @staticmethod
+    async def _write_chunk(
+        writer: asyncio.StreamWriter, doc: Dict[str, Any]
+    ) -> None:
+        data = _json_bytes(doc) + b"\n"
+        writer.write(f"{len(data):x}\r\n".encode("latin-1"))
+        writer.write(data)
+        writer.write(b"\r\n")
+        await writer.drain()
+
+    async def _run_cell(self, request: SimRequest) -> Dict[str, Any]:
+        """One sweep cell through the scheduler; never raises.
+
+        Failures become ``error`` lines on the stream so one saturated
+        cell does not abort the rest of the sweep.
+        """
+        t0 = time.perf_counter()
+        cell = {
+            "error_rate": request.error_rate,
+            "content_key": request.content_key(),
+        }
+        try:
+            payload, source = await self.scheduler.submit(request)
+        except AdmissionError as exc:
+            return {
+                "cell": cell,
+                "error": {
+                    "status": 429,
+                    "message": "queue full",
+                    "retry_after": exc.retry_after,
+                },
+            }
+        except ExecutionFailed as exc:
+            return {
+                "cell": cell,
+                "error": {
+                    "status": 500,
+                    "message": exc.last_error,
+                    "attempts": exc.attempts,
+                },
+            }
+        except RuntimeError:
+            return {
+                "cell": cell,
+                "error": {"status": 503, "message": "server is draining"},
+            }
+        response = SimResponse(**payload)
+        response.cache = source
+        timings = dict(response.timings_ms)
+        timings["total"] = (time.perf_counter() - t0) * 1000.0
+        response.timings_ms = timings
+        self.metrics.inc("requests_served_total", labels={"cache": source})
+        return {"cell": cell, "response": response.to_dict()}
+
     def _handle_healthz(self) -> Tuple[int, Dict[str, str], bytes]:
         status = 503 if self.draining else 200
         return status, {}, _json_bytes(
@@ -379,6 +636,10 @@ class ArithmeticService:
                 "executor": self.executor.describe(),
                 "metrics": self.metrics.stats_dict(),
                 "work": self.work.stats(),
+                "fusion": {
+                    **self.fusion.describe(),
+                    "totals": fusion_stats(),
+                },
             }
         )
         return snapshot

@@ -32,6 +32,9 @@ def cache_stats_snapshot(
       to its NumPy fallback);
     * ``cut`` — the circuit-cutting subsystem's counters (plans found,
       fragments compiled, variants evaluated, job routing);
+    * ``fusion`` — the cross-request fusion gate's process-wide
+      counters (admitted / fused / batches / hit rate / per-tenant
+      served cost);
     * ``result_cache`` — the service's content-addressed response
       cache, when one is supplied.
 
@@ -48,6 +51,7 @@ def cache_stats_snapshot(
     from ..cut import cut_stats
     from ..sim.program import compile_cache_stats, kernel_cache_stats
     from ..sim.ptm import ptm_cache_stats
+    from .fusion import fusion_stats
 
     def _lru(fn: Any) -> Dict[str, int]:
         info = fn.cache_info()
@@ -68,6 +72,7 @@ def cache_stats_snapshot(
         "cut": dict(cut_stats()),
         "program_lru": _lru(build_compiled_program),
         "circuit_lru": _lru(build_arithmetic_circuit),
+        "fusion": fusion_stats(),
     }
     if result_cache is not None:
         snapshot["result_cache"] = result_cache.stats()

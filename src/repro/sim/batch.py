@@ -62,6 +62,7 @@ __all__ = [
     "TrajectoryTask",
     "TaskResult",
     "FusedTrajectoryScheduler",
+    "run_request_tasks",
     "scheduler_stats",
     "reset_scheduler_stats",
 ]
@@ -781,3 +782,43 @@ class FusedTrajectoryScheduler:
             )
             if abs(margin) > bound:
                 state.decided = True
+
+
+# ---------------------------------------------------------------------------
+# Service entry: one pass over heterogeneous request-owned tasks
+# ---------------------------------------------------------------------------
+
+def run_request_tasks(
+    tasks: Sequence[TrajectoryTask],
+    *,
+    fuse: bool = True,
+    dedup: bool = True,
+    max_batch_rows: Optional[int] = None,
+    dtype=None,
+) -> Dict[object, TaskResult]:
+    """Execute a micro-batch of *request-owned* tasks in one scheduler pass.
+
+    This is the group-of-groups entry used by the service fusion tier:
+    ``tasks`` may mix fusion keys, shot budgets, trajectory counts and
+    initial states — the scheduler regroups by exact
+    :attr:`~repro.sim.program.CompiledProgram.fusion_key` internally, so
+    callers may batch on any coarser proxy (e.g. circuit family) without
+    risking cross-key contamination.  Tasks whose keys collide must be
+    identical requests; later results overwrite earlier ones, which is
+    then a no-op by the determinism contract.
+
+    Adaptivity is deliberately **off**: per-request results must be
+    bit-identical whether a request was fused with neighbours or ran
+    alone, and a single non-adaptive round is the configuration whose
+    draw order matches the per-request ``dedup`` path exactly.
+    """
+    if not tasks:
+        return {}
+    scheduler = FusedTrajectoryScheduler(
+        fuse=fuse,
+        dedup=dedup,
+        adaptive=False,
+        max_batch_rows=max_batch_rows,
+        dtype=dtype,
+    )
+    return scheduler.run(tasks)
